@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "repro"
+    [ ("core", [ Alcotest.test_case "placeholder" `Quick (fun () -> Core.placeholder ()) ]) ]
