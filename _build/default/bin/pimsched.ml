@@ -1,0 +1,544 @@
+(* pimsched — command-line front-end for the PIM data-scheduling library.
+
+   Subcommands:
+     schedule      run one algorithm on one workload instance
+     compare       run every algorithm on one instance (plus lower bound)
+     table         regenerate the paper's Table 1 or Table 2
+     example       print the Section 3.3 worked example (Figure 1)
+     show          ASCII heatmaps of a window and a schedule
+     export-trace  serialize a workload's reference trace to a file *)
+
+open Cmdliner
+
+(* ---------------------------------------------------------------- *)
+(* Argument converters                                               *)
+(* ---------------------------------------------------------------- *)
+
+let mesh_conv =
+  let parse s =
+    match String.split_on_char 'x' s with
+    | [ r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some rows, Some cols when rows > 0 && cols > 0 ->
+            Ok (rows, cols)
+        | _ -> Error (`Msg (Printf.sprintf "invalid mesh %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "invalid mesh %S (expected RxC)" s))
+  in
+  let print fmt (rows, cols) = Format.fprintf fmt "%dx%d" rows cols in
+  Arg.conv (parse, print)
+
+(* Workloads: the paper's benchmarks 1-5 plus the extension kernels. *)
+type workload =
+  | Paper of Workloads.Benchmarks.t
+  | Stencil
+  | Transitive_closure
+  | Fft
+  | Cholesky
+  | Reduction
+
+let workload_of_string = function
+  | "stencil" -> Ok Stencil
+  | "tc" | "transitive-closure" -> Ok Transitive_closure
+  | "fft" -> Ok Fft
+  | "cholesky" -> Ok Cholesky
+  | "reduction" -> Ok Reduction
+  | s -> (
+      try Ok (Paper (Workloads.Benchmarks.of_label s))
+      with Invalid_argument _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown workload %S (expected 1..5, stencil, tc, fft, \
+                cholesky or reduction)"
+               s)))
+
+let workload_to_string = function
+  | Paper b -> Workloads.Benchmarks.label b
+  | Stencil -> "stencil"
+  | Transitive_closure -> "tc"
+  | Fft -> "fft"
+  | Cholesky -> "cholesky"
+  | Reduction -> "reduction"
+
+let workload_conv =
+  Arg.conv
+    ( workload_of_string,
+      fun fmt w -> Format.pp_print_string fmt (workload_to_string w) )
+
+let algorithm_conv =
+  let parse s =
+    try Ok (Sched.Scheduler.of_name s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  let print fmt a = Format.pp_print_string fmt (Sched.Scheduler.name a) in
+  Arg.conv (parse, print)
+
+let partition_conv =
+  let parse = function
+    | "block-2d" -> Ok Workloads.Iteration_space.Block_2d
+    | "row-blocks" -> Ok Workloads.Iteration_space.Row_blocks
+    | "col-blocks" -> Ok Workloads.Iteration_space.Col_blocks
+    | "cyclic-2d" -> Ok Workloads.Iteration_space.Cyclic_2d
+    | s -> Error (`Msg (Printf.sprintf "unknown partition %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Workloads.Iteration_space.name p)
+  in
+  Arg.conv (parse, print)
+
+(* ---------------------------------------------------------------- *)
+(* Common arguments                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let mesh_arg =
+  Arg.(
+    value & opt mesh_conv (4, 4)
+    & info [ "mesh" ] ~docv:"RxC" ~doc:"Processor array shape.")
+
+let torus_arg =
+  Arg.(
+    value & flag
+    & info [ "torus" ] ~doc:"Use wrap-around (torus) links instead of a mesh.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv (Paper Workloads.Benchmarks.B1)
+    & info [ "benchmark"; "b" ] ~docv:"W"
+        ~doc:
+          "Workload: paper benchmark 1..5, or extension kernels $(b,stencil), \
+           $(b,tc) (transitive closure), $(b,fft), $(b,cholesky), \
+           $(b,reduction).")
+
+let size_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "size"; "n" ] ~docv:"N" ~doc:"Data array is N x N.")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt partition_conv Workloads.Iteration_space.Block_2d
+    & info [ "partition" ] ~docv:"NAME" ~doc:"Iteration partition.")
+
+let unbounded_arg =
+  Arg.(
+    value & flag
+    & info [ "unbounded" ]
+        ~doc:"Ignore processor memory capacity (paper default is 2x minimum).")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace-file" ] ~docv:"PATH"
+        ~doc:
+          "Load a serialized reference trace instead of generating a \
+           workload (see export-trace).")
+
+let simulate_arg =
+  Arg.(
+    value & flag
+    & info [ "simulate" ]
+        ~doc:
+          "Also execute the schedule on the message-level simulator and \
+           report measured traffic.")
+
+(* ---------------------------------------------------------------- *)
+(* Instance construction                                             *)
+(* ---------------------------------------------------------------- *)
+
+let build_mesh (rows, cols) torus =
+  if torus then Pim.Mesh.torus ~rows ~cols else Pim.Mesh.create ~rows ~cols
+
+let build_trace workload size partition mesh trace_file =
+  match trace_file with
+  | Some path ->
+      let t = Reftrace.Serial.load path in
+      Reftrace.Trace.validate t mesh;
+      t
+  | None -> (
+      match workload with
+      | Paper b -> Workloads.Benchmarks.trace ~partition b ~n:size mesh
+      | Stencil -> Workloads.Stencil.trace ~partition ~n:size ~sweeps:8 mesh
+      | Transitive_closure ->
+          Workloads.Transitive_closure.trace ~partition ~n:size mesh
+      | Fft -> Workloads.Fft_transpose.trace ~partition ~n:size mesh
+      | Cholesky -> Workloads.Cholesky.trace ~partition ~n:size mesh
+      | Reduction ->
+          Workloads.Reduction.trace ~partition ~n:size
+            ~bins:(Pim.Mesh.size mesh) mesh)
+
+let capacity_of trace mesh unbounded =
+  if unbounded then None
+  else
+    Some
+      (Pim.Memory.capacity_for
+         ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+         ~mesh ~headroom:2)
+
+let describe_instance ?trace_file workload mesh trace capacity =
+  Printf.printf "workload %s: %s on %s%s\n"
+    (match trace_file with
+    | Some path -> Printf.sprintf "from %s" path
+    | None -> workload_to_string workload)
+    (Format.asprintf "%a" Reftrace.Trace.pp trace)
+    (Format.asprintf "%a" Pim.Mesh.pp mesh)
+    (match capacity with
+    | None -> ", unbounded memory"
+    | Some c -> Printf.sprintf ", capacity %d" c)
+
+(* ---------------------------------------------------------------- *)
+(* Subcommand implementations                                        *)
+(* ---------------------------------------------------------------- *)
+
+let run_schedule workload size mesh_shape torus partition unbounded
+    trace_file algorithm simulate plan_out =
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  let schedule = Sched.Scheduler.run ?capacity algorithm mesh trace in
+  (match plan_out with
+  | Some path ->
+      Sched.Schedule_serial.save schedule path;
+      Printf.printf "plan written to %s\n" path
+  | None -> ());
+  let breakdown = Sched.Schedule.cost schedule trace in
+  Printf.printf "%-16s total=%6d  reference=%6d  movement=%6d  moves=%d\n"
+    (Sched.Scheduler.name algorithm)
+    breakdown.Sched.Schedule.total breakdown.Sched.Schedule.reference
+    breakdown.Sched.Schedule.movement
+    (Sched.Schedule.moves schedule);
+  if simulate then begin
+    let report =
+      Pim.Simulator.run mesh (Sched.Schedule.to_rounds schedule trace)
+    in
+    Format.printf "%a@." Pim.Simulator.pp_report report
+  end
+
+let run_compare workload size mesh_shape torus partition unbounded trace_file
+    =
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  let bound = Sched.Bounds.lower_bound mesh trace in
+  let baseline =
+    Sched.Schedule.total_cost
+      (Sched.Scheduler.run ?capacity Sched.Scheduler.Row_wise mesh trace)
+      trace
+  in
+  List.iter
+    (fun algorithm ->
+      let schedule = Sched.Scheduler.run ?capacity algorithm mesh trace in
+      let total = Sched.Schedule.total_cost schedule trace in
+      Printf.printf
+        "%-16s total=%6d  improvement=%5.1f%%  gap-to-bound=%5.1f%%\n"
+        (Sched.Scheduler.name algorithm)
+        total
+        (Sched.Scheduler.improvement ~baseline ~cost:total)
+        (Sched.Bounds.gap ~bound ~cost:total))
+    Sched.Scheduler.all;
+  Printf.printf "%-16s total=%6d  (sum of per-datum optima)\n" "lower-bound"
+    bound
+
+let run_table which mesh_shape sizes =
+  let mesh = build_mesh mesh_shape false in
+  let grouped = which = 2 in
+  let algos =
+    if grouped then Sched.Scheduler.[ Scds; Lomcds_grouped; Gomcds_grouped ]
+    else Sched.Scheduler.[ Scds; Lomcds; Gomcds ]
+  in
+  let rows =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun n ->
+            let trace = Workloads.Benchmarks.trace bench ~n mesh in
+            let capacity = Some (Workloads.Benchmarks.capacity bench ~n mesh) in
+            let cost algorithm =
+              Sched.Schedule.total_cost
+                (Sched.Scheduler.run ?capacity algorithm mesh trace)
+                trace
+            in
+            let baseline = cost Sched.Scheduler.Row_wise in
+            {
+              Sched.Report.benchmark = Workloads.Benchmarks.label bench;
+              size = Printf.sprintf "%dx%d" n n;
+              baseline;
+              entries =
+                List.map (fun a -> Sched.Report.entry ~baseline (cost a)) algos;
+            })
+          sizes)
+      Workloads.Benchmarks.all
+  in
+  let title =
+    Printf.sprintf
+      "Table %d: total communication cost %s grouping (processor array = \
+       %dx%d)"
+      which
+      (if grouped then "after" else "before")
+      (Pim.Mesh.rows mesh) (Pim.Mesh.cols mesh)
+  in
+  print_string
+    (Sched.Report.render ~title ~columns:[ "SCDS"; "LOMCDS"; "GOMCDS" ] rows)
+
+let run_example () =
+  print_endline "Worked example (paper Section 3.3 / Figure 1):";
+  Format.printf "%a@." Reftrace.Trace.pp Sched.Example.trace;
+  List.iteri
+    (fun i window ->
+      Printf.printf "\nwindow %d references of D:\n" i;
+      print_string (Sched.Viz.window_heatmap Sched.Example.mesh window ~data:0))
+    (Reftrace.Trace.windows Sched.Example.trace);
+  print_newline ();
+  List.iter
+    (fun o -> Format.printf "%a@." Sched.Example.pp_outcome o)
+    (Sched.Example.all ())
+
+let run_show workload size mesh_shape torus partition unbounded trace_file
+    algorithm window data =
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  if window < 0 || window >= Reftrace.Trace.n_windows trace then
+    failwith
+      (Printf.sprintf "window %d out of range (trace has %d)" window
+         (Reftrace.Trace.n_windows trace));
+  let w = Reftrace.Trace.window trace window in
+  Printf.printf "\ntotal references in window %d:\n" window;
+  print_string (Sched.Viz.total_heatmap mesh w);
+  (match data with
+  | Some d ->
+      Printf.printf "\nreferences to datum %d (%s) in window %d:\n" d
+        (Reftrace.Data_space.describe (Reftrace.Trace.space trace) d)
+        window;
+      print_string (Sched.Viz.window_heatmap mesh w ~data:d)
+  | None -> ());
+  let schedule = Sched.Scheduler.run ?capacity algorithm mesh trace in
+  Printf.printf "\n%s data placement (load per processor) in window %d:\n"
+    (Sched.Scheduler.name algorithm)
+    window;
+  print_string (Sched.Viz.load_map mesh schedule ~window);
+  match data with
+  | Some d ->
+      Printf.printf "\ntrajectory of datum %d: %s\n" d
+        (Sched.Viz.trajectory mesh schedule ~data:d)
+  | None -> ()
+
+let run_export workload size mesh_shape torus partition output =
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh None in
+  Reftrace.Serial.save trace output;
+  Printf.printf "wrote %s (%d windows, %d references) to %s\n"
+    (workload_to_string workload)
+    (Reftrace.Trace.n_windows trace)
+    (Reftrace.Trace.total_references trace)
+    output
+
+(* ---------------------------------------------------------------- *)
+(* Command definitions                                               *)
+(* ---------------------------------------------------------------- *)
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt algorithm_conv Sched.Scheduler.Gomcds
+    & info [ "algorithm"; "a" ] ~docv:"NAME"
+        ~doc:
+          "One of: row-wise, column-wise, block-2d, cyclic, random, scds, \
+           lomcds, gomcds, lomcds-grouped, gomcds-grouped, gomcds-refined, \
+           best-refined.")
+
+let schedule_cmd =
+  let plan_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan-out" ] ~docv:"PATH"
+          ~doc:"Serialize the computed schedule to a plan file.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Run one scheduling algorithm")
+    Term.(
+      const run_schedule $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ unbounded_arg $ trace_file_arg $ algorithm_arg
+      $ simulate_arg $ plan_out_arg)
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every algorithm on one instance")
+    Term.(
+      const run_compare $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ unbounded_arg $ trace_file_arg)
+
+let table_cmd =
+  let which_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "which" ] ~docv:"1|2" ~doc:"Which paper table to regenerate.")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Data sizes to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate paper Table 1 or 2")
+    Term.(const run_table $ which_arg $ mesh_arg $ sizes_arg)
+
+let example_cmd =
+  Cmd.v
+    (Cmd.info "example" ~doc:"Print the Section 3.3 worked example")
+    Term.(const run_example $ const ())
+
+let show_cmd =
+  let window_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "window"; "w" ] ~docv:"I" ~doc:"Execution window to render.")
+  in
+  let data_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "data"; "d" ] ~docv:"ID" ~doc:"Datum to render in detail.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render heatmaps of a window and a schedule")
+    Term.(
+      const run_show $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ unbounded_arg $ trace_file_arg $ algorithm_arg
+      $ window_arg $ data_arg)
+
+let run_replicate workload size mesh_shape torus partition unbounded
+    trace_file max_copies =
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  Printf.printf "single-copy lower bound: %d\n"
+    (Sched.Bounds.lower_bound mesh trace);
+  List.iter
+    (fun k ->
+      let r = Sched.Replicated.run ?capacity ~max_copies:k mesh trace in
+      let c = Sched.Replicated.cost r mesh trace in
+      Printf.printf
+        "max_copies=%-2d total=%6d (reads %6d + creation %5d + movement %5d)\n"
+        k c.Sched.Replicated.total c.Sched.Replicated.reads
+        c.Sched.Replicated.creation c.Sched.Replicated.primary_movement)
+    (List.sort_uniq Int.compare [ 1; max_copies ])
+
+let replicate_cmd =
+  let copies_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "copies"; "k" ] ~docv:"K" ~doc:"Maximum live copies per datum.")
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:"Schedule with read replication (write-invalidate coherence)")
+    Term.(
+      const run_replicate $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ unbounded_arg $ trace_file_arg $ copies_arg)
+
+let export_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt string "trace.out"
+      & info [ "output"; "o" ] ~docv:"PATH" ~doc:"Destination file.")
+  in
+  Cmd.v
+    (Cmd.info "export-trace" ~doc:"Serialize a workload's reference trace")
+    Term.(
+      const run_export $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ output_arg)
+
+let run_stats workload size mesh_shape torus partition trace_file =
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  describe_instance ?trace_file workload mesh trace None;
+  let p = Reftrace.Stats.profile mesh trace in
+  Format.printf "%a@." Reftrace.Stats.pp_profile p;
+  Printf.printf
+    "drift > 0 means the hot spots move between windows (multi-center\n\
+     scheduling has headroom); reuse is the fraction of per-window datum\n\
+     uses that amortize an earlier placement decision.\n"
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Characterize a workload's reference pattern")
+    Term.(
+      const run_stats $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ trace_file_arg)
+
+let run_sweep sizes mesh_shape torus output headroom =
+  let mesh = build_mesh mesh_shape torus in
+  let instances =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun n ->
+            ( Printf.sprintf "b%s-%dx%d" (Workloads.Benchmarks.label bench) n n,
+              Workloads.Benchmarks.trace bench ~n mesh ))
+          sizes)
+      Workloads.Benchmarks.all
+  in
+  let rows = Sched.Sweep.run ~headroom mesh instances Sched.Scheduler.all in
+  let csv = Sched.Sweep.to_csv rows in
+  match output with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc csv);
+      Printf.printf "wrote %d rows to %s\n" (List.length rows) path
+  | None -> print_string csv
+
+let sweep_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 16 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Data sizes to sweep.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"PATH"
+          ~doc:"Write CSV here instead of stdout.")
+  in
+  let headroom_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "headroom" ] ~docv:"H"
+          ~doc:"Capacity = H x minimum; 0 = unbounded.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run all algorithms over the benchmarks, emit CSV")
+    Term.(
+      const run_sweep $ sizes_arg $ mesh_arg $ torus_arg $ output_arg
+      $ headroom_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "pimsched" ~version:"1.0.0"
+       ~doc:"Data scheduling on Processor-In-Memory arrays (IPPS 1998)")
+    [
+      schedule_cmd;
+      compare_cmd;
+      table_cmd;
+      example_cmd;
+      show_cmd;
+      replicate_cmd;
+      export_cmd;
+      sweep_cmd;
+      stats_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/capacity_pressure.ml: Array List Option Pim Printf Reftrace Sched Workloads

@@ -1,0 +1,1 @@
+examples/lu_scheduling.ml: Array Format List Pim Printf Reftrace Sched Workloads

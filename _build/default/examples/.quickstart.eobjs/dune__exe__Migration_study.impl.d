@@ -1,0 +1,1 @@
+examples/migration_study.ml: Format List Pim Printf Reftrace Sched

@@ -1,0 +1,1 @@
+examples/offline_trace.ml: Filename List Pim Printf Reftrace Sched Sys Workloads

@@ -1,0 +1,1 @@
+examples/replication_study.ml: List Pim Printf Reftrace Sched String Workloads

@@ -1,0 +1,1 @@
+examples/verified_execution.ml: Exec Filename Pim Printf Sched Sys Workloads

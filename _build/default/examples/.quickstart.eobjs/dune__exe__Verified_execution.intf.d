@@ -1,0 +1,1 @@
+examples/verified_execution.mli:

@@ -1,0 +1,54 @@
+(* Capacity pressure: the processor-list fallback in action.
+
+     dune exec examples/capacity_pressure.exe
+
+   The paper assumes each processor holds a bounded number of data; when a
+   datum's optimal center is full, it goes to the first free processor in
+   its cost-sorted processor list. We squeeze the CODE kernel through
+   shrinking memories and watch cost rise gracefully instead of failing. *)
+
+let mesh = Pim.Mesh.square 4
+
+let () =
+  let n = 16 in
+  let trace = Workloads.Code_kernel.trace ~n mesh in
+  let data_count = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let minimum = (data_count + Pim.Mesh.size mesh - 1) / Pim.Mesh.size mesh in
+  Printf.printf
+    "CODE kernel, %d data on 16 processors: minimum capacity %d each\n\n"
+    data_count minimum;
+  Printf.printf "%9s %9s | %8s %8s %8s | %s\n" "capacity" "slack" "SCDS"
+    "LOMCDS" "GOMCDS" "max load (GOMCDS)";
+  List.iter
+    (fun capacity ->
+      let run a = Sched.Scheduler.run ~capacity a mesh trace in
+      let total a = Sched.Schedule.total_cost (run a) trace in
+      let g = run Sched.Scheduler.Gomcds in
+      (* the tightest any window/processor actually gets *)
+      let max_load = ref 0 in
+      for w = 0 to Sched.Schedule.n_windows g - 1 do
+        let load = Array.make (Pim.Mesh.size mesh) 0 in
+        for d = 0 to Sched.Schedule.n_data g - 1 do
+          let r = Sched.Schedule.center g ~window:w ~data:d in
+          load.(r) <- load.(r) + 1
+        done;
+        Array.iter (fun l -> max_load := max !max_load l) load
+      done;
+      assert (Option.is_none (Sched.Schedule.check_capacity g ~capacity));
+      Printf.printf "%9d %8dx | %8d %8d %8d | %d\n" capacity
+        (capacity / minimum)
+        (total Sched.Scheduler.Scds)
+        (total Sched.Scheduler.Lomcds)
+        (total Sched.Scheduler.Gomcds)
+        !max_load)
+    [ minimum; 2 * minimum; 4 * minimum ];
+  let unconstrained =
+    Sched.Schedule.total_cost
+      (Sched.Scheduler.run Sched.Scheduler.Gomcds mesh trace)
+      trace
+  in
+  Printf.printf "%9s %9s | %8s %8s %8d |\n" "inf" "-" "-" "-" unconstrained;
+  print_endline
+    "\nAt exactly the minimum capacity every processor is packed solid and\n\
+     data are pushed off their centers; at the paper's 2x rule the cost is\n\
+     already close to the unconstrained optimum."

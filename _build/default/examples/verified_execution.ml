@@ -1,0 +1,55 @@
+(* Verified execution: from schedule plan to numerically checked result.
+
+     dune exec examples/verified_execution.exe
+
+   The full production path: generate the LU trace, compute a schedule,
+   serialize it to a plan file, re-load the plan (as a runtime would), and
+   execute the factorization on the simulated PIM array with every operand
+   fetched from its scheduled location. The distributed factors are
+   compared against a sequential reference — and the measured traffic
+   against the plan's analytic cost. *)
+
+let mesh = Pim.Mesh.square 4
+
+let () =
+  let n = 16 in
+  let trace = Workloads.Lu.trace ~n mesh in
+  let capacity =
+    Pim.Memory.capacity_for ~data_count:(n * n) ~mesh ~headroom:2
+  in
+
+  (* 1. Plan: compute and serialize the schedule. *)
+  let schedule = Sched.Scheduler.run ~capacity Sched.Scheduler.Best_refined mesh trace in
+  let plan = Filename.temp_file "lu" ".plan" in
+  Sched.Schedule_serial.save schedule plan;
+  Printf.printf "plan: %d windows, %d data, %d migrations -> %s\n"
+    (Sched.Schedule.n_windows schedule)
+    (Sched.Schedule.n_data schedule)
+    (Sched.Schedule.moves schedule)
+    plan;
+
+  (* 2. Load the plan back, as a separate runtime would. *)
+  let loaded = Sched.Schedule_serial.load plan in
+  Sys.remove plan;
+  assert (Sched.Schedule.equal schedule loaded);
+
+  (* 3. Execute a real factorization under the loaded plan. *)
+  let matrix = Exec.Distributed_lu.random_matrix ~seed:2026 n in
+  let r = Exec.Distributed_lu.run mesh ~matrix loaded in
+  Printf.printf "distributed LU of a %dx%d matrix:\n" n n;
+  Printf.printf "  max |distributed - sequential| = %.3e\n"
+    r.Exec.Distributed_lu.max_error;
+  Printf.printf "  measured traffic = %d hop-units (analytic: %d)\n"
+    r.Exec.Distributed_lu.traffic r.Exec.Distributed_lu.analytic;
+  assert (r.Exec.Distributed_lu.max_error < 1e-9);
+  assert (r.Exec.Distributed_lu.traffic = r.Exec.Distributed_lu.analytic);
+
+  (* 4. Same computation under the straight-forward layout, for contrast. *)
+  let sf = Sched.Scheduler.run ~capacity Sched.Scheduler.Row_wise mesh trace in
+  let r_sf = Exec.Distributed_lu.run mesh ~matrix sf in
+  Printf.printf
+    "row-wise layout moves %d hop-units for the same answer (%.1fx more)\n"
+    r_sf.Exec.Distributed_lu.traffic
+    (float_of_int r_sf.Exec.Distributed_lu.traffic
+    /. float_of_int r.Exec.Distributed_lu.traffic);
+  print_endline "verified: same numbers, a fraction of the communication."

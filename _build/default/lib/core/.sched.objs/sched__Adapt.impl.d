@@ -1,0 +1,1 @@
+lib/core/adapt.ml: Array Baseline Bounds Cost Gomcds List Option Ordering Pathgraph Pim Printf Reftrace Schedule

@@ -1,0 +1,1 @@
+lib/core/adapt.mli: Pim Reftrace Schedule

@@ -1,0 +1,1 @@
+lib/core/annealing.ml: Array Baseline Cost Float Pim Reftrace Schedule

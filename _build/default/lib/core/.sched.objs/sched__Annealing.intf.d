@@ -1,0 +1,1 @@
+lib/core/annealing.mli: Pim Reftrace Schedule

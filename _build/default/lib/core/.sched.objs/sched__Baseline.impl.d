@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array List Pim Reftrace Schedule

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array List Pim Reftrace

@@ -1,0 +1,1 @@
+lib/core/example.ml: Array Format Gomcds List Lomcds Pim Reftrace Scds Schedule

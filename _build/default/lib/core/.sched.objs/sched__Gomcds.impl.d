@@ -1,0 +1,1 @@
+lib/core/gomcds.ml: Array Cost List Option Ordering Pathgraph Pim Printf Reftrace Schedule

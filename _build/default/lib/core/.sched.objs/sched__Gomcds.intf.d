@@ -1,0 +1,1 @@
+lib/core/gomcds.mli: Pathgraph Pim Reftrace Schedule

@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Array Cost Fun Int List Pathgraph Pim Printf Processor_list Reftrace Schedule

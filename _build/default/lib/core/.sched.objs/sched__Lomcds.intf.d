@@ -1,0 +1,1 @@
+lib/core/lomcds.mli: Pim Reftrace Schedule

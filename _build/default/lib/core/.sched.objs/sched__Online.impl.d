@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Baseline Cost List Ordering Pim Printf Processor_list Reftrace Schedule

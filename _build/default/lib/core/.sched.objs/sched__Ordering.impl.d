@@ -1,0 +1,1 @@
+lib/core/ordering.ml: Fun Int List Reftrace

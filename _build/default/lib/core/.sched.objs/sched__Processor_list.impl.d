@@ -1,0 +1,1 @@
+lib/core/processor_list.ml: Array Cost Fun Int List Pim

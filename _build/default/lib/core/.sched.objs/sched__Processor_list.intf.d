@@ -1,0 +1,1 @@
+lib/core/processor_list.mli: Pim Reftrace

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Gomcds Grouping List Lomcds Ordering Pathgraph Pim Printf Reftrace Schedule

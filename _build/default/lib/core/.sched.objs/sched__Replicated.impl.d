@@ -1,0 +1,1 @@
+lib/core/replicated.ml: Array Gomcds Hashtbl List Ordering Pim Reftrace Schedule

@@ -1,0 +1,1 @@
+lib/core/replicated.mli: Pim Reftrace

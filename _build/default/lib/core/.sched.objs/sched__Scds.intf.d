@@ -1,0 +1,1 @@
+lib/core/scds.mli: Pim Reftrace Schedule

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Cost Format List Pim Printf Reftrace

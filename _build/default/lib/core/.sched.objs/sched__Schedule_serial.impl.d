@@ -1,0 +1,1 @@
+lib/core/schedule_serial.ml: Buffer Fun List Pim Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Baseline Gomcds Grouping Lomcds Printf Refine Reftrace Scds Schedule

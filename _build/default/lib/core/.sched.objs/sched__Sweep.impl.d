@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Bounds Buffer List Pim Printf Reftrace Schedule Scheduler

@@ -1,0 +1,1 @@
+lib/core/viz.ml: Array Buffer List Pim Printf Reftrace Schedule String

@@ -1,0 +1,49 @@
+(** Run-time adaptation from an imposed initial placement (our extension).
+
+    The paper's schedulers choose the initial placement themselves. In
+    practice the initial distribution is often dictated — the data arrive
+    row-wise from the host, or a previous program phase left them somewhere
+    — and only run-time movement can adapt. This module answers "how much
+    of the scheduling gain survives when the start is fixed?": the same
+    per-datum shortest-path DP as GOMCDS, except the pseudo source is the
+    datum's imposed location, so the migration {e into} window 0's center
+    is charged too.
+
+    Staying put is always a feasible path, so the adaptive schedule never
+    costs more than running the imposed placement statically; and it can
+    never beat free-choice GOMCDS. Both facts are property-tested. *)
+
+(** [run ?capacity ~initial mesh trace] computes the adaptive schedule.
+    [initial.(d)] is the imposed rank of datum [d] before execution starts.
+    @raise Invalid_argument if [initial] has the wrong length, contains an
+    invalid rank, or capacity is infeasible. *)
+val run :
+  ?capacity:int ->
+  initial:int array ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  Schedule.t
+
+(** [from_row_wise ?capacity mesh trace] is {!run} seeded with the paper's
+    straight-forward row-wise distribution. *)
+val from_row_wise :
+  ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+
+type recovery = {
+  imposed_static : int;  (** cost of never moving off the imposed placement *)
+  adaptive : int;  (** cost of the adaptive schedule *)
+  free_optimal : int;  (** unconstrained per-datum lower bound *)
+  recovered : float;
+      (** fraction of the (static − optimal) headroom that adaptation
+          recovers, in [0, 1]; [1.] when there is no headroom *)
+}
+
+(** [recovery ?capacity ~initial mesh trace] quantifies how much of the gap
+    between the imposed static placement and the free optimum run-time
+    movement wins back. *)
+val recovery :
+  ?capacity:int ->
+  initial:int array ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  recovery

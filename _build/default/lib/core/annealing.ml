@@ -1,0 +1,109 @@
+type stats = {
+  iterations : int;
+  accepted : int;
+  initial_cost : int;
+  final_cost : int;
+}
+
+(* Private xorshift so the global Random state is untouched. *)
+let make_rng seed =
+  let state = ref (if seed = 0 then 0xBEEF else seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state mod bound
+
+let run ?capacity ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial mesh trace
+    =
+  if iterations < 0 then
+    invalid_arg "Annealing.run: iterations must be non-negative";
+  let space = Reftrace.Trace.space trace in
+  let n_data = Reftrace.Data_space.size space in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  let m = Pim.Mesh.size mesh in
+  let sched =
+    match initial with
+    | Some s ->
+        if Schedule.n_data s <> n_data || Schedule.n_windows s <> n_windows
+        then invalid_arg "Annealing.run: initial schedule shape mismatch";
+        Schedule.copy s
+    | None ->
+        Baseline.schedule (Baseline.row_wise mesh space) mesh trace
+  in
+  (match capacity with
+  | Some c -> (
+      match Schedule.check_capacity sched ~capacity:c with
+      | Some _ ->
+          invalid_arg "Annealing.run: initial schedule violates capacity"
+      | None -> ())
+  | None -> ());
+  let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  let volume = Array.init n_data (Reftrace.Data_space.volume_of space) in
+  let loads = Array.make_matrix n_windows m 0 in
+  for w = 0 to n_windows - 1 do
+    for d = 0 to n_data - 1 do
+      let r = Schedule.center sched ~window:w ~data:d in
+      loads.(w).(r) <- loads.(w).(r) + 1
+    done
+  done;
+  let rng = make_rng seed in
+  let dist = Pim.Mesh.distance mesh in
+  (* weighted delta of relocating datum d in window w from r to r' *)
+  let delta w d r r' =
+    let refs =
+      Cost.reference_cost mesh windows.(w) ~data:d ~center:r'
+      - Cost.reference_cost mesh windows.(w) ~data:d ~center:r
+    in
+    let edge w' =
+      let other = Schedule.center sched ~window:w' ~data:d in
+      dist r' other - dist r other
+    in
+    let moves =
+      (if w > 0 then edge (w - 1) else 0)
+      + if w < n_windows - 1 then edge (w + 1) else 0
+    in
+    volume.(d) * (refs + moves)
+  in
+  let initial_cost = Schedule.total_cost sched trace in
+  let current = ref initial_cost in
+  let accepted = ref 0 in
+  (* geometric cooling from a temperature comparable to typical deltas *)
+  let temp = ref (float_of_int (max 1 (initial_cost / max 1 (n_data * 4)))) in
+  let cooling =
+    if iterations = 0 then 1. else Float.exp (Float.log 0.001 /. float_of_int iterations)
+  in
+  for _ = 1 to iterations do
+    let w = rng n_windows and d = rng n_data and r' = rng m in
+    let r = Schedule.center sched ~window:w ~data:d in
+    let room =
+      match capacity with None -> true | Some c -> loads.(w).(r') < c
+    in
+    if r' <> r && room then begin
+      let dl = delta w d r r' in
+      let accept =
+        dl <= 0
+        ||
+        let u = float_of_int (1 + rng 1_000_000) /. 1_000_000. in
+        u < Float.exp (-.float_of_int dl /. !temp)
+      in
+      if accept then begin
+        Schedule.set_center sched ~window:w ~data:d r';
+        loads.(w).(r) <- loads.(w).(r) - 1;
+        loads.(w).(r') <- loads.(w).(r') + 1;
+        current := !current + dl;
+        incr accepted
+      end
+    end;
+    temp := Float.max 1e-6 (!temp *. cooling)
+  done;
+  assert (!current = Schedule.total_cost sched trace);
+  ( sched,
+    {
+      iterations;
+      accepted = !accepted;
+      initial_cost;
+      final_cost = !current;
+    } )

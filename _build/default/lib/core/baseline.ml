@@ -1,0 +1,70 @@
+let per_array_placement mesh space ~index_of =
+  let p = Pim.Mesh.size mesh in
+  let placement =
+    Array.make (Reftrace.Data_space.size space) 0
+  in
+  List.iter
+    (fun (d : Reftrace.Data_space.array_desc) ->
+      let e = d.rows * d.cols in
+      for r = 0 to d.rows - 1 do
+        for c = 0 to d.cols - 1 do
+          let id =
+            Reftrace.Data_space.id space ~array_name:d.name ~row:r ~col:c
+          in
+          placement.(id) <- index_of ~desc:d ~row:r ~col:c ~elements:e ~p
+        done
+      done)
+    (Reftrace.Data_space.arrays space);
+  placement
+
+let row_wise mesh space =
+  per_array_placement mesh space
+    ~index_of:(fun ~desc ~row ~col ~elements ~p ->
+      let i = (row * desc.cols) + col in
+      i * p / elements)
+
+let column_wise mesh space =
+  per_array_placement mesh space
+    ~index_of:(fun ~desc ~row ~col ~elements ~p ->
+      let i = (col * desc.rows) + row in
+      i * p / elements)
+
+let block_2d mesh space =
+  let rows = Pim.Mesh.rows mesh and cols = Pim.Mesh.cols mesh in
+  per_array_placement mesh space
+    ~index_of:(fun ~desc ~row ~col ~elements:_ ~p:_ ->
+      let grid_row = row * rows / desc.rows in
+      let grid_col = col * cols / desc.cols in
+      let grid_row = min grid_row (rows - 1)
+      and grid_col = min grid_col (cols - 1) in
+      Pim.Mesh.rank_of_coord mesh (Pim.Coord.make ~x:grid_col ~y:grid_row))
+
+let cyclic mesh space =
+  per_array_placement mesh space
+    ~index_of:(fun ~desc ~row ~col ~elements:_ ~p ->
+      ((row * desc.cols) + col) mod p)
+
+(* A private xorshift generator keeps the baseline reproducible without
+   touching the global Random state. *)
+let random ~seed mesh space =
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state
+  in
+  let p = Pim.Mesh.size mesh in
+  Array.init (Reftrace.Data_space.size space) (fun _ -> next () mod p)
+
+let schedule placement mesh trace =
+  Schedule.constant mesh
+    ~n_windows:(Reftrace.Trace.n_windows trace)
+    placement
+
+let max_load mesh placement =
+  let load = Array.make (Pim.Mesh.size mesh) 0 in
+  Array.iter (fun rank -> load.(rank) <- load.(rank) + 1) placement;
+  Array.fold_left max 0 load

@@ -1,0 +1,36 @@
+(** Straight-forward data distributions — the paper's comparison points.
+
+    These place data once, by array geometry alone, ignoring the reference
+    string. The paper's "S.F." column is {!row_wise}; the others are common
+    HPF-style defaults we include for broader comparison. All are static
+    (no movement). Distribution is per array of the data space, so combined
+    benchmarks distribute each matrix independently. *)
+
+(** [row_wise mesh space] deals each array's elements, in row-major order,
+    into [size mesh] equal contiguous chunks: element [i] of an [e]-element
+    array goes to rank [i * p / e]. This is the paper's default
+    distribution. *)
+val row_wise : Pim.Mesh.t -> Reftrace.Data_space.t -> int array
+
+(** [column_wise mesh space] is {!row_wise} with column-major order. *)
+val column_wise : Pim.Mesh.t -> Reftrace.Data_space.t -> int array
+
+(** [block_2d mesh space] tiles each array over the processor grid: element
+    (r, c) of an [rows]×[cols] array goes to the processor at grid position
+    ([r·R/rows], [c·C/cols]). *)
+val block_2d : Pim.Mesh.t -> Reftrace.Data_space.t -> int array
+
+(** [cyclic mesh space] deals elements round-robin: element [i] to rank
+    [i mod p]. *)
+val cyclic : Pim.Mesh.t -> Reftrace.Data_space.t -> int array
+
+(** [random ~seed mesh space] places each element uniformly at random with a
+    private deterministic generator. *)
+val random : seed:int -> Pim.Mesh.t -> Reftrace.Data_space.t -> int array
+
+(** [schedule placement mesh trace] wraps a static placement for [trace]. *)
+val schedule : int array -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+
+(** [max_load mesh placement] is the heaviest processor's datum count —
+    used to confirm the baselines respect the paper's capacity rule. *)
+val max_load : Pim.Mesh.t -> int array -> int

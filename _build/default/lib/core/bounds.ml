@@ -1,0 +1,29 @@
+let lower_bound mesh trace =
+  let space = Reftrace.Trace.space trace in
+  let n = Reftrace.Data_space.size space in
+  let total = ref 0 in
+  for data = 0 to n - 1 do
+    total :=
+      !total
+      + Reftrace.Data_space.volume_of space data
+        * fst (Gomcds.optimal_centers mesh trace ~data)
+  done;
+  !total
+
+let static_lower_bound mesh trace =
+  let merged = Reftrace.Trace.merged trace in
+  let space = Reftrace.Trace.space trace in
+  let n = Reftrace.Data_space.size space in
+  let total = ref 0 in
+  for data = 0 to n - 1 do
+    let v = Cost.cost_vector mesh merged ~data in
+    total :=
+      !total
+      + Reftrace.Data_space.volume_of space data
+        * Array.fold_left min max_int v
+  done;
+  !total
+
+let gap ~bound ~cost =
+  if bound = 0 then 0.
+  else float_of_int (cost - bound) /. float_of_int bound *. 100.

@@ -1,0 +1,20 @@
+(** Lower bounds on total communication cost.
+
+    With unbounded memory the data are independent, so the sum of per-datum
+    shortest-path optima (GOMCDS's DP) is a true lower bound on {e any}
+    schedule of the instance — capacity-constrained or not. Benches report
+    each scheduler's gap to this bound, which turns "A beats B" comparisons
+    into absolute statements about remaining headroom. *)
+
+(** [lower_bound mesh trace] is Σ over data of the unconstrained optimal
+    per-datum cost. Memoize the call if used repeatedly: it runs one DP per
+    datum. *)
+val lower_bound : Pim.Mesh.t -> Reftrace.Trace.t -> int
+
+(** [static_lower_bound mesh trace] is the same bound restricted to
+    movement-free schedules — the best cost SCDS could possibly achieve. *)
+val static_lower_bound : Pim.Mesh.t -> Reftrace.Trace.t -> int
+
+(** [gap ~bound ~cost] is [(cost - bound) / bound * 100.]; [0.] when the
+    bound is zero. *)
+val gap : bound:int -> cost:int -> float

@@ -1,0 +1,52 @@
+let pow base exp =
+  let rec go acc = function 0 -> acc | e -> go (acc * base) (e - 1) in
+  go 1 exp
+
+let optimal_cost mesh trace ~data =
+  let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  let n = Array.length windows in
+  let m = Pim.Mesh.size mesh in
+  if pow m n > 10_000_000 then
+    invalid_arg "Brute_force.optimal_cost: instance too large";
+  let vectors = Array.map (fun w -> Cost.cost_vector mesh w ~data) windows in
+  let best_cost = ref max_int in
+  let best_seq = ref [||] in
+  let seq = Array.make n 0 in
+  let rec explore w acc =
+    if acc >= !best_cost then () (* prune: costs only grow *)
+    else if w = n then begin
+      best_cost := acc;
+      best_seq := Array.copy seq
+    end
+    else
+      for rank = 0 to m - 1 do
+        seq.(w) <- rank;
+        let move =
+          if w = 0 then 0 else Pim.Mesh.distance mesh seq.(w - 1) rank
+        in
+        explore (w + 1) (acc + move + vectors.(w).(rank))
+      done
+  in
+  explore 0 0;
+  (!best_cost, !best_seq)
+
+let optimal_static_cost mesh trace ~data =
+  let merged = Reftrace.Trace.merged trace in
+  let v = Cost.cost_vector mesh merged ~data in
+  let best = ref 0 in
+  for rank = 1 to Array.length v - 1 do
+    if v.(rank) < v.(!best) then best := rank
+  done;
+  (v.(!best), !best)
+
+let total_optimal_cost mesh trace =
+  let space = Reftrace.Trace.space trace in
+  let n = Reftrace.Data_space.size space in
+  let total = ref 0 in
+  for data = 0 to n - 1 do
+    total :=
+      !total
+      + Reftrace.Data_space.volume_of space data
+        * fst (optimal_cost mesh trace ~data)
+  done;
+  !total

@@ -1,0 +1,35 @@
+(** The paper's communication cost model.
+
+    The cost of a processor's reference to a datum stored at [center] is the
+    x-y routing distance between them; the total communication cost of a
+    datum in a window is Σ count(p) · dist(center, p) over the window's
+    processor reference string. Moving a datum between two consecutive
+    windows' centers costs their distance (unit data volume — the paper
+    keeps one copy of each datum and charges one time unit per hop). *)
+
+(** [reference_cost mesh window ~data ~center] is the total cost of serving
+    every reference to [data] in [window] from [center]. *)
+val reference_cost :
+  Pim.Mesh.t -> Reftrace.Window.t -> data:int -> center:int -> int
+
+(** [cost_vector mesh window ~data] tabulates {!reference_cost} for every
+    candidate center; index = processor rank. *)
+val cost_vector : Pim.Mesh.t -> Reftrace.Window.t -> data:int -> int array
+
+(** [local_optimal_center mesh window ~data] is the paper's Definition 4:
+    the minimum-cost center for [data] in [window] (smallest rank on ties,
+    for determinism). For a datum with no references every processor costs 0
+    and rank 0 is returned. *)
+val local_optimal_center :
+  Pim.Mesh.t -> Reftrace.Window.t -> data:int -> int
+
+(** [movement_cost mesh ~from_ ~to_] is the cost of migrating one datum. *)
+val movement_cost : Pim.Mesh.t -> from_:int -> to_:int -> int
+
+(** [path_cost mesh window_profiles centers] is the full per-datum schedule
+    cost: reference cost of each window (paired with its center) plus
+    movement between consecutive centers. [window_profiles] and [centers]
+    must have equal length. Used by grouping and the brute-force optimum.
+    @raise Invalid_argument on length mismatch or empty input. *)
+val path_cost :
+  Pim.Mesh.t -> (Reftrace.Window.t * int) list -> data:int -> int

@@ -1,0 +1,61 @@
+let mesh = Pim.Mesh.square 4
+let data = 0
+
+(* Reference counts per window, as (x, y, count) triples. The hot region
+   sits around (1,0) in windows 0 and 2, feints towards (1,3) in window 1,
+   and settles near (1,1) in window 3 — the drift pattern of Figure 1. *)
+let window_specs =
+  [
+    [ (1, 0, 4); (0, 0, 2); (2, 1, 1) ];
+    [ (1, 3, 2); (1, 0, 1) ];
+    [ (1, 0, 4); (0, 1, 1) ];
+    [ (1, 1, 3); (2, 1, 2) ];
+  ]
+
+let trace =
+  let space = Reftrace.Data_space.matrix "D" 1 in
+  let windows =
+    List.map
+      (fun spec ->
+        let w = Reftrace.Window.create ~n_data:1 in
+        List.iter
+          (fun (x, y, count) ->
+            let proc = Pim.Mesh.rank_of_coord mesh (Pim.Coord.make ~x ~y) in
+            Reftrace.Window.add w ~data ~proc ~count)
+          spec;
+        w)
+      window_specs
+  in
+  Reftrace.Trace.create space windows
+
+type outcome = {
+  algorithm : string;
+  centers : Pim.Coord.t array;
+  reference : int;
+  movement : int;
+  total : int;
+}
+
+let outcome_of_schedule name schedule =
+  let breakdown = Schedule.cost schedule trace in
+  {
+    algorithm = name;
+    centers =
+      Array.map
+        (Pim.Mesh.coord_of_rank mesh)
+        (Schedule.centers_of_data schedule ~data);
+    reference = breakdown.Schedule.reference;
+    movement = breakdown.Schedule.movement;
+    total = breakdown.Schedule.total;
+  }
+
+let scds () = outcome_of_schedule "SCDS" (Scds.run mesh trace)
+let lomcds () = outcome_of_schedule "LOMCDS" (Lomcds.run mesh trace)
+let gomcds () = outcome_of_schedule "GOMCDS" (Gomcds.run mesh trace)
+let all () = [ scds (); lomcds (); gomcds () ]
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-7s centers:" o.algorithm;
+  Array.iter (fun c -> Format.fprintf fmt " %a" Pim.Coord.pp c) o.centers;
+  Format.fprintf fmt "  cost = %d (ref %d + move %d)" o.total o.reference
+    o.movement

@@ -1,0 +1,36 @@
+(** The paper's Section 3.3 worked example, rebuilt.
+
+    Figure 1 of the paper shows one datum [D] on a 4×4 array over four
+    execution windows whose hot region drifts; SCDS pins D at one processor,
+    LOMCDS chases each window's local optimum, and GOMCDS finds the cheaper
+    middle course. The OCR of the paper loses the numeric reference counts,
+    so this module rebuilds an example with the same qualitative structure
+    (see DESIGN.md §4) and exposes the three center sequences and costs. *)
+
+(** The 4×4 mesh of the example. *)
+val mesh : Pim.Mesh.t
+
+(** The single-datum, four-window trace. *)
+val trace : Reftrace.Trace.t
+
+(** Id of the datum [D]. *)
+val data : int
+
+type outcome = {
+  algorithm : string;
+  centers : Pim.Coord.t array;  (** per-window location of [D] *)
+  reference : int;
+  movement : int;
+  total : int;
+}
+
+(** [scds ()], [lomcds ()], [gomcds ()] — the three schedules of §3.3. *)
+val scds : unit -> outcome
+
+val lomcds : unit -> outcome
+val gomcds : unit -> outcome
+
+(** [all ()] is the three outcomes in the paper's order. *)
+val all : unit -> outcome list
+
+val pp_outcome : Format.formatter -> outcome -> unit

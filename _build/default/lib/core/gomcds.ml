@@ -1,0 +1,62 @@
+let problem mesh trace ~data =
+  let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  let vectors =
+    Array.map (fun w -> Cost.cost_vector mesh w ~data) windows
+  in
+  {
+    Pathgraph.Layered.n_layers = Array.length windows;
+    width = Pim.Mesh.size mesh;
+    enter_cost = (fun j -> vectors.(0).(j));
+    step_cost =
+      (fun ~layer j k -> Pim.Mesh.distance mesh j k + vectors.(layer).(k));
+  }
+
+let cost_problem = problem
+
+let optimal_centers mesh trace ~data =
+  Pathgraph.Layered.solve (problem mesh trace ~data)
+
+let cost_graph mesh trace ~data =
+  Pathgraph.Layered.to_digraph (problem mesh trace ~data)
+
+let run ?capacity mesh trace =
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  let schedule = Schedule.create mesh ~n_windows ~n_data in
+  let memories =
+    match capacity with
+    | None -> None
+    | Some c ->
+        if c * Pim.Mesh.size mesh < n_data then
+          invalid_arg
+            (Printf.sprintf
+               "Gomcds.run: %d data cannot fit in %d processors of capacity \
+                %d"
+               n_data (Pim.Mesh.size mesh) c);
+        Some (Array.init n_windows (fun _ -> Pim.Memory.create mesh ~capacity:c))
+  in
+  List.iter
+    (fun data ->
+      let p = problem mesh trace ~data in
+      let centers =
+        match memories with
+        | None -> snd (Pathgraph.Layered.solve p)
+        | Some mems ->
+            let allowed ~layer j = not (Pim.Memory.is_full mems.(layer) j) in
+            (* Placing data one at a time into capacity c with
+               n_data <= c * processors means every layer always retains a
+               free slot, so a feasible path exists. *)
+            let result = Pathgraph.Layered.solve_filtered p ~allowed in
+            let _, centers = Option.get result in
+            Array.iteri
+              (fun layer rank ->
+                let ok = Pim.Memory.allocate mems.(layer) rank in
+                assert ok)
+              centers;
+            centers
+      in
+      Array.iteri
+        (fun w rank -> Schedule.set_center schedule ~window:w ~data rank)
+        centers)
+    (Ordering.by_total_references trace);
+  schedule

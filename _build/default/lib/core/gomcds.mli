@@ -1,0 +1,39 @@
+(** Global-Optimal Multiple-Center Data Scheduling (paper Algorithm 2).
+
+    For each datum a layered cost-graph is built: node (i, j) is "the datum
+    sits at processor j during window i"; entering a node costs that
+    window's reference cost from j, and the edge from (i, j) to (i+1, k)
+    additionally costs the j→k migration. The shortest source→sink path
+    gives the provably cheapest center sequence for the datum — with
+    unbounded memory, GOMCDS is optimal per datum (the test suite checks it
+    against brute-force enumeration and the LOMCDS/SCDS upper bounds).
+
+    With bounded memory, data are scheduled heaviest-first and each datum's
+    shortest path is restricted to (window, processor) nodes with free
+    slots, the precise form of the paper's processor-list remark. *)
+
+(** [run ?capacity mesh trace] computes the GOMCDS schedule.
+    @raise Invalid_argument if capacity is infeasible. *)
+val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+
+(** [optimal_centers mesh trace ~data] is the unconstrained per-window
+    center sequence and its total (reference + movement) cost for one
+    datum. *)
+val optimal_centers :
+  Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> int * int array
+
+(** [cost_problem mesh trace ~data] is the layered shortest-path problem for
+    one datum (reference cost on nodes, migration on edges) — the object
+    both {!run} and {!Refine} solve. *)
+val cost_problem :
+  Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> Pathgraph.Layered.problem
+
+(** [cost_graph mesh trace ~data] materializes the paper's cost-graph as an
+    explicit DAG and returns [(graph, source, sink, node_id)]; exposed so
+    tests can cross-check the DP against {!Pathgraph.Shortest_path} on the
+    explicit graph. *)
+val cost_graph :
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  data:int ->
+  Pathgraph.Digraph.t * int * int * (layer:int -> int -> int)

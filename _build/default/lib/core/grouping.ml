@@ -1,0 +1,308 @@
+type center_policy = [ `Local | `Global ]
+type group = { first : int; last : int; center : int }
+
+let argmin v =
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) < v.(!best) then best := i
+  done;
+  !best
+
+let sum_into acc v = Array.iteri (fun i x -> acc.(i) <- acc.(i) + x) v
+
+(* Greedy partition of the referenced-window subsequence, following
+   Algorithm 3: keep extending the current group while the total cost of the
+   whole partition does not increase. Costs are evaluated with local-optimal
+   centers, exploiting linearity of the cost vectors.
+
+   Returns the partition as index ranges into [ws] plus the summed cost
+   vector of each group. *)
+let greedy_ranges mesh ~vectors ~n =
+  let dist = Pim.Mesh.distance mesh in
+  let centers = Array.map argmin vectors in
+  let refcosts = Array.mapi (fun i v -> v.(centers.(i))) vectors in
+  (* tail.(i) = cost of running windows i..n-1 as singletons, excluding the
+     link into window i. *)
+  let tail = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    let link = if i + 1 < n then dist centers.(i) centers.(i + 1) else 0 in
+    tail.(i) <- refcosts.(i) + link + tail.(i + 1)
+  done;
+  let m = Array.length vectors.(0) in
+  let finalized = ref [] in
+  let fin_cost = ref 0 in
+  let last_center = ref None in
+  let link_from_last c =
+    match !last_center with None -> 0 | Some p -> dist p c
+  in
+  let start = ref 0 in
+  let sumvec = ref (Array.copy vectors.(0)) in
+  let finalize stop =
+    let c = argmin !sumvec in
+    fin_cost := !fin_cost + link_from_last c + !sumvec.(c);
+    last_center := Some c;
+    finalized := (!start, stop, Array.copy !sumvec, c) :: !finalized
+  in
+  for j = 1 to n - 1 do
+    let cur_center = argmin !sumvec in
+    let cur_ref = !sumvec.(cur_center) in
+    let prev_total =
+      !fin_cost + link_from_last cur_center + cur_ref
+      + dist cur_center centers.(j)
+      + tail.(j)
+    in
+    let candidate = Array.make m 0 in
+    Array.blit !sumvec 0 candidate 0 m;
+    sum_into candidate vectors.(j);
+    let cand_center = argmin candidate in
+    let next_link =
+      if j + 1 < n then dist cand_center centers.(j + 1) + tail.(j + 1)
+      else 0
+    in
+    let new_total =
+      !fin_cost + link_from_last cand_center + candidate.(cand_center)
+      + next_link
+    in
+    if new_total <= prev_total then sumvec := candidate
+    else begin
+      finalize (j - 1);
+      start := j;
+      sumvec := Array.copy vectors.(j)
+    end
+  done;
+  finalize (n - 1);
+  List.rev !finalized
+
+(* Re-optimize group centers with the shortest-path DP (GOMCDS over merged
+   windows). *)
+let refine_centers mesh groups =
+  match groups with
+  | [] -> []
+  | _ ->
+      let vecs = Array.of_list (List.map (fun (_, _, v, _) -> v) groups) in
+      let problem =
+        {
+          Pathgraph.Layered.n_layers = Array.length vecs;
+          width = Array.length vecs.(0);
+          enter_cost = (fun j -> vecs.(0).(j));
+          step_cost =
+            (fun ~layer j k ->
+              Pim.Mesh.distance mesh j k + vecs.(layer).(k));
+        }
+      in
+      let _, centers = Pathgraph.Layered.solve problem in
+      List.mapi
+        (fun i (lo, hi, v, _) -> (lo, hi, v, centers.(i)))
+        groups
+
+let partition mesh trace ~data ~centers =
+  let ws =
+    Reftrace.Trace.windows trace
+    |> List.mapi (fun i w -> (i, w))
+    |> List.filter (fun (_, w) -> Reftrace.Window.references w data > 0)
+  in
+  match ws with
+  | [] -> []
+  | _ ->
+      let indices = Array.of_list (List.map fst ws) in
+      let vectors =
+        Array.of_list
+          (List.map (fun (_, w) -> Cost.cost_vector mesh w ~data) ws)
+      in
+      let ranges = greedy_ranges mesh ~vectors ~n:(Array.length vectors) in
+      let ranges =
+        match centers with
+        | `Local -> ranges
+        | `Global -> refine_centers mesh ranges
+      in
+      List.map
+        (fun (lo, hi, _, center) ->
+          { first = indices.(lo); last = indices.(hi); center })
+        ranges
+
+(* Exact DP over all (partition, centers) choices for one datum.
+   dp.(i).(c) = cheapest cost of covering referenced windows 0..i with the
+   last group ending at i and centered at c. Prefix-summed cost vectors make
+   any group's vector O(m) to read off. *)
+let optimal_ranges mesh ~vectors ~n =
+  let m = Array.length vectors.(0) in
+  let dist = Array.init m (fun a -> Array.init m (Pim.Mesh.distance mesh a)) in
+  let prefix = Array.make_matrix (n + 1) m 0 in
+  for i = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      prefix.(i + 1).(c) <- prefix.(i).(c) + vectors.(i).(c)
+    done
+  done;
+  let group_ref j i c = prefix.(i + 1).(c) - prefix.(j).(c) in
+  let inf = max_int / 2 in
+  let dp = Array.make_matrix n m inf in
+  let parent = Array.make_matrix n m (-1) in
+  (* best_in.(j).(c) = min over c' of dp.(j).(c') + dist c' c *)
+  let best_in = Array.make_matrix n m inf in
+  for i = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      (* last group = (j..i) for some j *)
+      for j = 0 to i do
+        let base =
+          if j = 0 then 0
+          else best_in.(j - 1).(c)
+        in
+        if base < inf then begin
+          let cost = base + group_ref j i c in
+          if cost < dp.(i).(c) then begin
+            dp.(i).(c) <- cost;
+            parent.(i).(c) <- j
+          end
+        end
+      done
+    done;
+    for c = 0 to m - 1 do
+      let best = ref inf in
+      for c' = 0 to m - 1 do
+        if dp.(i).(c') < inf then
+          best := min !best (dp.(i).(c') + dist.(c').(c))
+      done;
+      best_in.(i).(c) <- !best
+    done
+  done;
+  (* reconstruction: the feeding center of a group starting at [j] with
+     center [c] is the argmin the best_in minimization used — recomputed
+     with the same deterministic iteration order *)
+  let feeding j c =
+    let best = ref inf and arg = ref (-1) in
+    for c' = 0 to m - 1 do
+      if dp.(j).(c') < inf then begin
+        let v = dp.(j).(c') + dist.(c').(c) in
+        if v < !best then begin
+          best := v;
+          arg := c'
+        end
+      end
+    done;
+    !arg
+  in
+  let final_center = ref 0 in
+  for c = 1 to m - 1 do
+    if dp.(n - 1).(c) < dp.(n - 1).(!final_center) then final_center := c
+  done;
+  let rec rebuild i c acc =
+    let j = parent.(i).(c) in
+    let group = (j, i, [||], c) in
+    if j = 0 then group :: acc
+    else
+      let c' = feeding (j - 1) c in
+      rebuild (j - 1) c' (group :: acc)
+  in
+  (dp.(n - 1).(!final_center), rebuild (n - 1) !final_center [])
+
+let optimal_partition mesh trace ~data =
+  let ws =
+    Reftrace.Trace.windows trace
+    |> List.mapi (fun i w -> (i, w))
+    |> List.filter (fun (_, w) -> Reftrace.Window.references w data > 0)
+  in
+  match ws with
+  | [] -> []
+  | _ ->
+      let indices = Array.of_list (List.map fst ws) in
+      let vectors =
+        Array.of_list
+          (List.map (fun (_, w) -> Cost.cost_vector mesh w ~data) ws)
+      in
+      let _, ranges = optimal_ranges mesh ~vectors ~n:(Array.length vectors) in
+      List.map
+        (fun (lo, hi, _, center) ->
+          { first = indices.(lo); last = indices.(hi); center })
+        ranges
+
+(* Desired (capacity-oblivious) trajectory: before the first group the datum
+   already sits at that group's center (initial placement is free); inside a
+   group and in the gap after it the datum stays at the group's center. *)
+let desired_trajectory ~n_windows groups =
+  match groups with
+  | [] -> None
+  | { center = c0; _ } :: _ ->
+      (* Each group claims the suffix starting at its first window; later
+         groups overwrite, so the datum stays at a group's center through
+         the gap that follows it. *)
+      let traj = Array.make n_windows c0 in
+      List.iter
+        (fun { first; center; _ } ->
+          for w = first to n_windows - 1 do
+            traj.(w) <- center
+          done)
+        groups;
+      Some traj
+
+let ranks_by_distance mesh ~target =
+  let size = Pim.Mesh.size mesh in
+  List.init size Fun.id
+  |> List.sort (fun a b ->
+         let c =
+           Int.compare
+             (Pim.Mesh.distance mesh target a)
+             (Pim.Mesh.distance mesh target b)
+         in
+         if c <> 0 then c else Int.compare a b)
+
+let run_with_partitions ?capacity mesh trace ~partition_of =
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  let desired =
+    Array.init n_data (fun data ->
+        match desired_trajectory ~n_windows (partition_of ~data) with
+        | Some traj -> traj
+        | None -> Array.make n_windows 0)
+  in
+  let schedule = Schedule.create mesh ~n_windows ~n_data in
+  match capacity with
+  | None ->
+      Array.iteri
+        (fun data traj ->
+          Array.iteri
+            (fun w rank -> Schedule.set_center schedule ~window:w ~data rank)
+            traj)
+        desired;
+      schedule
+  | Some c ->
+      if c * Pim.Mesh.size mesh < n_data then
+        invalid_arg
+          (Printf.sprintf
+             "Grouping.run: %d data cannot fit in %d processors of capacity \
+              %d"
+             n_data (Pim.Mesh.size mesh) c);
+      (* Per-window repair: place each datum as close as possible to its
+         desired center, heavier data first. *)
+      let current = Array.make n_data (-1) in
+      List.iteri
+        (fun w window ->
+          let memory = Pim.Memory.create mesh ~capacity:c in
+          let order =
+            List.init n_data Fun.id
+            |> List.sort (fun a b ->
+                   let r d = Reftrace.Window.references window d in
+                   let cmp = Int.compare (r b) (r a) in
+                   if cmp <> 0 then cmp else Int.compare a b)
+          in
+          List.iter
+            (fun data ->
+              let target = desired.(data).(w) in
+              let rank =
+                Processor_list.assign memory (ranks_by_distance mesh ~target)
+              in
+              current.(data) <- rank)
+            order;
+          Array.iteri
+            (fun data rank ->
+              Schedule.set_center schedule ~window:w ~data rank)
+            current)
+        (Reftrace.Trace.windows trace);
+      schedule
+
+let run ?capacity ?(centers = `Local) mesh trace =
+  run_with_partitions ?capacity mesh trace
+    ~partition_of:(fun ~data -> partition mesh trace ~data ~centers)
+
+let optimal_run ?capacity mesh trace =
+  run_with_partitions ?capacity mesh trace
+    ~partition_of:(fun ~data -> optimal_partition mesh trace ~data)

@@ -1,0 +1,71 @@
+(** Execution-window grouping (paper Algorithm 3).
+
+    Per datum, consecutive execution windows are greedily merged into larger
+    windows as long as the total communication cost (reference + movement)
+    does not increase; the datum then sits at the merged window's center for
+    the group's whole span. Grouping is computed over the subsequence of
+    windows that actually reference the datum — windows that don't cannot
+    change its cost and never force movement.
+
+    Reference cost is linear in reference profiles, so a group's cost vector
+    is the sum of its members' cost vectors; each greedy extension is O(m).
+
+    Two center policies:
+    - [`Local] — the merged window's local optimal center (the paper's
+      Table 2 configuration, "Algorithm 3 assuming using LOMCDS to compute
+      centers");
+    - [`Global] — after the partition is fixed, centers are re-optimized by
+      the GOMCDS shortest-path DP over the merged windows (our extension,
+      benchmarked as an ablation). *)
+
+type center_policy = [ `Local | `Global ]
+
+type group = {
+  first : int;  (** first original window index of the group *)
+  last : int;  (** last original window index (inclusive) *)
+  center : int;  (** processor holding the datum for the group's span *)
+}
+
+(** [partition mesh trace ~data ~centers] runs the greedy Algorithm 3 for
+    one datum and returns its groups in execution order; the empty list when
+    the datum is never referenced. *)
+val partition :
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  data:int ->
+  centers:center_policy ->
+  group list
+
+(** [run ?capacity ?centers mesh trace] builds the full schedule; groups are
+    computed per datum, gaps keep data in place, and bounded memory is
+    repaired by a per-window processor-list pass that keeps each datum as
+    close to its desired center as possible. [centers] defaults to
+    [`Local]. *)
+val run :
+  ?capacity:int ->
+  ?centers:center_policy ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  Schedule.t
+
+(** [optimal_partition mesh trace ~data] replaces the paper's greedy with an
+    exact dynamic program: over all ways to cut the datum's referenced
+    windows into consecutive groups {e and} all choices of one center per
+    group, it minimizes Σ group reference cost + movement between
+    consecutive group centers. State = (windows covered, last group's
+    center); O(w² · m²) per datum thanks to the linearity of cost vectors.
+    The paper remarks that "exhaustively finding all possible choices of
+    grouping may be costly" — this shows polynomial suffices. It also makes
+    a structural fact testable: a group of [k] windows at center [c] is the
+    same trajectory as staying at [c] for [k] windows, so optimal grouping
+    attains {e exactly} the per-datum GOMCDS optimum (the all-singleton
+    partition with free centers is in its search space, and no partition
+    can beat a free trajectory). Grouping's practical value is therefore as
+    a cheap repair of LOMCDS's center-chasing — which is how the paper's
+    Table 2 uses it. Returns groups like {!partition}. *)
+val optimal_partition :
+  Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> group list
+
+(** [optimal_run ?capacity mesh trace] builds the schedule from
+    {!optimal_partition} for every datum (capacity handled like {!run}). *)
+val optimal_run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t

@@ -1,0 +1,23 @@
+(** Local-Optimal Multiple-Center Data Scheduling (paper §3.2.1).
+
+    Each datum is placed, window by window, at that window's local optimal
+    center (Algorithm 1 applied per window); the datum migrates between
+    windows. Movement cost is {e not} considered when choosing centers —
+    that is precisely the weakness GOMCDS fixes — but is of course charged
+    in the resulting schedule's cost.
+
+    Windows in which a datum is not referenced leave it where it was. A
+    datum's initial placement is the local optimal center of the first
+    window that references it (placing it there from the start is free,
+    since initial distribution is not charged to any method). *)
+
+(** [run ?capacity mesh trace] computes the LOMCDS schedule; with bounded
+    memory the processor-list fallback applies per window, heavier data
+    first. @raise Invalid_argument if capacity is infeasible. *)
+val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+
+(** [local_centers mesh trace ~data] is, per window, [Some rank] (the
+    unconstrained local optimal center) when the datum is referenced and
+    [None] otherwise. Exposed for the worked example and tests. *)
+val local_centers :
+  Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> int option array

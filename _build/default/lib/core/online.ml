@@ -1,0 +1,85 @@
+let run ?capacity ?(theta = 2.) ?initial mesh trace =
+  if theta <= 0. then invalid_arg "Online.run: theta must be positive";
+  let space = Reftrace.Trace.space trace in
+  let n_data = Reftrace.Data_space.size space in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  let initial =
+    match initial with
+    | Some p ->
+        if Array.length p <> n_data then
+          invalid_arg "Online.run: initial placement has the wrong length";
+        Array.iteri
+          (fun d rank ->
+            if rank < 0 || rank >= Pim.Mesh.size mesh then
+              invalid_arg
+                (Printf.sprintf "Online.run: datum %d at invalid rank %d" d
+                   rank))
+          p;
+        Array.copy p
+    | None -> Baseline.row_wise mesh space
+  in
+  (match capacity with
+  | Some c ->
+      if c * Pim.Mesh.size mesh < n_data then
+        invalid_arg
+          (Printf.sprintf
+             "Online.run: %d data cannot fit in %d processors of capacity %d"
+             n_data (Pim.Mesh.size mesh) c);
+      (* the imposed layout itself must fit *)
+      let load = Array.make (Pim.Mesh.size mesh) 0 in
+      Array.iter (fun r -> load.(r) <- load.(r) + 1) initial;
+      Array.iteri
+        (fun rank l ->
+          if l > c then
+            invalid_arg
+              (Printf.sprintf
+                 "Online.run: initial placement packs %d > %d data at rank %d"
+                 l c rank))
+        load
+  | None -> ());
+  let schedule = Schedule.create mesh ~n_windows ~n_data in
+  let current = Array.copy initial in
+  List.iteri
+    (fun w window ->
+      if w > 0 then begin
+        (* one fresh memory per window, pre-filled with the carried data *)
+        let memory =
+          match capacity with
+          | None -> Pim.Memory.unbounded mesh
+          | Some c -> Pim.Memory.create mesh ~capacity:c
+        in
+        Array.iter
+          (fun rank ->
+            let ok = Pim.Memory.allocate memory rank in
+            assert ok)
+          current;
+        List.iter
+          (fun data ->
+            let here = current.(data) in
+            let stay = Cost.reference_cost mesh window ~data ~center:here in
+            Pim.Memory.release memory here;
+            let candidates = Processor_list.for_data mesh window ~data in
+            let best =
+              match Processor_list.first_available memory candidates with
+              | Some rank -> rank
+              | None -> here
+            in
+            let go = Cost.reference_cost mesh window ~data ~center:best in
+            let move = Pim.Mesh.distance mesh here best in
+            let chosen =
+              if
+                best <> here
+                && float_of_int (stay - go) *. theta > float_of_int move
+              then best
+              else here
+            in
+            let ok = Pim.Memory.allocate memory chosen in
+            assert ok;
+            current.(data) <- chosen)
+          (Ordering.by_window_references window)
+      end;
+      Array.iteri
+        (fun data rank -> Schedule.set_center schedule ~window:w ~data rank)
+        current)
+    (Reftrace.Trace.windows trace);
+  schedule

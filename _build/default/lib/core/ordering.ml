@@ -1,0 +1,19 @@
+let sort_desc weights ids =
+  List.sort
+    (fun a b ->
+      let c = Int.compare (weights b) (weights a) in
+      if c <> 0 then c else Int.compare a b)
+    ids
+
+let by_window_references window =
+  Reftrace.Window.referenced_data window
+  |> sort_desc (fun d -> Reftrace.Window.references window d)
+
+let by_total_references trace =
+  let merged = Reftrace.Trace.merged trace in
+  let space = Reftrace.Trace.space trace in
+  let n = Reftrace.Data_space.size space in
+  List.init n Fun.id
+  |> sort_desc (fun d ->
+         Reftrace.Data_space.volume_of space d
+         * Reftrace.Window.references merged d)

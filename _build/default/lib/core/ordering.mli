@@ -1,0 +1,17 @@
+(** Deterministic data-scheduling orders.
+
+    When memory is bounded, the order in which data are assigned to
+    processors matters. The paper does not pin an order down; we schedule
+    heavier data first (descending reference volume) so the data that care
+    most about their center get first pick, breaking ties on ascending id
+    for reproducibility. *)
+
+(** [by_window_references window] orders referenced data of [window] by
+    descending reference count, then ascending id; unreferenced data are
+    omitted. *)
+val by_window_references : Reftrace.Window.t -> int list
+
+(** [by_total_references trace] orders {e all} data ids (including
+    unreferenced ones, which come last) by descending whole-trace reference
+    volume, then ascending id. *)
+val by_total_references : Reftrace.Trace.t -> int list

@@ -1,0 +1,21 @@
+let of_cost_vector v =
+  let ranks = List.init (Array.length v) Fun.id in
+  List.sort
+    (fun a b ->
+      let c = Int.compare v.(a) v.(b) in
+      if c <> 0 then c else Int.compare a b)
+    ranks
+
+let for_data mesh window ~data =
+  of_cost_vector (Cost.cost_vector mesh window ~data)
+
+let first_available memory list =
+  List.find_opt (fun rank -> not (Pim.Memory.is_full memory rank)) list
+
+let assign memory list =
+  match first_available memory list with
+  | Some rank ->
+      let ok = Pim.Memory.allocate memory rank in
+      assert ok;
+      rank
+  | None -> failwith "Processor_list.assign: all candidate processors full"

@@ -1,0 +1,102 @@
+type stats = { sweeps : int; improved : int; saved : int }
+
+let trajectory_cost (p : Pathgraph.Layered.problem) traj =
+  let cost = ref (p.enter_cost traj.(0)) in
+  for layer = 1 to p.n_layers - 1 do
+    cost := !cost + p.step_cost ~layer traj.(layer - 1) traj.(layer)
+  done;
+  !cost
+
+let run ?capacity ?(max_sweeps = 8) mesh trace schedule =
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  if
+    Schedule.n_data schedule <> n_data
+    || Schedule.n_windows schedule <> n_windows
+  then invalid_arg "Refine.run: schedule and trace shapes disagree";
+  (match capacity with
+  | Some c -> (
+      match Schedule.check_capacity schedule ~capacity:c with
+      | Some (w, rank, load) ->
+          invalid_arg
+            (Printf.sprintf
+               "Refine.run: input schedule already violates capacity \
+                (window %d, rank %d, load %d > %d)"
+               w rank load c)
+      | None -> ())
+  | None -> ());
+  let sched = Schedule.copy schedule in
+  let m = Pim.Mesh.size mesh in
+  let loads = Array.make_matrix n_windows m 0 in
+  for w = 0 to n_windows - 1 do
+    for d = 0 to n_data - 1 do
+      let r = Schedule.center sched ~window:w ~data:d in
+      loads.(w).(r) <- loads.(w).(r) + 1
+    done
+  done;
+  let allowed =
+    match capacity with
+    | None -> fun ~layer:_ _ -> true
+    | Some c -> fun ~layer j -> loads.(layer).(j) < c
+  in
+  let sweeps = ref 0 and improved = ref 0 and saved = ref 0 in
+  let space = Reftrace.Trace.space trace in
+  let order = Ordering.by_total_references trace in
+  let progress = ref true in
+  while !progress && !sweeps < max_sweeps do
+    incr sweeps;
+    progress := false;
+    List.iter
+      (fun data ->
+        let problem = Gomcds.cost_problem mesh trace ~data in
+        let traj = Schedule.centers_of_data sched ~data in
+        Array.iteri
+          (fun w r -> loads.(w).(r) <- loads.(w).(r) - 1)
+          traj;
+        let current = trajectory_cost problem traj in
+        let adopted =
+          match Pathgraph.Layered.solve_filtered problem ~allowed with
+          | Some (cost, centers) when cost < current ->
+              Array.iteri
+                (fun w rank ->
+                  Schedule.set_center sched ~window:w ~data rank;
+                  loads.(w).(rank) <- loads.(w).(rank) + 1)
+                centers;
+              saved :=
+                !saved
+                + (Reftrace.Data_space.volume_of space data
+                  * (current - cost));
+              incr improved;
+              progress := true;
+              true
+          | Some _ | None -> false
+        in
+        if not adopted then
+          Array.iteri (fun w r -> loads.(w).(r) <- loads.(w).(r) + 1) traj)
+      order
+  done;
+  (sched, { sweeps = !sweeps; improved = !improved; saved = !saved })
+
+let gomcds_refined ?capacity mesh trace =
+  let base = Gomcds.run ?capacity mesh trace in
+  fst (run ?capacity mesh trace base)
+
+let best ?capacity mesh trace =
+  let seeds =
+    [
+      Gomcds.run ?capacity mesh trace;
+      Lomcds.run ?capacity mesh trace;
+      Grouping.run ?capacity ~centers:`Local mesh trace;
+      Grouping.run ?capacity ~centers:`Global mesh trace;
+    ]
+  in
+  let refined = List.map (fun s -> fst (run ?capacity mesh trace s)) seeds in
+  match refined with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun acc s ->
+          if Schedule.total_cost s trace < Schedule.total_cost acc trace then
+            s
+          else acc)
+        first rest

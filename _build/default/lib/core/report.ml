@@ -1,0 +1,78 @@
+type entry = { cost : int; improvement : float }
+
+type row = {
+  benchmark : string;
+  size : string;
+  baseline : int;
+  entries : entry list;
+}
+
+let entry ~baseline cost =
+  { cost; improvement = Scheduler.improvement ~baseline ~cost }
+
+let average_improvements rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+      let n_cols = List.length first.entries in
+      let sums = Array.make n_cols 0. in
+      List.iter
+        (fun r ->
+          List.iteri
+            (fun i e -> sums.(i) <- sums.(i) +. e.improvement)
+            r.entries)
+        rows;
+      let n = float_of_int (List.length rows) in
+      Array.to_list (Array.map (fun s -> s /. n) sums)
+
+let render ~title ~columns rows =
+  let n_cols = List.length columns in
+  List.iter
+    (fun r ->
+      if List.length r.entries <> n_cols then
+        invalid_arg "Report.render: row width mismatch")
+    rows;
+  let buf = Buffer.create 1024 in
+  let cell_w = 9 in
+  let label_w = 6 and size_w = 8 and base_w = 9 in
+  let line () =
+    Buffer.add_string buf
+      (String.make (label_w + size_w + base_w + (n_cols * 2 * cell_w) + 8) '-');
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  line ();
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %-*s %*s " label_w "B." size_w "Size" base_w "S.F.");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %*s %*s " cell_w (c ^ " Comm.") (cell_w - 2) "%"))
+    columns;
+  Buffer.add_char buf '\n';
+  line ();
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %-*s %*d " label_w r.benchmark size_w r.size
+           base_w r.baseline);
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "| %*d %*.1f " cell_w e.cost (cell_w - 2)
+               e.improvement))
+        r.entries;
+      Buffer.add_char buf '\n')
+    rows;
+  line ();
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %-*s %*s " label_w "Avg" size_w "" base_w "");
+  List.iter
+    (fun avg ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %*s %*.1f " cell_w "" (cell_w - 2) avg))
+    (average_improvements rows);
+  Buffer.add_char buf '\n';
+  line ();
+  Buffer.contents buf

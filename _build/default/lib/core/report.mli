@@ -1,0 +1,27 @@
+(** Rendering of the paper's result tables.
+
+    Tables 1 and 2 have the shape: benchmark, data size, the
+    straight-forward cost, then for each scheduler its cost and its
+    percentage improvement over the straight-forward cost. *)
+
+type entry = { cost : int; improvement : float }
+
+type row = {
+  benchmark : string;  (** "1" .. "5" in the paper *)
+  size : string;  (** e.g. "8x8" *)
+  baseline : int;  (** the S.F. column *)
+  entries : entry list;  (** one per scheduler column *)
+}
+
+(** [entry ~baseline cost] computes the "%" column. *)
+val entry : baseline:int -> int -> entry
+
+(** [render ~title ~columns rows] pretty-prints the table; [columns] names
+    the scheduler columns (each expands to "Comm." and "%" sub-columns).
+    A final row reports each column's average improvement, as the paper
+    discusses. @raise Invalid_argument if some row has a different number
+    of entries than [columns]. *)
+val render : title:string -> columns:string list -> row list -> string
+
+(** [average_improvements rows] is the per-column mean of the "%" values. *)
+val average_improvements : row list -> float list

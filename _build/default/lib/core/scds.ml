@@ -1,0 +1,34 @@
+let check_feasible ?capacity mesh ~n_data =
+  match capacity with
+  | None -> ()
+  | Some c ->
+      if c * Pim.Mesh.size mesh < n_data then
+        invalid_arg
+          (Printf.sprintf
+             "Scds.run: %d data cannot fit in %d processors of capacity %d"
+             n_data (Pim.Mesh.size mesh) c)
+
+let placement ?capacity mesh trace =
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  check_feasible ?capacity mesh ~n_data;
+  let merged = Reftrace.Trace.merged trace in
+  let memory =
+    match capacity with
+    | None -> Pim.Memory.unbounded mesh
+    | Some c -> Pim.Memory.create mesh ~capacity:c
+  in
+  let placement = Array.make n_data 0 in
+  List.iter
+    (fun data ->
+      let candidates = Processor_list.for_data mesh merged ~data in
+      placement.(data) <- Processor_list.assign memory candidates)
+    (Ordering.by_total_references trace);
+  placement
+
+let run ?capacity mesh trace =
+  Schedule.constant mesh
+    ~n_windows:(Reftrace.Trace.n_windows trace)
+    (placement ?capacity mesh trace)
+
+let center_of ?capacity mesh trace ~data =
+  (placement ?capacity mesh trace).(data)

@@ -1,0 +1,18 @@
+(** Single-Center Data Scheduling (paper Algorithm 1).
+
+    All execution windows are merged into one; each datum is placed at the
+    processor minimizing its total communication cost over the whole
+    execution and never moves. With bounded memory, the per-datum processor
+    list supplies the first available fallback. *)
+
+(** [run ?capacity mesh trace] computes the SCDS schedule. When [capacity]
+    is given, each processor holds at most that many data (the schedule is
+    static, so one window's constraint is every window's constraint).
+    @raise Invalid_argument if [capacity * size mesh < n_data] (infeasible). *)
+val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+
+(** [center_of ?capacity mesh trace ~data] is just the chosen center of one
+    datum — rank of the first processor in its (capacity-respecting)
+    processor list. Exposed for the worked example and tests. *)
+val center_of :
+  ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> int

@@ -1,0 +1,173 @@
+type t = {
+  mesh : Pim.Mesh.t;
+  centers : int array array; (* centers.(window).(data) = rank *)
+}
+
+let create mesh ~n_windows ~n_data =
+  if n_windows <= 0 then
+    invalid_arg "Schedule.create: n_windows must be positive";
+  if n_data <= 0 then invalid_arg "Schedule.create: n_data must be positive";
+  { mesh; centers = Array.make_matrix n_windows n_data 0 }
+
+let constant mesh ~n_windows placement =
+  let size = Pim.Mesh.size mesh in
+  Array.iteri
+    (fun d rank ->
+      if rank < 0 || rank >= size then
+        invalid_arg
+          (Printf.sprintf "Schedule.constant: datum %d at invalid rank %d" d
+             rank))
+    placement;
+  let t = create mesh ~n_windows ~n_data:(Array.length placement) in
+  Array.iter (fun row -> Array.blit placement 0 row 0 (Array.length placement))
+    t.centers;
+  t
+
+let mesh t = t.mesh
+let n_windows t = Array.length t.centers
+let n_data t = Array.length t.centers.(0)
+
+let check t ~window ~data =
+  if window < 0 || window >= n_windows t then
+    invalid_arg (Printf.sprintf "Schedule: window %d out of range" window);
+  if data < 0 || data >= n_data t then
+    invalid_arg (Printf.sprintf "Schedule: data %d out of range" data)
+
+let center t ~window ~data =
+  check t ~window ~data;
+  t.centers.(window).(data)
+
+let set_center t ~window ~data rank =
+  check t ~window ~data;
+  if rank < 0 || rank >= Pim.Mesh.size t.mesh then
+    invalid_arg (Printf.sprintf "Schedule.set_center: invalid rank %d" rank);
+  t.centers.(window).(data) <- rank
+
+let centers_of_data t ~data =
+  check t ~window:0 ~data;
+  Array.map (fun row -> row.(data)) t.centers
+
+let is_static t ~data =
+  let cs = centers_of_data t ~data in
+  Array.for_all (fun c -> c = cs.(0)) cs
+
+let moves t =
+  let count = ref 0 in
+  for w = 1 to n_windows t - 1 do
+    for d = 0 to n_data t - 1 do
+      if t.centers.(w).(d) <> t.centers.(w - 1).(d) then incr count
+    done
+  done;
+  !count
+
+type cost_breakdown = { reference : int; movement : int; total : int }
+
+let check_trace t trace =
+  if Reftrace.Trace.n_windows trace <> n_windows t then
+    invalid_arg
+      (Printf.sprintf "Schedule: trace has %d windows, schedule has %d"
+         (Reftrace.Trace.n_windows trace)
+         (n_windows t));
+  let trace_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  if trace_data <> n_data t then
+    invalid_arg
+      (Printf.sprintf "Schedule: trace has %d data, schedule has %d"
+         trace_data (n_data t))
+
+let cost t trace =
+  check_trace t trace;
+  let space = Reftrace.Trace.space trace in
+  let volume data = Reftrace.Data_space.volume_of space data in
+  let reference = ref 0 and movement = ref 0 in
+  List.iteri
+    (fun w window ->
+      List.iter
+        (fun data ->
+          reference :=
+            !reference
+            + volume data
+              * Cost.reference_cost t.mesh window ~data
+                  ~center:t.centers.(w).(data))
+        (Reftrace.Window.referenced_data window);
+      if w > 0 then
+        for data = 0 to n_data t - 1 do
+          movement :=
+            !movement
+            + volume data
+              * Cost.movement_cost t.mesh
+                  ~from_:t.centers.(w - 1).(data)
+                  ~to_:t.centers.(w).(data)
+        done)
+    (Reftrace.Trace.windows trace);
+  { reference = !reference; movement = !movement;
+    total = !reference + !movement }
+
+let total_cost t trace = (cost t trace).total
+
+let check_capacity t ~capacity =
+  let size = Pim.Mesh.size t.mesh in
+  let violation = ref None in
+  (try
+     for w = 0 to n_windows t - 1 do
+       let load = Array.make size 0 in
+       Array.iter (fun rank -> load.(rank) <- load.(rank) + 1) t.centers.(w);
+       for rank = 0 to size - 1 do
+         if load.(rank) > capacity then begin
+           violation := Some (w, rank, load.(rank));
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !violation
+
+let to_rounds ?(prefetch = false) t trace =
+  check_trace t trace;
+  let space = Reftrace.Trace.space trace in
+  let volume data = Reftrace.Data_space.volume_of space data in
+  (* migration messages feeding window [target] *)
+  let migrations_into target =
+    if target <= 0 || target >= n_windows t then []
+    else begin
+      let acc = ref [] in
+      for data = n_data t - 1 downto 0 do
+        let src = t.centers.(target - 1).(data)
+        and dst = t.centers.(target).(data) in
+        if src <> dst then
+          acc := Pim.Router.message ~src ~dst ~volume:(volume data) :: !acc
+      done;
+      !acc
+    end
+  in
+  List.mapi
+    (fun w window ->
+      let migrations =
+        if prefetch then migrations_into (w + 1) else migrations_into w
+      in
+      let references =
+        List.concat_map
+          (fun data ->
+            let src = t.centers.(w).(data) in
+            List.filter_map
+              (fun (proc, count) ->
+                if proc = src then None
+                else
+                  Some
+                    (Pim.Router.message ~src ~dst:proc
+                       ~volume:(count * volume data)))
+              (Reftrace.Window.profile window data))
+          (Reftrace.Window.referenced_data window)
+      in
+      { Pim.Simulator.migrations; references })
+    (Reftrace.Trace.windows trace)
+
+let copy t = { t with centers = Array.map Array.copy t.centers }
+
+let equal a b =
+  n_windows a = n_windows b
+  && n_data a = n_data b
+  && a.centers = b.centers
+
+let pp fmt t =
+  Format.fprintf fmt "schedule(%a, %d windows, %d data, %d moves)"
+    Pim.Mesh.pp t.mesh (n_windows t) (n_data t) (moves t)

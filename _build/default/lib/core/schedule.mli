@@ -1,0 +1,76 @@
+(** Data schedules: where every datum lives in every execution window.
+
+    A schedule is the output of every algorithm in this library. It fixes,
+    for each execution window of a trace, the processor (center) holding
+    each datum. Cost accounting, feasibility checking against bounded
+    memories, and lowering to simulator traffic all live here. *)
+
+type t
+
+(** [create mesh ~n_windows ~n_data] starts with every datum at rank 0 in
+    every window. @raise Invalid_argument on non-positive sizes. *)
+val create : Pim.Mesh.t -> n_windows:int -> n_data:int -> t
+
+(** [constant mesh ~n_windows placement] pins datum [d] at [placement.(d)]
+    for the whole execution (SCDS and the straight-forward baselines).
+    @raise Invalid_argument if any rank is out of mesh bounds. *)
+val constant : Pim.Mesh.t -> n_windows:int -> int array -> t
+
+val mesh : t -> Pim.Mesh.t
+val n_windows : t -> int
+val n_data : t -> int
+
+(** [center t ~window ~data] is where [data] lives during [window]. *)
+val center : t -> window:int -> data:int -> int
+
+(** [set_center t ~window ~data rank] places [data] at [rank] in [window].
+    @raise Invalid_argument on out-of-range arguments. *)
+val set_center : t -> window:int -> data:int -> int -> unit
+
+(** [centers_of_data t ~data] is the datum's trajectory across windows. *)
+val centers_of_data : t -> data:int -> int array
+
+(** [is_static t ~data] is [true] iff the datum never moves. *)
+val is_static : t -> data:int -> bool
+
+(** [moves t] counts inter-window migrations over all data. *)
+val moves : t -> int
+
+type cost_breakdown = {
+  reference : int;  (** Σ window reference cost *)
+  movement : int;  (** Σ inter-window migration cost *)
+  total : int;
+}
+
+(** [cost t trace] evaluates the paper's total communication cost of [t] on
+    [trace]. @raise Invalid_argument if shapes disagree. *)
+val cost : t -> Reftrace.Trace.t -> cost_breakdown
+
+(** [total_cost t trace] is [(cost t trace).total]. *)
+val total_cost : t -> Reftrace.Trace.t -> int
+
+(** [check_capacity t ~capacity] verifies that no window packs more than
+    [capacity] data on one processor; returns the first violation as
+    [(window, rank, load)] or [None] when feasible. *)
+val check_capacity : t -> capacity:int -> (int * int * int) option
+
+(** [to_rounds ?prefetch t trace] lowers the schedule to simulator
+    traffic: per window, migration messages (from the previous window's
+    center, volume = element volume) then one message per reference
+    profile entry (volume = count × element volume). Initial placement is
+    free, as in the paper (every method pays it alike).
+
+    With [prefetch] (default [false]), the migration into window [w] is
+    issued during window [w - 1] instead — the total hop·volume is
+    unchanged, but the timed simulator can overlap movement with the
+    previous window's reference traffic, shrinking makespan. *)
+val to_rounds :
+  ?prefetch:bool -> t -> Reftrace.Trace.t -> Pim.Simulator.round list
+
+(** [copy t] is an independent duplicate. *)
+val copy : t -> t
+
+(** [equal a b] holds when both have identical shapes and centers. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Textual serialization of schedules.
+
+    The counterpart of {!Reftrace.Serial} for scheduler {e output}: a
+    computed schedule can be saved, inspected, diffed, and later re-loaded
+    and executed (e.g. by an offline planner feeding a runtime). Format:
+
+    {v
+    # pim-sched schedule v1
+    mesh 4 4
+    shape <n_windows> <n_data>
+    w 0 <rank> <rank> ... (n_data ranks)
+    w 1 ...
+    v}
+
+    A torus writes [torus 4 4] instead of [mesh 4 4]. Blank lines and [#]
+    comments are ignored. *)
+
+(** [to_string schedule] renders it. *)
+val to_string : Schedule.t -> string
+
+(** [of_string s] parses a schedule (mesh shape included in the format).
+    @raise Failure with a line-numbered message on malformed input,
+    out-of-range ranks, or missing windows. *)
+val of_string : string -> Schedule.t
+
+(** [save schedule path] / [load path] — file wrappers.
+    @raise Sys_error on I/O failure, [Failure] on parse errors. *)
+val save : Schedule.t -> string -> unit
+
+val load : string -> Schedule.t

@@ -1,0 +1,83 @@
+type algorithm =
+  | Row_wise
+  | Column_wise
+  | Block_2d
+  | Cyclic
+  | Random of int
+  | Scds
+  | Lomcds
+  | Gomcds
+  | Lomcds_grouped
+  | Gomcds_grouped
+  | Gomcds_refined
+  | Best_refined
+
+let all =
+  [
+    Row_wise;
+    Column_wise;
+    Block_2d;
+    Cyclic;
+    Random 42;
+    Scds;
+    Lomcds;
+    Gomcds;
+    Lomcds_grouped;
+    Gomcds_grouped;
+    Gomcds_refined;
+    Best_refined;
+  ]
+
+let name = function
+  | Row_wise -> "row-wise"
+  | Column_wise -> "column-wise"
+  | Block_2d -> "block-2d"
+  | Cyclic -> "cyclic"
+  | Random _ -> "random"
+  | Scds -> "scds"
+  | Lomcds -> "lomcds"
+  | Gomcds -> "gomcds"
+  | Lomcds_grouped -> "lomcds-grouped"
+  | Gomcds_grouped -> "gomcds-grouped"
+  | Gomcds_refined -> "gomcds-refined"
+  | Best_refined -> "best-refined"
+
+let of_name = function
+  | "row-wise" -> Row_wise
+  | "column-wise" -> Column_wise
+  | "block-2d" -> Block_2d
+  | "cyclic" -> Cyclic
+  | "random" -> Random 42
+  | "scds" -> Scds
+  | "lomcds" -> Lomcds
+  | "gomcds" -> Gomcds
+  | "lomcds-grouped" -> Lomcds_grouped
+  | "gomcds-grouped" -> Gomcds_grouped
+  | "gomcds-refined" -> Gomcds_refined
+  | "best-refined" -> Best_refined
+  | s -> invalid_arg (Printf.sprintf "Scheduler.of_name: unknown %S" s)
+
+let run ?capacity algorithm mesh trace =
+  let space = Reftrace.Trace.space trace in
+  let static placement = Baseline.schedule placement mesh trace in
+  match algorithm with
+  | Row_wise -> static (Baseline.row_wise mesh space)
+  | Column_wise -> static (Baseline.column_wise mesh space)
+  | Block_2d -> static (Baseline.block_2d mesh space)
+  | Cyclic -> static (Baseline.cyclic mesh space)
+  | Random seed -> static (Baseline.random ~seed mesh space)
+  | Scds -> Scds.run ?capacity mesh trace
+  | Lomcds -> Lomcds.run ?capacity mesh trace
+  | Gomcds -> Gomcds.run ?capacity mesh trace
+  | Lomcds_grouped -> Grouping.run ?capacity ~centers:`Local mesh trace
+  | Gomcds_grouped -> Grouping.run ?capacity ~centers:`Global mesh trace
+  | Gomcds_refined -> Refine.gomcds_refined ?capacity mesh trace
+  | Best_refined -> Refine.best ?capacity mesh trace
+
+let evaluate ?capacity algorithm mesh trace =
+  let schedule = run ?capacity algorithm mesh trace in
+  (schedule, Schedule.cost schedule trace)
+
+let improvement ~baseline ~cost =
+  if baseline = 0 then 0.
+  else float_of_int (baseline - cost) /. float_of_int baseline *. 100.

@@ -1,0 +1,46 @@
+(** Unified front-end over every scheduling algorithm in the library. *)
+
+type algorithm =
+  | Row_wise  (** the paper's straight-forward baseline *)
+  | Column_wise
+  | Block_2d
+  | Cyclic
+  | Random of int  (** seeded random static placement *)
+  | Scds
+  | Lomcds
+  | Gomcds
+  | Lomcds_grouped  (** Algorithm 3 with local centers — Table 2 *)
+  | Gomcds_grouped  (** Algorithm 3 followed by shortest-path centers *)
+  | Gomcds_refined
+      (** GOMCDS followed by the {!Refine} fixed-point pass — repairs
+          greedy capacity commitments (our extension) *)
+  | Best_refined
+      (** portfolio: refine GOMCDS, LOMCDS and both grouping variants to a
+          fixed point and keep the cheapest (our extension) *)
+
+(** Every algorithm, in presentation order. *)
+val all : algorithm list
+
+val name : algorithm -> string
+
+(** [of_name s] parses the CLI spelling produced by {!name}.
+    @raise Invalid_argument on unknown names. *)
+val of_name : string -> algorithm
+
+(** [run ?capacity algorithm mesh trace] dispatches to the implementation.
+    Static baselines ignore [capacity] (their placements respect the
+    paper's 2× headroom rule by construction; see {!Baseline.max_load}). *)
+val run :
+  ?capacity:int -> algorithm -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+
+(** [evaluate ?capacity algorithm mesh trace] runs and prices the schedule. *)
+val evaluate :
+  ?capacity:int ->
+  algorithm ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  Schedule.t * Schedule.cost_breakdown
+
+(** [improvement ~baseline ~cost] is the paper's "%" column:
+    [(baseline - cost) / baseline * 100.]; [0.] when [baseline] is 0. *)
+val improvement : baseline:int -> cost:int -> float

@@ -1,0 +1,59 @@
+type row = {
+  workload : string;
+  algorithm : string;
+  total : int;
+  reference : int;
+  movement : int;
+  moves : int;
+  improvement : float;
+  gap : float;
+}
+
+let run ?(headroom = 2) mesh instances algorithms =
+  List.concat_map
+    (fun (workload, trace) ->
+      let capacity =
+        if headroom = 0 then None
+        else
+          Some
+            (Pim.Memory.capacity_for
+               ~data_count:
+                 (Reftrace.Data_space.size (Reftrace.Trace.space trace))
+               ~mesh ~headroom)
+      in
+      let bound = Bounds.lower_bound mesh trace in
+      let baseline =
+        Schedule.total_cost
+          (Scheduler.run ?capacity Scheduler.Row_wise mesh trace)
+          trace
+      in
+      List.map
+        (fun algorithm ->
+          let schedule = Scheduler.run ?capacity algorithm mesh trace in
+          let cost = Schedule.cost schedule trace in
+          {
+            workload;
+            algorithm = Scheduler.name algorithm;
+            total = cost.Schedule.total;
+            reference = cost.Schedule.reference;
+            movement = cost.Schedule.movement;
+            moves = Schedule.moves schedule;
+            improvement =
+              Scheduler.improvement ~baseline ~cost:cost.Schedule.total;
+            gap = Bounds.gap ~bound ~cost:cost.Schedule.total;
+          })
+        algorithms)
+    instances
+
+let to_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "workload,algorithm,total,reference,movement,moves,improvement_pct,gap_pct\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%.1f,%.1f\n" r.workload
+           r.algorithm r.total r.reference r.movement r.moves r.improvement
+           r.gap))
+    rows;
+  Buffer.contents buf

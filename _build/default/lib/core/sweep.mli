@@ -1,0 +1,34 @@
+(** Parameter-sweep driver with CSV output.
+
+    Runs a set of algorithms over a set of workload instances and collects
+    one row per (instance, algorithm) with the metrics the benches report —
+    total/reference/movement cost, migrations, improvement over the
+    row-wise baseline, and gap to the per-datum lower bound — formatted as
+    CSV so results can be plotted or regression-tracked outside OCaml. The
+    CLI's [sweep] command wraps this. *)
+
+type row = {
+  workload : string;
+  algorithm : string;
+  total : int;
+  reference : int;
+  movement : int;
+  moves : int;
+  improvement : float;  (** % over the row-wise baseline, same capacity *)
+  gap : float;  (** % over the per-datum lower bound *)
+}
+
+(** [run ?headroom mesh instances algorithms] evaluates every pair.
+    [headroom] (default [2], the paper's rule) sets capacity to
+    [headroom × minimum]; [0] means unbounded. Lower bounds are computed
+    once per instance. *)
+val run :
+  ?headroom:int ->
+  Pim.Mesh.t ->
+  (string * Reftrace.Trace.t) list ->
+  Scheduler.algorithm list ->
+  row list
+
+(** [to_csv rows] renders with a header line; fields are comma-separated,
+    floats printed with one decimal. *)
+val to_csv : row list -> string

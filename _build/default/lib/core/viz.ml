@@ -1,0 +1,65 @@
+let grid mesh value_of =
+  let rows = Pim.Mesh.rows mesh and cols = Pim.Mesh.cols mesh in
+  let cells =
+    Array.init rows (fun y ->
+        Array.init cols (fun x ->
+            let rank = Pim.Mesh.rank_of_coord mesh (Pim.Coord.make ~x ~y) in
+            string_of_int (value_of rank)))
+  in
+  let width =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc s -> max acc (String.length s)) acc row)
+      1 cells
+  in
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    for _ = 1 to cols do
+      Buffer.add_string buf (String.make (width + 2) '-');
+      Buffer.add_char buf '+'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  Array.iter
+    (fun row ->
+      Buffer.add_char buf '|';
+      Array.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf " %*s |" width s))
+        row;
+      Buffer.add_char buf '\n';
+      rule ())
+    cells;
+  Buffer.contents buf
+
+let window_heatmap mesh window ~data =
+  let profile = Reftrace.Window.profile window data in
+  grid mesh (fun rank ->
+      match List.assoc_opt rank profile with Some c -> c | None -> 0)
+
+let total_heatmap mesh window =
+  let totals = Array.make (Pim.Mesh.size mesh) 0 in
+  List.iter
+    (fun data ->
+      List.iter
+        (fun (proc, count) ->
+          if proc < Array.length totals then
+            totals.(proc) <- totals.(proc) + count)
+        (Reftrace.Window.profile window data))
+    (Reftrace.Window.referenced_data window);
+  grid mesh (fun rank -> totals.(rank))
+
+let load_map mesh schedule ~window =
+  let load = Array.make (Pim.Mesh.size mesh) 0 in
+  for data = 0 to Schedule.n_data schedule - 1 do
+    let r = Schedule.center schedule ~window ~data in
+    load.(r) <- load.(r) + 1
+  done;
+  grid mesh (fun rank -> load.(rank))
+
+let trajectory mesh schedule ~data =
+  Schedule.centers_of_data schedule ~data
+  |> Array.to_list
+  |> List.map (fun r -> Pim.Coord.to_string (Pim.Mesh.coord_of_rank mesh r))
+  |> String.concat " -> "

@@ -1,0 +1,23 @@
+(** ASCII visualizations for traces and schedules.
+
+    Small, dependency-free renderers used by the CLI's [show] command and
+    the examples: reference-count heatmaps over the processor grid, per-
+    window data-load maps, and datum trajectories. Grid renderers return
+    strings ending in a newline; {!trajectory} is a single line. *)
+
+(** [window_heatmap mesh window ~data] draws the processor grid with the
+    reference count of [data] in each cell — the same picture as the
+    paper's Figure 1. *)
+val window_heatmap : Pim.Mesh.t -> Reftrace.Window.t -> data:int -> string
+
+(** [total_heatmap mesh window] draws the grid with each processor's total
+    reference count over all data. *)
+val total_heatmap : Pim.Mesh.t -> Reftrace.Window.t -> string
+
+(** [load_map mesh schedule ~window] draws the grid with the number of data
+    homed at each processor during [window]. *)
+val load_map : Pim.Mesh.t -> Schedule.t -> window:int -> string
+
+(** [trajectory mesh schedule ~data] renders the datum's center per window,
+    e.g. ["(1,0) -> (1,0) -> (1,1)"], collapsing nothing. *)
+val trajectory : Pim.Mesh.t -> Schedule.t -> data:int -> string

@@ -1,0 +1,1 @@
+lib/exec/distributed_lu.ml: Array Float List Pim Reftrace Sched Workloads

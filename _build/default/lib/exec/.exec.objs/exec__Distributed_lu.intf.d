@@ -1,0 +1,1 @@
+lib/exec/distributed_lu.mli: Pim Sched

@@ -1,0 +1,131 @@
+let reference_lu a =
+  let n = Array.length a in
+  let m = Array.map Array.copy a in
+  for k = 0 to n - 2 do
+    if Float.abs m.(k).(k) < 1e-12 then
+      failwith "Distributed_lu.reference_lu: zero pivot";
+    for i = k + 1 to n - 1 do
+      m.(i).(k) <- m.(i).(k) /. m.(k).(k)
+    done;
+    for i = k + 1 to n - 1 do
+      for j = k + 1 to n - 1 do
+        m.(i).(j) <- m.(i).(j) -. (m.(i).(k) *. m.(k).(j))
+      done
+    done
+  done;
+  m
+
+let random_matrix ~seed n =
+  let state = ref (if seed = 0 then 0xACE5 else seed) in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    float_of_int (!state mod 1000) /. 1000.
+  in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          (* diagonal dominance keeps pivot-free LU stable *)
+          if i = j then float_of_int n +. next () else next ()))
+
+type result = {
+  factors : float array array;
+  traffic : int;
+  analytic : int;
+  max_error : float;
+}
+
+let run mesh ~matrix schedule =
+  let n = Array.length matrix in
+  if n < 2 || Array.exists (fun row -> Array.length row <> n) matrix then
+    invalid_arg "Distributed_lu.run: matrix must be square, n >= 2";
+  let trace = Workloads.Lu.trace ~n mesh in
+  if
+    Sched.Schedule.n_windows schedule <> Reftrace.Trace.n_windows trace
+    || Sched.Schedule.n_data schedule
+       <> Reftrace.Data_space.size (Reftrace.Trace.space trace)
+  then
+    invalid_arg
+      "Distributed_lu.run: schedule does not match the LU trace shape";
+  let space = Reftrace.Trace.space trace in
+  let id row col = Reftrace.Data_space.id space ~array_name:"A" ~row ~col in
+  let owner i j =
+    Workloads.Iteration_space.owner Workloads.Iteration_space.Block_2d mesh
+      ~extent_i:n ~extent_j:n ~i ~j
+  in
+  (* flat value store indexed by datum id; locations only matter for the
+     message accounting *)
+  let values = Array.make (n * n) 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      values.(id i j) <- matrix.(i).(j)
+    done
+  done;
+  let rounds = ref [] in
+  let n_data = Sched.Schedule.n_data schedule in
+  for k = 0 to n - 2 do
+    let references = ref [] in
+    (* fetching a datum into the iteration's owner is one unit message from
+       its scheduled center, exactly as the trace counts it *)
+    let touch proc data =
+      let src = Sched.Schedule.center schedule ~window:k ~data in
+      if src <> proc then
+        references := Pim.Router.message ~src ~dst:proc ~volume:1 :: !references
+    in
+    let pivot = values.(id k k) in
+    if Float.abs pivot < 1e-12 then
+      failwith "Distributed_lu.run: zero pivot";
+    for i = k + 1 to n - 1 do
+      let p = owner i k in
+      touch p (id i k);
+      touch p (id k k);
+      values.(id i k) <- values.(id i k) /. pivot
+    done;
+    for i = k + 1 to n - 1 do
+      for j = k + 1 to n - 1 do
+        let p = owner i j in
+        touch p (id i j);
+        touch p (id i k);
+        touch p (id k j);
+        values.(id i j) <-
+          values.(id i j) -. (values.(id i k) *. values.(id k j))
+      done
+    done;
+    let migrations =
+      if k = 0 then []
+      else begin
+        let acc = ref [] in
+        for data = 0 to n_data - 1 do
+          let src = Sched.Schedule.center schedule ~window:(k - 1) ~data in
+          let dst = Sched.Schedule.center schedule ~window:k ~data in
+          if src <> dst then
+            acc := Pim.Router.message ~src ~dst ~volume:1 :: !acc
+        done;
+        !acc
+      end
+    in
+    rounds :=
+      { Pim.Simulator.migrations; references = List.rev !references }
+      :: !rounds
+  done;
+  let report = Pim.Simulator.run mesh (List.rev !rounds) in
+  let factors =
+    Array.init n (fun i -> Array.init n (fun j -> values.(id i j)))
+  in
+  let reference = reference_lu matrix in
+  let max_error = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      max_error :=
+        Float.max !max_error
+          (Float.abs (factors.(i).(j) -. reference.(i).(j)))
+    done
+  done;
+  {
+    factors;
+    traffic = report.Pim.Simulator.total_cost;
+    analytic = Sched.Schedule.total_cost schedule trace;
+    max_error = !max_error;
+  }

@@ -1,0 +1,38 @@
+(** Numerically executing LU factorization under a data schedule.
+
+    The schedulers optimize traffic for a {e reference string}; this module
+    closes the loop by actually computing with it: an [n] × [n] matrix is
+    factored in place on the simulated PIM array, with every operand
+    fetched from wherever the schedule says the datum lives during that
+    elimination step, every fetch and migration recorded as real messages,
+    and the final factors compared against a sequential reference
+    factorization. If the trace generator, the schedule semantics, or the
+    lowering to messages were wrong, the numbers would be too.
+
+    Window [k] of {!Workloads.Lu.trace} is elimination step [k], and the
+    executor mirrors it exactly: scaling [a(i,k) /= a(k,k)] then the
+    trailing update [a(i,j) -= a(i,k) * a(k,j)], each operation performed
+    "at" the owner of the iteration with operands fetched from their
+    scheduled centers. *)
+
+type result = {
+  factors : float array array;  (** in-place LU factors, row-major *)
+  traffic : int;  (** messages' hop·volume measured by the simulator *)
+  analytic : int;  (** the schedule's analytic cost for the same trace *)
+  max_error : float;
+      (** max |distributed - sequential| over all matrix entries *)
+}
+
+(** [reference_lu a] factors a copy of [a] sequentially (no pivoting) and
+    returns it; raises [Failure] on a zero pivot. *)
+val reference_lu : float array array -> float array array
+
+(** [random_matrix ~seed n] is a well-conditioned random [n] × [n] matrix
+    (diagonally dominant, so pivoting-free LU is stable). *)
+val random_matrix : seed:int -> int -> float array array
+
+(** [run mesh ~matrix schedule] executes the factorization under
+    [schedule], which must have been computed for [Workloads.Lu.trace] of
+    the same size on the same mesh.
+    @raise Invalid_argument if shapes disagree. *)
+val run : Pim.Mesh.t -> matrix:float array array -> Sched.Schedule.t -> result

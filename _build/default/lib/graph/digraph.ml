@@ -1,0 +1,43 @@
+type t = {
+  adj : (int * int) list array; (* reversed insertion order; succ reverses *)
+  mutable n_edges : int;
+  mutable negative : bool;
+}
+
+let create ~n_nodes =
+  if n_nodes <= 0 then invalid_arg "Digraph.create: n_nodes must be positive";
+  { adj = Array.make n_nodes []; n_edges = 0; negative = false }
+
+let n_nodes t = Array.length t.adj
+let n_edges t = t.n_edges
+
+let check t v =
+  if v < 0 || v >= n_nodes t then
+    invalid_arg (Printf.sprintf "Digraph: node %d out of range" v)
+
+let add_edge t ~src ~dst ~weight =
+  check t src;
+  check t dst;
+  t.adj.(src) <- (dst, weight) :: t.adj.(src);
+  t.n_edges <- t.n_edges + 1;
+  if weight < 0 then t.negative <- true
+
+let succ t v =
+  check t v;
+  List.rev t.adj.(v)
+
+let iter_succ t v f =
+  check t v;
+  List.iter (fun (dst, w) -> f dst w) t.adj.(v)
+
+let in_degrees t =
+  let deg = Array.make (n_nodes t) 0 in
+  Array.iter
+    (fun edges -> List.iter (fun (dst, _) -> deg.(dst) <- deg.(dst) + 1) edges)
+    t.adj;
+  deg
+
+let has_negative_weight t = t.negative
+
+let pp fmt t =
+  Format.fprintf fmt "digraph(%d nodes, %d edges)" (n_nodes t) (n_edges t)

@@ -1,0 +1,33 @@
+(** Directed graphs with integer nodes and integer edge weights.
+
+    A small adjacency-list representation, sufficient for the GOMCDS
+    cost-graph (a layered DAG of [n_windows * n_processors + 2] nodes) and
+    for the generic shortest-path algorithms in {!Shortest_path}. *)
+
+type t
+
+(** [create ~n_nodes] is an edgeless graph over nodes [0 .. n_nodes - 1].
+    @raise Invalid_argument if [n_nodes <= 0]. *)
+val create : n_nodes:int -> t
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+(** [add_edge t ~src ~dst ~weight] appends a directed edge. Parallel edges
+    are permitted. @raise Invalid_argument on out-of-range endpoints. *)
+val add_edge : t -> src:int -> dst:int -> weight:int -> unit
+
+(** [succ t v] is the list of [(dst, weight)] out-edges of [v], in insertion
+    order. *)
+val succ : t -> int -> (int * int) list
+
+(** [iter_succ t v f] applies [f dst weight] to every out-edge of [v]. *)
+val iter_succ : t -> int -> (int -> int -> unit) -> unit
+
+(** [in_degrees t] is the in-degree of every node. *)
+val in_degrees : t -> int array
+
+(** [has_negative_weight t] is [true] if any edge weight is negative. *)
+val has_negative_weight : t -> bool
+
+val pp : Format.formatter -> t -> unit

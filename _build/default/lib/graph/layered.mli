@@ -1,0 +1,38 @@
+(** Layered shortest-path DP, the shape of the GOMCDS cost-graph.
+
+    A layered problem has [n_layers] layers of [width] nodes each, plus an
+    implicit source before layer 0 and sink after the last layer. Edge
+    weights are given by callbacks, so the O(n·m²) dynamic program runs
+    without materializing the graph — GOMCDS calls this once per datum. The
+    explicit-{!Digraph} route (via {!to_digraph}) exists for cross-checking
+    against {!Shortest_path}. *)
+
+type problem = {
+  n_layers : int;  (** number of layers (execution windows) *)
+  width : int;  (** nodes per layer (processors) *)
+  enter_cost : int -> int;
+      (** [enter_cost j] — weight of the source → (layer 0, node j) edge *)
+  step_cost : layer:int -> int -> int -> int;
+      (** [step_cost ~layer j k] — weight of (layer, node j) →
+          (layer+1, node k); [layer] is the {e destination} layer index,
+          [1 <= layer <= n_layers - 1] *)
+}
+
+(** [solve p] returns the minimal source→sink cost and one witness: the node
+    chosen in each layer, length [n_layers].
+    @raise Invalid_argument if [n_layers <= 0] or [width <= 0]. *)
+val solve : problem -> int * int array
+
+(** [solve_filtered p ~allowed] restricts layer [i] to nodes [j] with
+    [allowed ~layer:i j = true] (used for memory-capacity exclusion).
+    Returns [None] when no feasible path exists. *)
+val solve_filtered :
+  problem -> allowed:(layer:int -> int -> bool) -> (int * int array) option
+
+(** [to_digraph p] materializes the cost-graph exactly as the paper describes
+    (pseudo source node, pseudo destination node, zero-weight edges into the
+    sink) and returns [(graph, source, sink, node_id)] where
+    [node_id ~layer j] is the graph node for processor [j] in window
+    [layer]. *)
+val to_digraph :
+  problem -> Digraph.t * int * int * (layer:int -> int -> int)

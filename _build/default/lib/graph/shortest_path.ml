@@ -1,0 +1,122 @@
+type result = { dist : int array; pred : int array }
+
+(* A simple binary min-heap of (priority, node) pairs. Stale entries are
+   skipped at pop time (lazy deletion), the standard trick for Dijkstra
+   without a decrease-key operation. *)
+module Heap = struct
+  type t = {
+    mutable arr : (int * int) array;
+    mutable len : int;
+  }
+
+  let create () = { arr = Array.make 16 (0, 0); len = 0 }
+
+  let swap h i j =
+    let t = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- t
+
+  let push h prio node =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- (prio, node);
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.arr.((!i - 1) / 2) > fst h.arr.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.arr.(l) < fst h.arr.(!smallest) then
+          smallest := l;
+        if r < h.len && fst h.arr.(r) < fst h.arr.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let check_source g source =
+  if source < 0 || source >= Digraph.n_nodes g then
+    invalid_arg "Shortest_path: source out of range"
+
+let dijkstra g ~source =
+  check_source g source;
+  if Digraph.has_negative_weight g then
+    invalid_arg "Shortest_path.dijkstra: negative edge weight";
+  let n = Digraph.n_nodes g in
+  let dist = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(source) <- 0;
+  Heap.push heap 0 source;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          assert (d = dist.(v));
+          Digraph.iter_succ g v (fun dst w ->
+              if (not settled.(dst)) && dist.(v) + w < dist.(dst) then begin
+                dist.(dst) <- dist.(v) + w;
+                pred.(dst) <- v;
+                Heap.push heap dist.(dst) dst
+              end)
+        end;
+        loop ()
+  in
+  loop ();
+  { dist; pred }
+
+let dag g ~source =
+  check_source g source;
+  let order = Topo.sort_exn g in
+  let n = Digraph.n_nodes g in
+  let dist = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  dist.(source) <- 0;
+  List.iter
+    (fun v ->
+      if dist.(v) <> max_int then
+        Digraph.iter_succ g v (fun dst w ->
+            if dist.(v) + w < dist.(dst) then begin
+              dist.(dst) <- dist.(v) + w;
+              pred.(dst) <- v
+            end))
+    order;
+  { dist; pred }
+
+let distance r ~target =
+  if target < 0 || target >= Array.length r.dist then
+    invalid_arg "Shortest_path.distance: target out of range";
+  if r.dist.(target) = max_int then None else Some r.dist.(target)
+
+let path r ~target =
+  match distance r ~target with
+  | None -> None
+  | Some _ ->
+      let rec walk v acc =
+        if r.pred.(v) = -1 then v :: acc else walk r.pred.(v) (v :: acc)
+      in
+      Some (walk target [])

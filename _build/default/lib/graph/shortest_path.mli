@@ -1,0 +1,29 @@
+(** Single-source shortest paths.
+
+    Two engines: Dijkstra (non-negative weights, binary-heap based) and a
+    linear-time DAG relaxation over a topological order. The GOMCDS
+    cost-graph is a DAG with non-negative weights, so both apply — the test
+    suite uses their agreement as a cross-check. *)
+
+type result = {
+  dist : int array;  (** [dist.(v)] = shortest distance, [max_int] if
+                         unreachable *)
+  pred : int array;  (** predecessor on a shortest path, [-1] at the source
+                         and for unreachable nodes *)
+}
+
+(** [dijkstra g ~source] computes shortest distances from [source].
+    @raise Invalid_argument if [g] has a negative edge weight or [source] is
+    out of range. *)
+val dijkstra : Digraph.t -> source:int -> result
+
+(** [dag g ~source] relaxes edges in topological order.
+    @raise Invalid_argument if [g] is cyclic or [source] out of range. *)
+val dag : Digraph.t -> source:int -> result
+
+(** [path r ~target] reconstructs the node list from the source to [target]
+    (inclusive); [None] if [target] is unreachable. *)
+val path : result -> target:int -> int list option
+
+(** [distance r ~target] is [Some d] or [None] when unreachable. *)
+val distance : result -> target:int -> int option

@@ -1,0 +1,23 @@
+let sort g =
+  let n = Digraph.n_nodes g in
+  let deg = Digraph.in_degrees g in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) deg;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr visited;
+    Digraph.iter_succ g v (fun dst _ ->
+        deg.(dst) <- deg.(dst) - 1;
+        if deg.(dst) = 0 then Queue.add dst queue)
+  done;
+  if !visited = n then Some (List.rev !order) else None
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: graph has a cycle"
+
+let is_dag g = Option.is_some (sort g)

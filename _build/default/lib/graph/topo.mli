@@ -1,0 +1,11 @@
+(** Topological ordering of directed graphs (Kahn's algorithm). *)
+
+(** [sort g] is [Some order] — every edge goes forward in [order] — or
+    [None] when [g] contains a cycle. *)
+val sort : Digraph.t -> int list option
+
+(** [sort_exn g] is like {!sort}. @raise Invalid_argument on a cycle. *)
+val sort_exn : Digraph.t -> int list
+
+(** [is_dag g] is [true] iff [g] is acyclic. *)
+val is_dag : Digraph.t -> bool

@@ -1,0 +1,1 @@
+lib/pim/coord.ml: Format Int Printf

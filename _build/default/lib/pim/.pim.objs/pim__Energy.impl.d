@@ -1,0 +1,1 @@
+lib/pim/energy.ml: Mesh Timed_simulator

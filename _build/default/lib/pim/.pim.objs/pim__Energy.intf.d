@@ -1,0 +1,1 @@
+lib/pim/energy.mli: Mesh Timed_simulator

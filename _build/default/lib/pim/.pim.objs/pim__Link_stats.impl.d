@@ -1,0 +1,1 @@
+lib/pim/link_stats.ml: Format Hashtbl Int List Mesh Printf

@@ -1,0 +1,1 @@
+lib/pim/link_stats.mli: Format Mesh

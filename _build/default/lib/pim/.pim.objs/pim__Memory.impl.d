@@ -1,0 +1,1 @@
+lib/pim/memory.ml: Array Format Mesh Printf

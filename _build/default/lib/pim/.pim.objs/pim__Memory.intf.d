@@ -1,0 +1,1 @@
+lib/pim/memory.mli: Format Mesh

@@ -1,0 +1,1 @@
+lib/pim/mesh.ml: Coord Format Fun Int List Printf

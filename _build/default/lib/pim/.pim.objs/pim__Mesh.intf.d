@@ -1,0 +1,1 @@
+lib/pim/mesh.mli: Coord Format

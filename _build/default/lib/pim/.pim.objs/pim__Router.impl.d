@@ -1,0 +1,1 @@
+lib/pim/router.ml: Format Link_stats List Mesh

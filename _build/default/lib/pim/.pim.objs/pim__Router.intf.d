@@ -1,0 +1,1 @@
+lib/pim/router.mli: Format Link_stats Mesh

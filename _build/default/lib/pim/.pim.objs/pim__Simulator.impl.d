@@ -1,0 +1,1 @@
+lib/pim/simulator.ml: Format Link_stats List Mesh Router

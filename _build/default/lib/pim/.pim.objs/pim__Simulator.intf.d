@@ -1,0 +1,1 @@
+lib/pim/simulator.mli: Format Link_stats Mesh Router

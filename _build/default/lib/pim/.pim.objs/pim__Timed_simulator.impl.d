@@ -1,0 +1,1 @@
+lib/pim/timed_simulator.ml: Array Format Hashtbl Int List Mesh Queue Router Simulator

@@ -1,0 +1,1 @@
+lib/pim/timed_simulator.mli: Format Mesh Router Simulator

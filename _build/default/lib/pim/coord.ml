@@ -1,0 +1,23 @@
+type t = { x : int; y : int }
+
+let make ~x ~y = { x; y }
+let origin = { x = 0; y = 0 }
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+let chebyshev a b = max (abs (a.x - b.x)) (abs (a.y - b.y))
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let hash { x; y } = (x * 0x9e3779b1) lxor y
+let to_string { x; y } = Printf.sprintf "(%d,%d)" x y
+let pp fmt { x; y } = Format.fprintf fmt "(%d,%d)" x y
+
+let between lo hi v =
+  let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+  lo <= v && v <= hi
+
+let on_segment ~src ~dst c = between src.x dst.x c.x && between src.y dst.y c.y

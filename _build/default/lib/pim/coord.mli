@@ -1,0 +1,41 @@
+(** Two-dimensional processor coordinates on a PIM grid.
+
+    The paper models the PIM array as a 2-D grid with x-y routing; the
+    communication cost between two processors is their Manhattan distance
+    weighted by the transferred data volume. Coordinates are [(x, y)] where
+    [x] is the column and [y] the row, matching the paper's Figure 1 axes. *)
+
+type t = { x : int; y : int }
+
+(** [make ~x ~y] builds a coordinate. Negative components are allowed at this
+    level (meshes enforce bounds); they are useful for vector arithmetic. *)
+val make : x:int -> y:int -> t
+
+val origin : t
+
+(** [manhattan a b] is [|a.x - b.x| + |a.y - b.y|] — the x-y routing hop
+    count between processors [a] and [b]. *)
+val manhattan : t -> t -> int
+
+(** [chebyshev a b] is [max |dx| |dy|]; exposed for alternative cost models
+    in ablation studies. *)
+val chebyshev : t -> t -> int
+
+(** [add a b] is component-wise sum. *)
+val add : t -> t -> t
+
+(** [sub a b] is component-wise difference. *)
+val sub : t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [to_string c] renders as ["(x,y)"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [on_segment ~src ~dst c] is [true] iff [c] lies on some shortest x-y
+    path from [src] to [dst], i.e. inside the bounding rectangle. *)
+val on_segment : src:t -> dst:t -> t -> bool

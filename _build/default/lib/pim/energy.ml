@@ -1,0 +1,18 @@
+type params = { per_hop : float; leak : float }
+
+let default = { per_hop = 10.; leak = 0.05 }
+
+let breakdown ?(params = default) mesh (report : Timed_simulator.report) =
+  let transport =
+    params.per_hop *. float_of_int report.Timed_simulator.total_volume_hops
+  in
+  let leakage =
+    params.leak
+    *. float_of_int (Mesh.size mesh)
+    *. float_of_int report.Timed_simulator.total_cycles
+  in
+  (transport, leakage)
+
+let of_report ?params mesh report =
+  let transport, leakage = breakdown ?params mesh report in
+  transport +. leakage

@@ -1,0 +1,29 @@
+(** Communication-energy model.
+
+    The PetaFlop PIM argument was as much about energy as about time:
+    moving a word across chips costs orders of magnitude more than a local
+    access, and idle processors still leak. This module prices a timed
+    traffic report with the standard two-term model
+
+    [energy = per_hop · Σ volume·hops  +  leak · processors · cycles]
+
+    so schedules can be compared on joules as well as hop counts. The
+    parameters are abstract units; {!default} sets the transport term to
+    dominate (hop ≫ leak), the PIM-era regime. *)
+
+type params = {
+  per_hop : float;  (** energy of one volume unit crossing one link *)
+  leak : float;  (** static energy of one processor for one cycle *)
+}
+
+val default : params
+
+(** [of_report ?params mesh report] prices a {!Timed_simulator} report:
+    transport energy from its volume·hops, leakage from its total cycles
+    and the mesh size. *)
+val of_report : ?params:params -> Mesh.t -> Timed_simulator.report -> float
+
+(** [breakdown ?params mesh report] is [(transport, leakage)];
+    [of_report] is their sum. *)
+val breakdown :
+  ?params:params -> Mesh.t -> Timed_simulator.report -> float * float

@@ -1,0 +1,52 @@
+type t = {
+  mesh : Mesh.t;
+  table : (int * int, int ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create mesh = { mesh; table = Hashtbl.create 64; total = 0 }
+
+let adjacent mesh src dst = List.mem dst (Mesh.neighbours mesh src)
+
+let record t ~src ~dst ~volume =
+  if volume < 0 then invalid_arg "Link_stats.record: negative volume";
+  if not (adjacent t.mesh src dst) then
+    invalid_arg
+      (Printf.sprintf "Link_stats.record: %d -> %d is not a mesh link" src dst);
+  begin
+    match Hashtbl.find_opt t.table (src, dst) with
+    | Some r -> r := !r + volume
+    | None -> Hashtbl.add t.table (src, dst) (ref volume)
+  end;
+  t.total <- t.total + volume
+
+let traffic t ~src ~dst =
+  match Hashtbl.find_opt t.table (src, dst) with Some r -> !r | None -> 0
+
+let total t = t.total
+
+let nonzero_links t =
+  Hashtbl.fold
+    (fun (s, d) r acc -> if !r > 0 then (s, d, !r) :: acc else acc)
+    t.table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> Int.compare b a)
+
+let max_link t =
+  match nonzero_links t with [] -> None | hd :: _ -> Some hd
+
+let imbalance t =
+  match nonzero_links t with
+  | [] -> 0.
+  | links ->
+      let loads = List.map (fun (_, _, v) -> v) links in
+      let mx = List.fold_left max 0 loads in
+      let sum = List.fold_left ( + ) 0 loads in
+      let mean = float_of_int sum /. float_of_int (List.length loads) in
+      float_of_int mx /. mean
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.total <- 0
+
+let pp fmt t =
+  Format.fprintf fmt "links(total=%d, imbalance=%.2f)" t.total (imbalance t)

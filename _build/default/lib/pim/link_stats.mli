@@ -1,0 +1,36 @@
+(** Per-link traffic accounting for the PIM mesh.
+
+    The analytic cost model in the paper counts hop·volume units; this module
+    records where those hops actually land so we can study congestion (an
+    ablation the paper motivates but does not evaluate). *)
+
+type t
+
+val create : Mesh.t -> t
+
+(** [record t ~src ~dst ~volume] charges [volume] units to the directed link
+    [src -> dst]. @raise Invalid_argument unless [src] and [dst] are
+    grid-adjacent. *)
+val record : t -> src:int -> dst:int -> volume:int -> unit
+
+(** [traffic t ~src ~dst] is the accumulated volume on the link. *)
+val traffic : t -> src:int -> dst:int -> int
+
+(** [total t] is the grand total of hop·volume units — by construction equal
+    to the analytic communication cost of whatever was routed. *)
+val total : t -> int
+
+(** [max_link t] is [(src, dst, volume)] for the most loaded link, or [None]
+    if nothing was recorded. *)
+val max_link : t -> (int * int * int) option
+
+(** [nonzero_links t] lists loaded links as [(src, dst, volume)], heaviest
+    first. *)
+val nonzero_links : t -> (int * int * int) list
+
+(** [imbalance t] is [max link load / mean nonzero link load]; [0.] when no
+    traffic was recorded. A perfectly balanced schedule gives [1.]. *)
+val imbalance : t -> float
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = {
+  mesh : Mesh.t;
+  capacity : int option;
+  used : int array; (* occupied slot count per rank *)
+}
+
+let create mesh ~capacity =
+  if capacity < 0 then
+    invalid_arg (Printf.sprintf "Memory.create: negative capacity %d" capacity);
+  { mesh; capacity = Some capacity; used = Array.make (Mesh.size mesh) 0 }
+
+let unbounded mesh =
+  { mesh; capacity = None; used = Array.make (Mesh.size mesh) 0 }
+
+let capacity_for ~data_count ~mesh ~headroom =
+  if data_count <= 0 then
+    invalid_arg "Memory.capacity_for: data_count must be positive";
+  if headroom <= 0 then
+    invalid_arg "Memory.capacity_for: headroom must be positive";
+  let p = Mesh.size mesh in
+  headroom * ((data_count + p - 1) / p)
+
+let mesh t = t.mesh
+let capacity t = t.capacity
+
+let check_rank t rank =
+  if rank < 0 || rank >= Array.length t.used then
+    invalid_arg (Printf.sprintf "Memory: rank %d out of bounds" rank)
+
+let used t rank =
+  check_rank t rank;
+  t.used.(rank)
+
+let free t rank =
+  check_rank t rank;
+  match t.capacity with
+  | None -> max_int
+  | Some c -> c - t.used.(rank)
+
+let is_full t rank = free t rank <= 0
+
+let allocate t rank =
+  check_rank t rank;
+  if is_full t rank then false
+  else begin
+    t.used.(rank) <- t.used.(rank) + 1;
+    true
+  end
+
+let release t rank =
+  check_rank t rank;
+  if t.used.(rank) = 0 then
+    invalid_arg (Printf.sprintf "Memory.release: rank %d already empty" rank);
+  t.used.(rank) <- t.used.(rank) - 1
+
+let reset t = Array.fill t.used 0 (Array.length t.used) 0
+let copy t = { t with used = Array.copy t.used }
+let total_used t = Array.fold_left ( + ) 0 t.used
+
+let pp fmt t =
+  let cap =
+    match t.capacity with None -> "inf" | Some c -> string_of_int c
+  in
+  Format.fprintf fmt "memory(%a, cap=%s, used=%d)" Mesh.pp t.mesh cap
+    (total_used t)

@@ -1,0 +1,24 @@
+type message = { src : int; dst : int; volume : int }
+
+let message ~src ~dst ~volume =
+  if volume < 0 then invalid_arg "Router.message: negative volume";
+  { src; dst; volume }
+
+let cost mesh { src; dst; volume } = volume * Mesh.distance mesh src dst
+
+let route mesh stats msg =
+  let path = Mesh.xy_route mesh ~src:msg.src ~dst:msg.dst in
+  let rec walk hops = function
+    | a :: (b :: _ as rest) ->
+        Link_stats.record stats ~src:a ~dst:b ~volume:msg.volume;
+        walk (hops + 1) rest
+    | [ _ ] | [] -> hops
+  in
+  let hops = walk 0 path in
+  hops * msg.volume
+
+let route_all mesh stats msgs =
+  List.fold_left (fun acc m -> acc + route mesh stats m) 0 msgs
+
+let pp_message fmt { src; dst; volume } =
+  Format.fprintf fmt "%d->%d x%d" src dst volume

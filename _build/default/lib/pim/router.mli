@@ -1,0 +1,29 @@
+(** X-y message routing over the mesh, with traffic accounting.
+
+    [route] charges every hop of the dimension-ordered path to a
+    {!Link_stats.t}, so the accumulated {!Link_stats.total} of a batch of
+    messages equals the analytic Σ volume·distance cost the schedulers
+    compute — the identity the simulator's integration tests rely on. *)
+
+type message = {
+  src : int;  (** rank holding the data *)
+  dst : int;  (** rank that needs it (or receives the migrating datum) *)
+  volume : int;  (** data volume in unit elements *)
+}
+
+(** [message ~src ~dst ~volume] builds a message.
+    @raise Invalid_argument if [volume < 0]. *)
+val message : src:int -> dst:int -> volume:int -> message
+
+(** [cost mesh msg] is the analytic cost [volume * distance src dst]. *)
+val cost : Mesh.t -> message -> int
+
+(** [route mesh stats msg] walks the x-y path of [msg], recording [volume]
+    units on every traversed link into [stats], and returns the hop·volume
+    cost (equal to [cost mesh msg]). A self-message costs [0]. *)
+val route : Mesh.t -> Link_stats.t -> message -> int
+
+(** [route_all mesh stats msgs] routes a batch and returns the summed cost. *)
+val route_all : Mesh.t -> Link_stats.t -> message list -> int
+
+val pp_message : Format.formatter -> message -> unit

@@ -1,0 +1,44 @@
+(** Message-level execution of a data schedule.
+
+    The schedulers compute analytic costs; this simulator independently
+    {e executes} the communication implied by a schedule — round by round,
+    message by message, hop by hop — and measures what it cost. A round is
+    one execution window's worth of traffic: first the migration messages
+    that move data to this window's centers, then one message per data
+    reference. The measured total must equal the analytic total; the test
+    suite enforces this identity.
+
+    Beyond the paper's scalar cost, each round also reports a
+    bandwidth-limited latency lower bound (max per-link load vs. max hop
+    distance), which the congestion ablation uses. *)
+
+type round_report = {
+  round : int;  (** window index *)
+  migration_cost : int;  (** hop·volume units spent moving data *)
+  reference_cost : int;  (** hop·volume units spent fetching data *)
+  messages : int;  (** number of non-local messages routed *)
+  latency_bound : int;
+      (** max(max hop distance of any message, max per-link volume) for this
+          round — a lower bound on the round's completion time under
+          unit-bandwidth links *)
+}
+
+type report = {
+  rounds : round_report list;  (** in execution order *)
+  total_migration : int;
+  total_reference : int;
+  total_cost : int;  (** [total_migration + total_reference] *)
+  link_stats : Link_stats.t;  (** cumulative over all rounds *)
+}
+
+(** One round's traffic: data migrations then reference messages. *)
+type round = {
+  migrations : Router.message list;
+  references : Router.message list;
+}
+
+(** [run mesh rounds] routes every message of every round in order and
+    returns the measured report. *)
+val run : Mesh.t -> round list -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,44 @@
+(** Contention-aware timing of a schedule's traffic.
+
+    {!Simulator} verifies the paper's scalar cost (hop·volume units);
+    this module answers the follow-on question the paper leaves open: how
+    long does a window's traffic actually {e take} when links have unit
+    bandwidth and messages queue behind each other?
+
+    The model is store-and-forward packet switching: a message follows its
+    x-y route hop by hop; a link transmits one volume unit per cycle and
+    serves waiting packets in FIFO order (ties broken by injection order,
+    so runs are deterministic); a packet occupies a link for [volume]
+    consecutive cycles and only then queues at the next link. Migration
+    packets of a round are injected before reference packets, all at cycle
+    0. The round's {e makespan} is the cycle at which its last packet is
+    delivered.
+
+    Two easy lower bounds hold and are property-tested: a round's makespan
+    is at least the largest [volume × hops] of any of its messages, and at
+    least the highest per-link volume. *)
+
+type round_report = {
+  round : int;
+  cycles : int;  (** makespan of the round; 0 for an all-local round *)
+  messages : int;  (** packets actually injected (non-local, volume > 0) *)
+  volume_hops : int;  (** Σ volume·hops — equals the analytic cost *)
+  utilization : float;
+      (** [volume_hops / (live links × cycles)]: mean fraction of link
+          bandwidth in use while the round ran; [0.] for an empty round *)
+}
+
+type report = {
+  rounds : round_report list;
+  total_cycles : int;  (** Σ round makespans — rounds are barriers *)
+  total_volume_hops : int;
+}
+
+(** [run mesh rounds] simulates every round to completion. *)
+val run : Mesh.t -> Simulator.round list -> report
+
+(** [round_makespan mesh messages] times one batch of messages (cycle at
+    which the last one is delivered). *)
+val round_makespan : Mesh.t -> Router.message list -> int
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/trace/data_space.mli: Format

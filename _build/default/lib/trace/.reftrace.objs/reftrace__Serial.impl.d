@@ -1,0 +1,1 @@
+lib/trace/serial.ml: Buffer Data_space Fun List Printf String Trace Window

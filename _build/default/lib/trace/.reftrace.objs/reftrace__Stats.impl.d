@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Array Data_space Float Format List Option Pim Trace Window

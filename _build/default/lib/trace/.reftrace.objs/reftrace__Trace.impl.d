@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Data_space Format Fun List Pim Printf Window

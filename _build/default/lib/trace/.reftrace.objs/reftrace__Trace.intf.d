@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Data_space Format Pim Window

@@ -1,0 +1,1 @@
+lib/trace/window.ml: Array Format Hashtbl Int List Printf

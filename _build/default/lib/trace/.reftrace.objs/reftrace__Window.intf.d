@@ -1,0 +1,1 @@
+lib/trace/window.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/window_builder.ml: Array Data_space Hashtbl Int List Trace Window

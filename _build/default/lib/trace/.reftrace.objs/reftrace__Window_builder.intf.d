@@ -1,0 +1,1 @@
+lib/trace/window_builder.mli: Data_space Trace

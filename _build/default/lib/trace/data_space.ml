@@ -1,0 +1,122 @@
+type array_desc = { name : string; rows : int; cols : int; volume : int }
+
+let array_desc ?(volume = 1) name ~rows ~cols =
+  if volume <= 0 then
+    invalid_arg
+      (Printf.sprintf "Data_space.array_desc: volume must be positive (%d)"
+         volume);
+  { name; rows; cols; volume }
+
+type t = {
+  descs : array_desc list;
+  offsets : (string * int) list; (* array name -> first id *)
+  size : int;
+}
+
+let elements d = d.rows * d.cols
+
+let validate d =
+  if d.rows <= 0 || d.cols <= 0 then
+    invalid_arg
+      (Printf.sprintf "Data_space: array %s has non-positive shape %dx%d"
+         d.name d.rows d.cols);
+  if d.volume <= 0 then
+    invalid_arg
+      (Printf.sprintf "Data_space: array %s has non-positive volume %d"
+         d.name d.volume)
+
+let create first rest =
+  let descs = first :: rest in
+  List.iter validate descs;
+  let names = List.map (fun d -> d.name) descs in
+  let distinct = List.sort_uniq String.compare names in
+  if List.length distinct <> List.length names then
+    invalid_arg "Data_space.create: duplicate array names";
+  let _, offsets =
+    List.fold_left
+      (fun (off, acc) d -> (off + elements d, (d.name, off) :: acc))
+      (0, []) descs
+  in
+  {
+    descs;
+    offsets = List.rev offsets;
+    size = List.fold_left (fun acc d -> acc + elements d) 0 descs;
+  }
+
+let matrix ?volume name n = create (array_desc ?volume name ~rows:n ~cols:n) []
+let size t = t.size
+let arrays t = t.descs
+
+let find_desc t name =
+  match List.find_opt (fun d -> d.name = name) t.descs with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Data_space: unknown array %s" name)
+
+let id t ~array_name ~row ~col =
+  let d = find_desc t array_name in
+  if row < 0 || row >= d.rows || col < 0 || col >= d.cols then
+    invalid_arg
+      (Printf.sprintf "Data_space.id: %s(%d,%d) out of bounds" array_name row
+         col);
+  List.assoc array_name t.offsets + (row * d.cols) + col
+
+let locate t i =
+  if i < 0 || i >= t.size then
+    invalid_arg (Printf.sprintf "Data_space.locate: id %d out of range" i);
+  let rec go descs offsets =
+    match (descs, offsets) with
+    | d :: descs', (_, off) :: offsets' ->
+        if i < off + elements d then
+          let local = i - off in
+          (d, local / d.cols, local mod d.cols)
+        else go descs' offsets'
+    | _ -> assert false
+  in
+  go t.descs t.offsets
+
+let describe t i =
+  let d, r, c = locate t i in
+  Printf.sprintf "%s(%d,%d)" d.name r c
+
+let ids t = List.init t.size Fun.id
+
+let volume_of t i =
+  let d, _, _ = locate t i in
+  d.volume
+
+let total_volume t =
+  List.fold_left (fun acc d -> acc + (elements d * d.volume)) 0 t.descs
+
+let concat a b =
+  (* Arrays of [b] whose names occur in [a] must match shape and map onto the
+     existing ids; new arrays are appended after [a]. *)
+  let shared, fresh =
+    List.partition (fun d -> List.mem_assoc d.name a.offsets) b.descs
+  in
+  List.iter
+    (fun (d : array_desc) ->
+      let da = find_desc a d.name in
+      if da.rows <> d.rows || da.cols <> d.cols || da.volume <> d.volume
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Data_space.concat: array %s has shape %dx%d vs %dx%d" d.name
+             da.rows da.cols d.rows d.cols))
+    shared;
+  let merged =
+    match a.descs @ fresh with
+    | first :: rest -> create first rest
+    | [] -> assert false
+  in
+  let translate i =
+    let d, r, c = locate b i in
+    id merged ~array_name:d.name ~row:r ~col:c
+  in
+  (merged, translate)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>data space {%a} (%d elements)@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt d -> Format.fprintf fmt "%s:%dx%d" d.name d.rows d.cols))
+    t.descs t.size

@@ -1,0 +1,70 @@
+(** The set of data elements an application schedules.
+
+    A data space is an ordered collection of named 2-D arrays (e.g. the
+    matrix [A] of an LU factorization, or [A] and [C] of a matrix product).
+    Every element gets a dense integer id; schedulers treat ids opaquely, and
+    this module maps ids back to [(array, row, col)] for reporting and for
+    the row-wise/column-wise straight-forward distributions. *)
+
+type array_desc = {
+  name : string;
+  rows : int;
+  cols : int;
+  volume : int;
+      (** size of one element in abstract volume units; the paper's cost
+          model weights every hop by "the data volume transferred", and
+          memories hold a bounded number of volume units. Use
+          {!array_desc} (the smart constructor) for the common
+          [volume = 1]. *)
+}
+
+(** [array_desc ?volume name ~rows ~cols] builds a descriptor;
+    [volume] defaults to [1]. @raise Invalid_argument if [volume <= 0]. *)
+val array_desc : ?volume:int -> string -> rows:int -> cols:int -> array_desc
+
+type t
+
+(** [create arrays] lays the arrays out with contiguous ids, in list order.
+    @raise Invalid_argument on empty list, duplicate names, or non-positive
+    dimensions. *)
+val create : array_desc -> array_desc list -> t
+
+(** [matrix ?volume name n] is the common case of a single [n] × [n]
+    array of unit-volume elements. *)
+val matrix : ?volume:int -> string -> int -> t
+
+(** [size t] is the total number of data elements. *)
+val size : t -> int
+
+val arrays : t -> array_desc list
+
+(** [id t ~array_name ~row ~col] is the dense id of that element.
+    @raise Invalid_argument if the name is unknown or indices are out of
+    bounds. *)
+val id : t -> array_name:string -> row:int -> col:int -> int
+
+(** [locate t id] is [(desc, row, col)] for a dense id.
+    @raise Invalid_argument if [id] is out of range. *)
+val locate : t -> int -> array_desc * int * int
+
+(** [describe t id] renders e.g. ["A(3,1)"]. *)
+val describe : t -> int -> string
+
+(** [ids t] is [[0; ...; size t - 1]]. *)
+val ids : t -> int list
+
+(** [volume_of t id] is the element volume of a datum.
+    @raise Invalid_argument if [id] is out of range. *)
+val volume_of : t -> int -> int
+
+(** [total_volume t] is Σ element volumes over the whole space. *)
+val total_volume : t -> int
+
+(** [concat a b] merges two spaces; arrays sharing a name must have equal
+    shapes and are identified (the combined benchmarks of the paper reuse
+    the same matrix across phases). Ids of [a] are preserved; genuinely new
+    arrays of [b] are appended. Also returns the id-translation function for
+    ids of [b]. *)
+val concat : t -> t -> t * (int -> int)
+
+val pp : Format.formatter -> t -> unit

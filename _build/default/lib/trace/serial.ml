@@ -1,0 +1,131 @@
+let header = "# pim-sched trace v1"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  let space = Trace.space t in
+  List.iter
+    (fun (d : Data_space.array_desc) ->
+      Buffer.add_string buf
+        (if d.volume = 1 then
+           Printf.sprintf "array %s %d %d\n" d.name d.rows d.cols
+         else
+           Printf.sprintf "array %s %d %d %d\n" d.name d.rows d.cols
+             d.volume))
+    (Data_space.arrays space);
+  List.iteri
+    (fun i w ->
+      Buffer.add_string buf (Printf.sprintf "window %d\n" i);
+      List.iter
+        (fun data ->
+          List.iter
+            (fun (proc, count) ->
+              Buffer.add_string buf
+                (Printf.sprintf "ref %d %d %d\n" data proc count))
+            (Window.read_profile w data);
+          List.iter
+            (fun (proc, count) ->
+              Buffer.add_string buf
+                (Printf.sprintf "write %d %d %d\n" data proc count))
+            (Window.write_profile w data))
+        (Window.referenced_data w))
+    (Trace.windows t);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable arrays : Data_space.array_desc list; (* reversed *)
+  mutable space : Data_space.t option;
+  mutable windows : Window.t list; (* reversed *)
+  mutable current : Window.t option;
+}
+
+let fail lineno msg =
+  failwith (Printf.sprintf "Serial.of_string: line %d: %s" lineno msg)
+
+let finish_window st =
+  match st.current with
+  | Some w ->
+      st.windows <- w :: st.windows;
+      st.current <- None
+  | None -> ()
+
+let ensure_space st lineno =
+  match st.space with
+  | Some s -> s
+  | None -> (
+      match List.rev st.arrays with
+      | [] -> fail lineno "no array declared before windows"
+      | first :: rest ->
+          let s = Data_space.create first rest in
+          st.space <- Some s;
+          s)
+
+let parse_line st lineno line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | word :: _ when String.length word > 0 && word.[0] = '#' -> ()
+  | "array" :: name :: rows :: cols :: rest -> (
+      if st.space <> None then
+        fail lineno "array declarations must precede windows";
+      let volume =
+        match rest with
+        | [] -> Some 1
+        | [ v ] -> int_of_string_opt v
+        | _ -> None
+      in
+      match (int_of_string_opt rows, int_of_string_opt cols, volume) with
+      | Some rows, Some cols, Some volume when volume > 0 ->
+          st.arrays <-
+            Data_space.array_desc ~volume name ~rows ~cols :: st.arrays
+      | _ -> fail lineno "malformed array dimensions")
+  | [ "window"; idx ] -> (
+      let space = ensure_space st lineno in
+      match int_of_string_opt idx with
+      | Some i ->
+          finish_window st;
+          if i <> List.length st.windows then
+            fail lineno
+              (Printf.sprintf "expected window %d, got %d"
+                 (List.length st.windows) i);
+          st.current <- Some (Window.create ~n_data:(Data_space.size space))
+      | None -> fail lineno "malformed window index")
+  | [ ("ref" | "write") as word; data; proc; count ] -> (
+      let kind = if word = "ref" then Window.Read else Window.Write in
+      match
+        ( st.current,
+          int_of_string_opt data,
+          int_of_string_opt proc,
+          int_of_string_opt count )
+      with
+      | None, _, _, _ -> fail lineno "ref before any window"
+      | Some w, Some data, Some proc, Some count -> (
+          try Window.add w ~kind ~data ~proc ~count
+          with Invalid_argument msg -> fail lineno msg)
+      | Some _, _, _, _ -> fail lineno "malformed ref line")
+  | _ -> fail lineno (Printf.sprintf "unrecognized line %S" line)
+
+let of_string s =
+  let st = { arrays = []; space = None; windows = []; current = None } in
+  List.iteri
+    (fun i line -> parse_line st (i + 1) line)
+    (String.split_on_char '\n' s);
+  finish_window st;
+  match (st.space, List.rev st.windows) with
+  | None, _ -> failwith "Serial.of_string: empty input"
+  | Some _, [] -> failwith "Serial.of_string: no windows"
+  | Some space, windows -> Trace.create space windows
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,113 @@
+type profile = {
+  drift : float;
+  entropy : float;
+  sharing_degree : float;
+  reuse : float;
+  windows : int;
+  references : int;
+}
+
+let centroid mesh window ~data =
+  match Window.profile window data with
+  | [] -> None
+  | refs ->
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 refs in
+      let sx = ref 0. and sy = ref 0. in
+      List.iter
+        (fun (proc, count) ->
+          let c = Pim.Mesh.coord_of_rank mesh proc in
+          let w = float_of_int count in
+          sx := !sx +. (w *. float_of_int c.Pim.Coord.x);
+          sy := !sy +. (w *. float_of_int c.Pim.Coord.y))
+        refs;
+      let n = float_of_int total in
+      Some (!sx /. n, !sy /. n)
+
+let window_entropy mesh window =
+  let m = Pim.Mesh.size mesh in
+  let counts = Array.make m 0 in
+  List.iter
+    (fun data ->
+      List.iter
+        (fun (proc, count) ->
+          if proc < m then counts.(proc) <- counts.(proc) + count)
+        (Window.profile window data))
+    (Window.referenced_data window);
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. float_of_int total in
+          acc -. (p *. (Float.log p /. Float.log 2.)))
+      0. counts
+
+let profile mesh trace =
+  let windows = Trace.windows trace in
+  let n_windows = Trace.n_windows trace in
+  let n_data = Data_space.size (Trace.space trace) in
+  let references = Trace.total_references trace in
+  (* entropy: reference-weighted mean over windows *)
+  let entropy =
+    if references = 0 then 0.
+    else
+      List.fold_left
+        (fun acc w ->
+          acc
+          +. (float_of_int (Window.total_references w)
+             *. window_entropy mesh w))
+        0. windows
+      /. float_of_int references
+  in
+  (* drift and reuse: walk each datum's referenced windows in order *)
+  let drift_sum = ref 0. and drift_weight = ref 0. in
+  let reused = ref 0 and uses = ref 0 in
+  let sharing_sum = ref 0 and sharing_uses = ref 0 in
+  for data = 0 to n_data - 1 do
+    let prev = ref None in
+    let seen_before = ref false in
+    List.iter
+      (fun w ->
+        match Window.profile w data with
+        | [] -> ()
+        | refs ->
+            incr uses;
+            if !seen_before then incr reused;
+            seen_before := true;
+            sharing_sum := !sharing_sum + List.length refs;
+            incr sharing_uses;
+            let c = Option.get (centroid mesh w ~data) in
+            (match !prev with
+            | Some (px, py) ->
+                let cx, cy = c in
+                let weight =
+                  float_of_int
+                    (List.fold_left (fun acc (_, k) -> acc + k) 0 refs)
+                in
+                drift_sum :=
+                  !drift_sum
+                  +. (weight *. (abs_float (cx -. px) +. abs_float (cy -. py)));
+                drift_weight := !drift_weight +. weight
+            | None -> ());
+            prev := Some c)
+      windows
+  done;
+  {
+    drift = (if !drift_weight > 0. then !drift_sum /. !drift_weight else 0.);
+    entropy;
+    sharing_degree =
+      (if !sharing_uses > 0 then
+         float_of_int !sharing_sum /. float_of_int !sharing_uses
+       else 0.);
+    reuse =
+      (if !uses > 0 then float_of_int !reused /. float_of_int !uses else 0.);
+    windows = n_windows;
+    references;
+  }
+
+let pp_profile fmt p =
+  Format.fprintf fmt
+    "drift=%.2f entropy=%.2fb sharing=%.2f reuse=%.2f (%d windows, %d refs)"
+    p.drift p.entropy p.sharing_degree p.reuse p.windows p.references

@@ -1,0 +1,40 @@
+(** Workload characterization metrics.
+
+    These quantify {e why} a reference trace does or does not benefit from
+    multi-center scheduling, and are reported alongside the benches:
+
+    - {e drift}: how far each datum's reference centroid moves between
+      consecutive windows that use it — the hot-spot motion that gives
+      LOMCDS/GOMCDS their edge (0 for a stationary pattern);
+    - {e entropy}: how spread out a window's references are over the
+      processor array (0 = one processor, [log2 P] = uniform) — high
+      entropy limits what any single placement can do;
+    - {e sharing degree}: mean number of distinct processors touching a
+      referenced datum within a window — high sharing is where replication
+      pays;
+    - {e reuse}: fraction of per-window datum uses that also used the datum
+      in an earlier window — low reuse means placement decisions have
+      nothing to amortize against. *)
+
+type profile = {
+  drift : float;  (** mean centroid displacement, reference-weighted *)
+  entropy : float;  (** mean per-window processor entropy, in bits *)
+  sharing_degree : float;
+  reuse : float;  (** in [0, 1] *)
+  windows : int;
+  references : int;
+}
+
+(** [centroid mesh window ~data] is the reference-count-weighted mean
+    coordinate of the datum's readers; [None] when unreferenced. *)
+val centroid : Pim.Mesh.t -> Window.t -> data:int -> (float * float) option
+
+(** [window_entropy mesh window] is the Shannon entropy (bits) of the
+    window's reference distribution over processors; [0.] for an empty
+    window. *)
+val window_entropy : Pim.Mesh.t -> Window.t -> float
+
+(** [profile mesh trace] computes every metric in one pass. *)
+val profile : Pim.Mesh.t -> Trace.t -> profile
+
+val pp_profile : Format.formatter -> profile -> unit

@@ -1,0 +1,84 @@
+type event = { step : int; proc : int; data : int; kind : Window.kind }
+
+let event ?(kind = Window.Read) ~step ~proc ~data () =
+  { step; proc; data; kind }
+type t = { space : Data_space.t; windows : Window.t array }
+
+let create space windows =
+  let n = Data_space.size space in
+  if windows = [] then invalid_arg "Trace.create: no windows";
+  List.iter
+    (fun w ->
+      if Window.n_data w <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Trace.create: window over %d data, space has %d elements"
+             (Window.n_data w) n))
+    windows;
+  { space; windows = Array.of_list windows }
+
+let space t = t.space
+let n_windows t = Array.length t.windows
+
+let window t i =
+  if i < 0 || i >= Array.length t.windows then
+    invalid_arg (Printf.sprintf "Trace.window: index %d out of range" i);
+  t.windows.(i)
+
+let windows t = Array.to_list t.windows
+
+let total_references t =
+  Array.fold_left (fun acc w -> acc + Window.total_references w) 0 t.windows
+
+let merged t = Window.merge_list (windows t)
+
+let validate t mesh =
+  let limit = Pim.Mesh.size mesh in
+  Array.iteri
+    (fun i w ->
+      let mx = Window.max_proc w in
+      if mx >= limit then
+        invalid_arg
+          (Printf.sprintf
+             "Trace.validate: window %d references rank %d but mesh has %d \
+              processors"
+             i mx limit))
+    t.windows
+
+let remap_window ~n_data ~translate w =
+  let out = Window.create ~n_data in
+  List.iter
+    (fun data ->
+      List.iter
+        (fun (proc, count) ->
+          Window.add out ~kind:Window.Read ~data:(translate data) ~proc
+            ~count)
+        (Window.read_profile w data);
+      List.iter
+        (fun (proc, count) ->
+          Window.add out ~kind:Window.Write ~data:(translate data) ~proc
+            ~count)
+        (Window.write_profile w data))
+    (Window.referenced_data w);
+  out
+
+let append a b =
+  let merged_space, translate = Data_space.concat a.space b.space in
+  let n_data = Data_space.size merged_space in
+  let keep = remap_window ~n_data ~translate:Fun.id in
+  let move = remap_window ~n_data ~translate in
+  let ws =
+    List.map keep (windows a) @ List.map move (windows b)
+  in
+  create merged_space ws
+
+let reversed t = { t with windows = Array.of_list (List.rev (windows t)) }
+
+let drop_empty_windows t =
+  match List.filter (fun w -> not (Window.is_empty w)) (windows t) with
+  | [] -> { t with windows = [| t.windows.(0) |] }
+  | ws -> { t with windows = Array.of_list ws }
+
+let pp fmt t =
+  Format.fprintf fmt "trace over %a: %d windows, %d references" Data_space.pp
+    t.space (n_windows t) (total_references t)

@@ -1,0 +1,158 @@
+type kind = Read | Write
+
+type t = {
+  n_data : int;
+  (* per datum, per kind: processor rank -> reference count *)
+  reads : (int, int) Hashtbl.t array;
+  writes_ : (int, int) Hashtbl.t array;
+}
+
+let create ~n_data =
+  if n_data <= 0 then invalid_arg "Window.create: n_data must be positive";
+  {
+    n_data;
+    reads = Array.init n_data (fun _ -> Hashtbl.create 4);
+    writes_ = Array.init n_data (fun _ -> Hashtbl.create 1);
+  }
+
+let n_data t = t.n_data
+
+let check_data t data =
+  if data < 0 || data >= t.n_data then
+    invalid_arg (Printf.sprintf "Window: data id %d out of range" data)
+
+let table t kind data =
+  match kind with Read -> t.reads.(data) | Write -> t.writes_.(data)
+
+let add ?(kind = Read) t ~data ~proc ~count =
+  check_data t data;
+  if proc < 0 then invalid_arg "Window.add: negative processor rank";
+  if count < 0 then invalid_arg "Window.add: negative count";
+  if count > 0 then begin
+    let tbl = table t kind data in
+    match Hashtbl.find_opt tbl proc with
+    | Some c -> Hashtbl.replace tbl proc (c + count)
+    | None -> Hashtbl.add tbl proc count
+  end
+
+let profile_of_table tbl =
+  Hashtbl.fold
+    (fun proc count acc -> if count > 0 then (proc, count) :: acc else acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let read_profile t data =
+  check_data t data;
+  profile_of_table t.reads.(data)
+
+let write_profile t data =
+  check_data t data;
+  profile_of_table t.writes_.(data)
+
+let profile t data =
+  check_data t data;
+  let combined = Hashtbl.copy t.reads.(data) in
+  Hashtbl.iter
+    (fun proc count ->
+      match Hashtbl.find_opt combined proc with
+      | Some c -> Hashtbl.replace combined proc (c + count)
+      | None -> Hashtbl.add combined proc count)
+    t.writes_.(data);
+  profile_of_table combined
+
+let count_table tbl = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
+
+let references t data =
+  check_data t data;
+  count_table t.reads.(data) + count_table t.writes_.(data)
+
+let writes t data =
+  check_data t data;
+  count_table t.writes_.(data)
+
+let total_references t =
+  let acc = ref 0 in
+  Array.iter (fun tbl -> acc := !acc + count_table tbl) t.reads;
+  Array.iter (fun tbl -> acc := !acc + count_table tbl) t.writes_;
+  !acc
+
+let referenced_data t =
+  let acc = ref [] in
+  for data = t.n_data - 1 downto 0 do
+    if references t data > 0 then acc := data :: !acc
+  done;
+  !acc
+
+let is_empty t = referenced_data t = []
+
+let pour ~into src =
+  Array.iteri
+    (fun data tbl ->
+      Hashtbl.iter
+        (fun proc count -> add into ~kind:Read ~data ~proc ~count)
+        tbl)
+    src.reads;
+  Array.iteri
+    (fun data tbl ->
+      Hashtbl.iter
+        (fun proc count -> add into ~kind:Write ~data ~proc ~count)
+        tbl)
+    src.writes_
+
+let merge a b =
+  if a.n_data <> b.n_data then
+    invalid_arg "Window.merge: mismatched data spaces";
+  let m = create ~n_data:a.n_data in
+  pour ~into:m a;
+  pour ~into:m b;
+  m
+
+let copy t =
+  let c = create ~n_data:t.n_data in
+  pour ~into:c t;
+  c
+
+let merge_list = function
+  | [] -> invalid_arg "Window.merge_list: empty list"
+  | w :: ws -> List.fold_left merge (copy w) ws
+
+let equal a b =
+  a.n_data = b.n_data
+  && begin
+       let ok = ref true in
+       for data = 0 to a.n_data - 1 do
+         if
+           read_profile a data <> read_profile b data
+           || write_profile a data <> write_profile b data
+         then ok := false
+       done;
+       !ok
+     end
+
+let max_proc t =
+  let mx = ref (-1) in
+  let scan tbl =
+    Hashtbl.iter (fun proc count -> if count > 0 then mx := max !mx proc) tbl
+  in
+  Array.iter scan t.reads;
+  Array.iter scan t.writes_;
+  !mx
+
+let pp fmt t =
+  let data = referenced_data t in
+  Format.fprintf fmt "@[<v>window (%d data referenced, %d refs total)"
+    (List.length data) (total_references t);
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "@ data %d:" d;
+      List.iter
+        (fun (p, c) -> Format.fprintf fmt " p%d x%d" p c)
+        (profile t d);
+      match write_profile t d with
+      | [] -> ()
+      | ws ->
+          Format.fprintf fmt " (writes:";
+          List.iter (fun (p, c) -> Format.fprintf fmt " p%d x%d" p c) ws;
+          Format.fprintf fmt ")")
+    data;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Code_kernel Lu Matmul Pim Printf Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.ml: Iteration_space List Reftrace

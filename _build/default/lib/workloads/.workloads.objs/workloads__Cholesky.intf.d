@@ -1,0 +1,1 @@
+lib/workloads/cholesky.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/code_kernel.ml: Iteration_space List Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/code_kernel.mli: Iteration_space Pim Reftrace

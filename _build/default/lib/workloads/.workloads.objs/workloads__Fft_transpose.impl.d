@@ -1,0 +1,1 @@
+lib/workloads/fft_transpose.ml: Iteration_space List Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/fft_transpose.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/iteration_space.mli: Pim

@@ -1,0 +1,1 @@
+lib/workloads/lu.ml: Iteration_space List Reftrace

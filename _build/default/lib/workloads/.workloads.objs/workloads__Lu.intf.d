@@ -1,0 +1,1 @@
+lib/workloads/lu.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/reduction.ml: Iteration_space List Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/reduction.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/stencil.ml: Iteration_space List Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/stencil.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/transitive_closure.ml: Iteration_space List Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/transitive_closure.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,1 @@
+lib/workloads/wavefront.ml: Iteration_space List Reftrace

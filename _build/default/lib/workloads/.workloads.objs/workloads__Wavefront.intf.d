@@ -1,0 +1,1 @@
+lib/workloads/wavefront.mli: Iteration_space Pim Reftrace

@@ -1,0 +1,41 @@
+type t = B1 | B2 | B3 | B4 | B5
+
+let all = [ B1; B2; B3; B4; B5 ]
+
+let label = function
+  | B1 -> "1"
+  | B2 -> "2"
+  | B3 -> "3"
+  | B4 -> "4"
+  | B5 -> "5"
+
+let description = function
+  | B1 -> "LU factorization"
+  | B2 -> "matrix squaring (C = A*A)"
+  | B3 -> "matrix squaring followed by CODE"
+  | B4 -> "LU factorization followed by CODE"
+  | B5 -> "CODE followed by CODE in reverse order"
+
+let of_label = function
+  | "1" -> B1
+  | "2" -> B2
+  | "3" -> B3
+  | "4" -> B4
+  | "5" -> B5
+  | s -> invalid_arg (Printf.sprintf "Benchmarks.of_label: unknown %S" s)
+
+let trace ?partition t ~n mesh =
+  let lu () = Lu.trace ?partition ~n mesh in
+  let mm () = Matmul.trace ?partition ~n mesh in
+  let code () = Code_kernel.trace ?partition ~n mesh in
+  match t with
+  | B1 -> lu ()
+  | B2 -> mm ()
+  | B3 -> Reftrace.Trace.append (mm ()) (code ())
+  | B4 -> Reftrace.Trace.append (lu ()) (code ())
+  | B5 -> Reftrace.Trace.append (code ()) (Reftrace.Trace.reversed (code ()))
+
+let capacity t ~n mesh =
+  (* B2/B3 schedule both A and C; the others only the matrix A. *)
+  let data_count = match t with B2 | B3 -> 2 * n * n | B1 | B4 | B5 -> n * n in
+  Pim.Memory.capacity_for ~data_count ~mesh ~headroom:2

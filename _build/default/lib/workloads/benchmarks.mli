@@ -1,0 +1,39 @@
+(** The paper's five benchmarks (§5).
+
+    1. LU factorization;
+    2. matrix squaring (C = A·A);
+    3. benchmark 2 followed by CODE;
+    4. benchmark 1 followed by CODE;
+    5. CODE followed by CODE in reverse execution order.
+
+    Combined benchmarks share the matrix [A] across phases (the data keep
+    their placements between phases, so inter-phase movement is where the
+    multi-center schedulers earn their keep). *)
+
+type t = B1 | B2 | B3 | B4 | B5
+
+val all : t list
+
+(** ["1"] .. ["5"], matching the paper's "B." column. *)
+val label : t -> string
+
+(** A one-line description for documentation and CLIs. *)
+val description : t -> string
+
+(** [of_label s] parses ["1"] .. ["5"].
+    @raise Invalid_argument on anything else. *)
+val of_label : string -> t
+
+(** [trace ?partition t ~n mesh] builds the benchmark's trace for an
+    [n] × [n] data size. @raise Invalid_argument for [n < 4]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  t ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t
+
+(** [capacity t ~n mesh] is the paper's memory rule for this benchmark
+    instance: twice the minimum per-processor requirement
+    ({!Pim.Memory.capacity_for} with headroom 2). *)
+val capacity : t -> n:int -> Pim.Mesh.t -> int

@@ -1,0 +1,18 @@
+(** Cholesky factorization (right-looking, lower triangle).
+
+    A structurally richer cousin of LU: step [k] reads the pivot diagonal
+    [A(k,k)], scales column [k] below the diagonal, and updates only the
+    lower-triangular trailing submatrix — iteration [(i, j)] with
+    [k < j <= i] writes [A(i,j)] and reads [A(i,k)], [A(j,k)]. The live
+    region shrinks triangularly, so hot data drift toward the bottom-right
+    corner faster than LU's square trailing updates. Only the lower
+    triangle is ever touched; the upper half of [A] stays cold, making this
+    the benchmark where capacity headroom matters least. *)
+
+(** [trace ?partition ~n mesh] generates the [n - 1]-window trace.
+    @raise Invalid_argument if [n < 2]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

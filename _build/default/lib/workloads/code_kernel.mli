@@ -1,0 +1,29 @@
+(** The synthetic "CODE" kernel.
+
+    The paper's third workload ("the code in [5]", Notre Dame CSE TR 97-09)
+    is not retrievable; per DESIGN.md §4 we substitute a deterministic
+    irregular kernel engineered to have the property the paper exploits: a
+    complicated, non-uniform reference pattern whose hot region moves
+    between execution windows, so multi-center scheduling has headroom over
+    any single placement.
+
+    Window [t] of [T = n/2] windows combines three access modes on an
+    [n] × [n] matrix [A]:
+    - a {e sweeping front}: a band of rows around [r_t = t·n/T] is updated;
+      each owned iteration references its own element, the front row
+      element of its column, and the transposed element;
+    - a {e counter-sweeping column gather}: column [c_t = (T-1-t)·n/T] is
+      read together with its transposed row;
+    - seeded {e jitter}: a few extra references at xorshift-random
+      positions, making the pattern irregular without breaking
+      reproducibility. *)
+
+(** [trace ?partition ?seed ~n mesh] generates the [n/2]-window trace.
+    [seed] defaults to [0x5EED]; [partition] to [Block_2d].
+    @raise Invalid_argument if [n < 4]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  ?seed:int ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

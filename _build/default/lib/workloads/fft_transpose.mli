@@ -1,0 +1,18 @@
+(** Two-dimensional FFT by row–column decomposition.
+
+    Another classic communication-bound kernel (beyond the paper's set):
+    phase 1 runs 1-D FFTs along rows (each row's owner sweeps its row
+    [log n] times), phase 2 is the transpose (iteration [(i, j)] reads
+    [X(j, i)] and writes [X(i, j)] — the all-to-all that dominates
+    distributed FFTs), phase 3 runs 1-D FFTs along rows again. Each phase is
+    a separate execution window, so a good data schedule re-homes the matrix
+    around the transpose. *)
+
+(** [trace ?partition ~n mesh] generates the 3-window trace over the matrix
+    [X]. [n] must be a power of two for the butterfly count to be honest.
+    @raise Invalid_argument if [n < 2] or [n] is not a power of two. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

@@ -1,0 +1,31 @@
+type partition = Block_2d | Row_blocks | Col_blocks | Cyclic_2d
+
+let all = [ Block_2d; Row_blocks; Col_blocks; Cyclic_2d ]
+
+let name = function
+  | Block_2d -> "block-2d"
+  | Row_blocks -> "row-blocks"
+  | Col_blocks -> "col-blocks"
+  | Cyclic_2d -> "cyclic-2d"
+
+let owner partition mesh ~extent_i ~extent_j ~i ~j =
+  if i < 0 || i >= extent_i || j < 0 || j >= extent_j then
+    invalid_arg
+      (Printf.sprintf "Iteration_space.owner: (%d,%d) outside %dx%d" i j
+         extent_i extent_j);
+  let rows = Pim.Mesh.rows mesh and cols = Pim.Mesh.cols mesh in
+  let p = Pim.Mesh.size mesh in
+  match partition with
+  | Block_2d ->
+      let gr = min (i * rows / extent_i) (rows - 1) in
+      let gc = min (j * cols / extent_j) (cols - 1) in
+      Pim.Mesh.rank_of_coord mesh (Pim.Coord.make ~x:gc ~y:gr)
+  | Row_blocks ->
+      let idx = (i * extent_j) + j in
+      min (idx * p / (extent_i * extent_j)) (p - 1)
+  | Col_blocks ->
+      let idx = (j * extent_i) + i in
+      min (idx * p / (extent_i * extent_j)) (p - 1)
+  | Cyclic_2d ->
+      let gr = i mod rows and gc = j mod cols in
+      Pim.Mesh.rank_of_coord mesh (Pim.Coord.make ~x:gc ~y:gr)

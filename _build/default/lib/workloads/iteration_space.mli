@@ -1,0 +1,29 @@
+(** Iteration partitioning: mapping loop iterations onto the PIM array.
+
+    The paper prepares two stages before execution — the iteration partition
+    and the data scheduling — and studies only the latter. We still need the
+    former to generate processor reference strings: the processor that owns
+    an iteration is the one that references the iteration's operands.
+    Owner-computes block mapping over the 2-D iteration space is the
+    default; alternatives are provided for sensitivity studies. *)
+
+type partition =
+  | Block_2d  (** tile the iteration rectangle over the processor grid *)
+  | Row_blocks  (** contiguous row bands dealt over all processors *)
+  | Col_blocks  (** contiguous column bands *)
+  | Cyclic_2d  (** round-robin in both dimensions *)
+
+val all : partition list
+val name : partition -> string
+
+(** [owner partition mesh ~extent_i ~extent_j ~i ~j] is the rank executing
+    iteration [(i, j)] of an [extent_i] × [extent_j] iteration space.
+    @raise Invalid_argument if the iteration is out of bounds. *)
+val owner :
+  partition ->
+  Pim.Mesh.t ->
+  extent_i:int ->
+  extent_j:int ->
+  i:int ->
+  j:int ->
+  int

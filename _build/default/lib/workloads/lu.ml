@@ -1,0 +1,30 @@
+let trace ?(partition = Iteration_space.Block_2d) ~n mesh =
+  if n < 2 then invalid_arg "Lu.trace: n must be at least 2";
+  let space = Reftrace.Data_space.matrix "A" n in
+  let id row col = Reftrace.Data_space.id space ~array_name:"A" ~row ~col in
+  let owner i j =
+    Iteration_space.owner partition mesh ~extent_i:n ~extent_j:n ~i ~j
+  in
+  let events = ref [] in
+  let emit ?kind step proc data =
+    events := Reftrace.Trace.event ?kind ~step ~proc ~data () :: !events
+  in
+  let wr = Reftrace.Window.Write in
+  for k = 0 to n - 2 do
+    (* column scaling: iteration (i, k) divides a(i,k) by the pivot *)
+    for i = k + 1 to n - 1 do
+      let p = owner i k in
+      emit ~kind:wr k p (id i k);
+      emit k p (id k k)
+    done;
+    (* trailing submatrix update *)
+    for i = k + 1 to n - 1 do
+      for j = k + 1 to n - 1 do
+        let p = owner i j in
+        emit ~kind:wr k p (id i j);
+        emit k p (id i k);
+        emit k p (id k j)
+      done
+    done
+  done;
+  Reftrace.Window_builder.per_step space (List.rev !events)

@@ -1,0 +1,19 @@
+(** LU factorization reference-string generator (paper benchmark 1).
+
+    In-place LU without pivoting on an [n] × [n] matrix [A]. Elimination
+    step [k] forms one execution window: the column scaling
+    [a(i,k) /= a(k,k)] references [A(i,k)] and [A(k,k)], and the trailing
+    update [a(i,j) -= a(i,k) * a(k,j)] references [A(i,j)], [A(i,k)] and
+    [A(k,j)]. Iterations are owned per the given {!Iteration_space}
+    partition, so the pivot row and column of each step are hot, shifting
+    data — exactly the non-uniform pattern the paper targets. *)
+
+(** [trace ?partition ~n mesh] generates the trace with one window per
+    elimination step ([n - 1] windows; the trivial last step is dropped).
+    [partition] defaults to [Block_2d]. @raise Invalid_argument if
+    [n < 2]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

@@ -1,0 +1,15 @@
+(** Matrix squaring reference-string generator (paper benchmark 2).
+
+    [C = A · A] on [n] × [n] matrices. The [k] loop is outermost and forms
+    the execution windows: during window [k], iteration [(i, j)] —
+    owner-computes over the given partition — references [A(i,k)], [A(k,j)]
+    and accumulates into [C(i,j)]. Row [k] and column [k] of [A] are the
+    hot data of window [k] and sweep across the matrix as [k] advances. *)
+
+(** [trace ?partition ~n mesh] generates the [n]-window trace over the data
+    space [{A, C}]. @raise Invalid_argument if [n < 1]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

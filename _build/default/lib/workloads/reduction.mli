@@ -1,0 +1,22 @@
+(** Histogram reduction — a many-writers kernel.
+
+    Every processor scans its block of an [n] × [n] input matrix [X]
+    (local reads) and accumulates into a small shared histogram [H] of
+    [bins] cells (remote {e writes}). Which bin an element hits is a
+    deterministic seeded hash, so bins are written by processors all over
+    the array — the inverse of the broadcast pattern: one datum, many
+    writers. Each window processes a band of rows, so the set of active
+    writers shifts between windows. A good schedule centers each bin among
+    its writers; replication cannot help at all (every access is a write),
+    which makes this the adversarial workload for {!Sched.Replicated}. *)
+
+(** [trace ?partition ?seed ~n ~bins mesh] generates the trace with one
+    window per row band (one band per mesh row).
+    @raise Invalid_argument if [n < 4] or [bins < 1]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  ?seed:int ->
+  n:int ->
+  bins:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

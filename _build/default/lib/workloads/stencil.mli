@@ -1,0 +1,18 @@
+(** Five-point Jacobi stencil — a {e uniform} workload used as a contrast in
+    our ablations (not in the paper's tables).
+
+    Each sweep is one execution window: every interior element's owner
+    references the element and its four neighbours. The pattern is
+    time-invariant, so multi-center scheduling should buy (almost) nothing
+    over a good single placement — a useful negative control for the
+    schedulers. *)
+
+(** [trace ?partition ~n ~sweeps mesh] generates [sweeps] identical windows
+    over an [n] × [n] grid. @raise Invalid_argument if [n < 3] or
+    [sweeps < 1]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  n:int ->
+  sweeps:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

@@ -1,0 +1,16 @@
+(** Floyd–Warshall transitive closure / all-pairs shortest paths.
+
+    A classic PIM-era kernel we add beyond the paper's benchmark set: the
+    [k] loop forms the execution windows and iteration [(i, j)] of window
+    [k] references [D(i,j)], [D(i,k)] and [D(k,j)] {e in place} on a single
+    matrix. The access pattern matches matrix squaring's hot row/column
+    sweep, but with half the data (no separate output array) — a useful
+    contrast when studying how memory pressure scales. *)
+
+(** [trace ?partition ~n mesh] generates the [n]-window trace over the
+    single matrix [D]. @raise Invalid_argument if [n < 1]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

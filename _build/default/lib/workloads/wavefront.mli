@@ -1,0 +1,19 @@
+(** Gauss–Seidel wavefront sweep.
+
+    Solving with immediate updates creates a dependence wavefront along the
+    anti-diagonals: cell [(i, j)] needs the {e new} values of its west and
+    north neighbours, so the computation advances as a diagonal front from
+    the top-left corner to the bottom-right. Each execution window is a
+    band of consecutive anti-diagonals — the textbook moving-hot-spot
+    pattern, and the workload where the window-grouping trade-off (few big
+    moves vs many small ones) is sharpest. *)
+
+(** [trace ?partition ?diags_per_window ~n mesh] generates the trace;
+    [diags_per_window] defaults to [n / 4] (at least 1).
+    @raise Invalid_argument if [n < 3] or [diags_per_window < 1]. *)
+val trace :
+  ?partition:Iteration_space.partition ->
+  ?diags_per_window:int ->
+  n:int ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t

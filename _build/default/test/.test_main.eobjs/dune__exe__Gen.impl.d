@@ -1,0 +1,1 @@
+test/gen.ml: Alcotest Format List Pim QCheck QCheck_alcotest Reftrace

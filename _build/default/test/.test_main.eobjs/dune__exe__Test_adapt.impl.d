@@ -1,0 +1,1 @@
+test/test_adapt.ml: Alcotest Array Gen Option Pim QCheck Reftrace Sched Workloads

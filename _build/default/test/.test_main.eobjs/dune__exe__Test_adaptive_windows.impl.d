@@ -1,0 +1,1 @@
+test/test_adaptive_windows.ml: Alcotest Gen List QCheck Reftrace Sched Workloads

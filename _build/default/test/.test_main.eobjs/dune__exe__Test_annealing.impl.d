@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Gen Option Pim QCheck Reftrace Sched Workloads

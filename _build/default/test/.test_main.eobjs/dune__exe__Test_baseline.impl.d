@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Gen List Pim QCheck Reftrace Sched

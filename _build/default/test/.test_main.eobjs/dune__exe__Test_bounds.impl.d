@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Gen List Pim QCheck Reftrace Sched Workloads

@@ -1,0 +1,1 @@
+test/test_brute_force.ml: Alcotest Array Gen List QCheck Reftrace Sched

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Fun Gen List Printf Sched String Sys

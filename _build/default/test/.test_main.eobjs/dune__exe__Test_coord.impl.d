@@ -1,0 +1,1 @@
+test/test_coord.ml: Alcotest Gen Pim QCheck

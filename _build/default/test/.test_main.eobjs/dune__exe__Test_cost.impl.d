@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Gen Printf QCheck Reftrace Sched

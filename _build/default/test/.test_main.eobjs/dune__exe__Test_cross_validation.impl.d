@@ -1,0 +1,1 @@
+test/test_cross_validation.ml: Array Format Gen List Option Pim QCheck Reftrace Sched

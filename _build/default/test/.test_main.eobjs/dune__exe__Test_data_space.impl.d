@@ -1,0 +1,1 @@
+test/test_data_space.ml: Alcotest Gen List Reftrace

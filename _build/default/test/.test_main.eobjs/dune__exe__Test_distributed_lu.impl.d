@@ -1,0 +1,1 @@
+test/test_distributed_lu.ml: Alcotest Array Exec Gen List QCheck Sched Workloads

@@ -1,0 +1,1 @@
+test/test_example.ml: Alcotest Array Gen List Pim Reftrace Sched

@@ -1,0 +1,1 @@
+test/test_gomcds.ml: Alcotest Array Gen List Option Pathgraph Pim QCheck Reftrace Sched

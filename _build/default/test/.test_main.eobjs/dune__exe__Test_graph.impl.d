@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Format Gen List Option Pathgraph Printf QCheck

@@ -1,0 +1,1 @@
+test/test_grouping.ml: Alcotest Array Format Gen List Option Pim QCheck Reftrace Sched

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Gen List Pim Printf QCheck Reftrace Sched Workloads

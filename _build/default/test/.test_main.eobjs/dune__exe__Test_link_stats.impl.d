@@ -1,0 +1,1 @@
+test/test_link_stats.ml: Alcotest Gen List Pim

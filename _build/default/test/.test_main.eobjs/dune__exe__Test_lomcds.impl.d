@@ -1,0 +1,1 @@
+test/test_lomcds.ml: Alcotest Array Gen List Option Pim Printf QCheck Reftrace Sched

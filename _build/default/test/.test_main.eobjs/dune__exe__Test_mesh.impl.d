@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Gen Int List Pim QCheck

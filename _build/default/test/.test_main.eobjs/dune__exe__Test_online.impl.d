@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Gen Option Pim QCheck Reftrace Sched Workloads

@@ -1,0 +1,1 @@
+test/test_optimal_grouping.ml: Alcotest Array Gen List Option Pim QCheck Reftrace Sched Workloads

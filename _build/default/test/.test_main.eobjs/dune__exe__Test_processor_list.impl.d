@@ -1,0 +1,1 @@
+test/test_processor_list.ml: Alcotest Fun Gen List Pim QCheck Sched

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Gen List Option Pim QCheck Reftrace Sched Workloads

@@ -1,0 +1,1 @@
+test/test_replicated.ml: Alcotest Gen List Option Pim QCheck Reftrace Sched Workloads

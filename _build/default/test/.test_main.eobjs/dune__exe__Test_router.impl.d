@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Gen Pim QCheck

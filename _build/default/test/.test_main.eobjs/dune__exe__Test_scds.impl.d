@@ -1,0 +1,1 @@
+test/test_scds.ml: Alcotest Array Gen List Option Pim QCheck Reftrace Sched

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Gen List Pim QCheck Sched

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Filename Fun Gen List QCheck Reftrace String Sys Workloads

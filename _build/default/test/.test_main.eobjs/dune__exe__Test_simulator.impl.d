@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Gen List Pim

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Array Gen List Pim QCheck Reftrace Sched

@@ -1,0 +1,1 @@
+test/test_timed_simulator.ml: Alcotest Format Gen List Pim QCheck Sched String Workloads

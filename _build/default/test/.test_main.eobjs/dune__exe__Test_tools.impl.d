@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Filename Fun Gen List Pim QCheck Sched String Sys Workloads

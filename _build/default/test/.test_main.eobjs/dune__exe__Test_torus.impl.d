@@ -1,0 +1,1 @@
+test/test_torus.ml: Alcotest Gen List Pim QCheck Sched Workloads

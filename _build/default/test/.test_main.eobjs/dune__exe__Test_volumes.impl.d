@@ -1,0 +1,1 @@
+test/test_volumes.ml: Alcotest Gen List Pim QCheck Reftrace Sched String

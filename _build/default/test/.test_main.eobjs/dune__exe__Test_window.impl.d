@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Gen List QCheck Reftrace

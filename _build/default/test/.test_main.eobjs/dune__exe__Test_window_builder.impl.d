@@ -1,0 +1,1 @@
+test/test_window_builder.ml: Alcotest Gen List QCheck Reftrace

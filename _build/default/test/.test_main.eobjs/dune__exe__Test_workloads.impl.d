@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fun Gen List Pim QCheck Reftrace Sched Workloads

@@ -1,0 +1,1 @@
+test/test_workloads_extra.ml: Alcotest Gen List Reftrace Sched String Workloads

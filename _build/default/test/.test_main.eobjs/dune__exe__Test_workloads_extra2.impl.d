@@ -1,0 +1,1 @@
+test/test_workloads_extra2.ml: Alcotest Gen List Reftrace Sched Workloads

@@ -1,0 +1,99 @@
+let check_int = Alcotest.(check int)
+let mesh = Gen.mesh44
+let space8 = Reftrace.Data_space.matrix "A" 8
+
+let test_row_wise_contiguous_blocks () =
+  let p = Sched.Baseline.row_wise mesh space8 in
+  (* 64 elements over 16 processors: 4 consecutive row-major ids each *)
+  check_int "first block" 0 p.(0);
+  check_int "still first" 0 p.(3);
+  check_int "second block" 1 p.(4);
+  check_int "last block" 15 p.(63)
+
+let test_row_wise_balanced () =
+  let p = Sched.Baseline.row_wise mesh space8 in
+  check_int "max load" 4 (Sched.Baseline.max_load mesh p)
+
+let test_column_wise_transposes () =
+  let pr = Sched.Baseline.row_wise mesh space8 in
+  let pc = Sched.Baseline.column_wise mesh space8 in
+  (* A(0,1): row-major index 1 -> proc 0; column-major index 8 -> proc 2 *)
+  let id = Reftrace.Data_space.id space8 ~array_name:"A" ~row:0 ~col:1 in
+  check_int "row-wise" 0 pr.(id);
+  check_int "column-wise" 2 pc.(id)
+
+let test_block_2d_tiles () =
+  let p = Sched.Baseline.block_2d mesh space8 in
+  let id r c = Reftrace.Data_space.id space8 ~array_name:"A" ~row:r ~col:c in
+  (* top-left 2x2 tile of the data belongs to processor (0,0) = rank 0 *)
+  check_int "corner" 0 p.(id 0 0);
+  check_int "corner tile" 0 p.(id 1 1);
+  check_int "next tile right" 1 p.(id 0 2);
+  check_int "bottom right" 15 p.(id 7 7);
+  check_int "balanced" 4 (Sched.Baseline.max_load mesh p)
+
+let test_cyclic () =
+  let p = Sched.Baseline.cyclic mesh space8 in
+  check_int "wraps" 0 p.(16);
+  check_int "sequence" 5 p.(5);
+  check_int "balanced" 4 (Sched.Baseline.max_load mesh p)
+
+let test_random_deterministic_and_in_range () =
+  let a = Sched.Baseline.random ~seed:7 mesh space8 in
+  let b = Sched.Baseline.random ~seed:7 mesh space8 in
+  Alcotest.(check (array int)) "same seed, same placement" a b;
+  Array.iter
+    (fun r -> Alcotest.(check bool) "in range" true (r >= 0 && r < 16))
+    a;
+  let c = Sched.Baseline.random ~seed:8 mesh space8 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_multi_array_distributed_independently () =
+  let space =
+    Reftrace.Data_space.create
+      (Reftrace.Data_space.array_desc "A" ~rows:4 ~cols:4)
+      [ Reftrace.Data_space.array_desc "C" ~rows:4 ~cols:4 ]
+  in
+  let p = Sched.Baseline.row_wise mesh space in
+  (* each 16-element array is dealt one element per processor *)
+  check_int "A(0,0)" 0 p.(0);
+  check_int "C(0,0) restarts at 0" 0
+    p.(Reftrace.Data_space.id space ~array_name:"C" ~row:0 ~col:0);
+  check_int "max load" 2 (Sched.Baseline.max_load mesh p)
+
+let test_schedule_wrapper_is_static () =
+  let trace = Gen.trace mesh ~n_data:64 [ [ (0, 1, 1) ]; [ (0, 2, 1) ] ] in
+  let space = Reftrace.Trace.space trace in
+  let s = Sched.Baseline.schedule (Sched.Baseline.row_wise mesh space) mesh trace in
+  check_int "no moves" 0 (Sched.Schedule.moves s)
+
+let prop_baselines_respect_double_headroom =
+  QCheck.Test.make ~name:"baselines respect the paper's 2x capacity rule"
+    ~count:50
+    QCheck.(int_range 4 40)
+    (fun n ->
+      let space = Reftrace.Data_space.matrix "A" n in
+      let capacity =
+        Pim.Memory.capacity_for ~data_count:(n * n) ~mesh ~headroom:2
+      in
+      List.for_all
+        (fun placement -> Sched.Baseline.max_load mesh placement <= capacity)
+        [
+          Sched.Baseline.row_wise mesh space;
+          Sched.Baseline.column_wise mesh space;
+          Sched.Baseline.block_2d mesh space;
+          Sched.Baseline.cyclic mesh space;
+        ])
+
+let suite =
+  [
+    Gen.case "row-wise contiguous blocks" test_row_wise_contiguous_blocks;
+    Gen.case "row-wise balanced" test_row_wise_balanced;
+    Gen.case "column-wise transposes" test_column_wise_transposes;
+    Gen.case "block-2d tiles" test_block_2d_tiles;
+    Gen.case "cyclic" test_cyclic;
+    Gen.case "random deterministic" test_random_deterministic_and_in_range;
+    Gen.case "multi-array independent" test_multi_array_distributed_independently;
+    Gen.case "schedule wrapper static" test_schedule_wrapper_is_static;
+    Gen.to_alcotest prop_baselines_respect_double_headroom;
+  ]

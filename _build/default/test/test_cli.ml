@@ -1,0 +1,118 @@
+(* End-to-end tests of the pimsched command-line interface: each subcommand
+   is executed as a real process against the built binary. *)
+
+let binary =
+  (* tests run in _build/default/test; the CLI is built alongside *)
+  Filename.concat (Filename.concat Filename.parent_dir_name "bin")
+    "pimsched.exe"
+
+let run_cli args =
+  let out = Filename.temp_file "pimsched_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote binary) args
+          (Filename.quote out)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in out in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, text))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let check_ok name args expects =
+  let code, text = run_cli args in
+  Alcotest.(check int) (name ^ ": exit code") 0 code;
+  List.iter
+    (fun needle ->
+      if not (contains text needle) then
+        Alcotest.failf "%s: output missing %S in:\n%s" name needle text)
+    expects
+
+let test_binary_exists () =
+  Alcotest.(check bool) "built" true (Sys.file_exists binary)
+
+let test_compare () =
+  check_ok "compare" "compare -b 1 -n 8"
+    [ "gomcds"; "lower-bound"; "improvement" ]
+
+let test_schedule_simulate () =
+  check_ok "schedule" "schedule -b 2 -n 8 -a lomcds --simulate"
+    [ "lomcds"; "simulated" ]
+
+let test_example () =
+  check_ok "example" "example" [ "GOMCDS"; "window 3" ]
+
+let test_table () =
+  check_ok "table" "table --which 1 --sizes 8" [ "Table 1"; "8x8"; "Avg" ]
+
+let test_show () =
+  check_ok "show" "show -b 1 -n 8 -w 2 -d 0 -a gomcds"
+    [ "total references in window 2"; "trajectory of datum 0" ]
+
+let test_replicate () =
+  check_ok "replicate" "replicate -b 2 -n 8 -k 4"
+    [ "single-copy lower bound"; "max_copies=4" ]
+
+let test_sweep_stdout () =
+  check_ok "sweep" "sweep --sizes 8" [ "workload,algorithm,total"; "b5-8x8" ]
+
+let test_export_and_reimport () =
+  let path = Filename.temp_file "pimsched_cli" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "export" (Printf.sprintf "export-trace -b tc -n 8 -o %s" path)
+        [ "wrote tc" ];
+      check_ok "reimport"
+        (Printf.sprintf "compare --trace-file %s" path)
+        [ "gomcds" ])
+
+let test_plan_roundtrip () =
+  let path = Filename.temp_file "pimsched_cli" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "plan-out"
+        (Printf.sprintf "schedule -b 1 -n 8 -a gomcds --plan-out %s" path)
+        [ "plan written" ];
+      let plan = Sched.Schedule_serial.load path in
+      Alcotest.(check int) "plan windows" 7 (Sched.Schedule.n_windows plan))
+
+let test_torus_flag () =
+  check_ok "torus" "schedule -b 1 -n 8 -a gomcds --torus" [ "torus" ]
+
+let test_stats () =
+  check_ok "stats" "stats -b 5 -n 8" [ "drift="; "entropy" ]
+
+let test_bad_arguments_fail () =
+  let code, _ = run_cli "schedule -b 9" in
+  Alcotest.(check bool) "rejects unknown benchmark" true (code <> 0);
+  let code, _ = run_cli "schedule -a wizardry" in
+  Alcotest.(check bool) "rejects unknown algorithm" true (code <> 0)
+
+let suite =
+  [
+    Gen.case "binary exists" test_binary_exists;
+    Gen.case "compare" test_compare;
+    Gen.case "schedule --simulate" test_schedule_simulate;
+    Gen.case "example" test_example;
+    Gen.case "table" test_table;
+    Gen.case "show" test_show;
+    Gen.case "replicate" test_replicate;
+    Gen.case "sweep to stdout" test_sweep_stdout;
+    Gen.case "export and reimport" test_export_and_reimport;
+    Gen.case "plan roundtrip" test_plan_roundtrip;
+    Gen.case "torus flag" test_torus_flag;
+    Gen.case "stats" test_stats;
+    Gen.case "bad arguments fail" test_bad_arguments_fail;
+  ]

@@ -1,0 +1,85 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_make_and_accessors () =
+  let c = Pim.Coord.make ~x:3 ~y:1 in
+  check_int "x" 3 c.Pim.Coord.x;
+  check_int "y" 1 c.Pim.Coord.y
+
+let test_manhattan_basics () =
+  let a = Pim.Coord.make ~x:0 ~y:0 and b = Pim.Coord.make ~x:3 ~y:2 in
+  check_int "distance" 5 (Pim.Coord.manhattan a b);
+  check_int "self distance" 0 (Pim.Coord.manhattan a a)
+
+let test_chebyshev () =
+  let a = Pim.Coord.make ~x:0 ~y:0 and b = Pim.Coord.make ~x:3 ~y:2 in
+  check_int "chebyshev" 3 (Pim.Coord.chebyshev a b)
+
+let test_arithmetic () =
+  let a = Pim.Coord.make ~x:1 ~y:2 and b = Pim.Coord.make ~x:3 ~y:5 in
+  check_bool "add" true
+    (Pim.Coord.equal (Pim.Coord.add a b) (Pim.Coord.make ~x:4 ~y:7));
+  check_bool "sub" true
+    (Pim.Coord.equal (Pim.Coord.sub b a) (Pim.Coord.make ~x:2 ~y:3))
+
+let test_compare_total_order () =
+  let a = Pim.Coord.make ~x:1 ~y:2 and b = Pim.Coord.make ~x:1 ~y:3 in
+  check_bool "lt" true (Pim.Coord.compare a b < 0);
+  check_bool "gt" true (Pim.Coord.compare b a > 0);
+  check_int "eq" 0 (Pim.Coord.compare a a)
+
+let test_to_string () =
+  Alcotest.(check string)
+    "render" "(2,3)"
+    (Pim.Coord.to_string (Pim.Coord.make ~x:2 ~y:3))
+
+let test_on_segment () =
+  let src = Pim.Coord.make ~x:0 ~y:0 and dst = Pim.Coord.make ~x:3 ~y:3 in
+  check_bool "inside" true
+    (Pim.Coord.on_segment ~src ~dst (Pim.Coord.make ~x:1 ~y:2));
+  check_bool "endpoint" true (Pim.Coord.on_segment ~src ~dst dst);
+  check_bool "outside" false
+    (Pim.Coord.on_segment ~src ~dst (Pim.Coord.make ~x:4 ~y:0));
+  (* also works when src > dst component-wise *)
+  check_bool "reversed rectangle" true
+    (Pim.Coord.on_segment ~src:dst ~dst:src (Pim.Coord.make ~x:2 ~y:1))
+
+let prop_manhattan_symmetric =
+  QCheck.Test.make ~name:"manhattan is symmetric" ~count:200
+    QCheck.(pair (pair small_int small_int) (pair small_int small_int))
+    (fun ((ax, ay), (bx, by)) ->
+      let a = Pim.Coord.make ~x:ax ~y:ay and b = Pim.Coord.make ~x:bx ~y:by in
+      Pim.Coord.manhattan a b = Pim.Coord.manhattan b a)
+
+let prop_manhattan_triangle =
+  QCheck.Test.make ~name:"manhattan triangle inequality" ~count:200
+    QCheck.(
+      triple (pair small_int small_int) (pair small_int small_int)
+        (pair small_int small_int))
+    (fun ((ax, ay), (bx, by), (cx, cy)) ->
+      let a = Pim.Coord.make ~x:ax ~y:ay
+      and b = Pim.Coord.make ~x:bx ~y:by
+      and c = Pim.Coord.make ~x:cx ~y:cy in
+      Pim.Coord.manhattan a c
+      <= Pim.Coord.manhattan a b + Pim.Coord.manhattan b c)
+
+let prop_chebyshev_le_manhattan =
+  QCheck.Test.make ~name:"chebyshev <= manhattan" ~count:200
+    QCheck.(pair (pair small_int small_int) (pair small_int small_int))
+    (fun ((ax, ay), (bx, by)) ->
+      let a = Pim.Coord.make ~x:ax ~y:ay and b = Pim.Coord.make ~x:bx ~y:by in
+      Pim.Coord.chebyshev a b <= Pim.Coord.manhattan a b)
+
+let suite =
+  [
+    Gen.case "make and accessors" test_make_and_accessors;
+    Gen.case "manhattan basics" test_manhattan_basics;
+    Gen.case "chebyshev" test_chebyshev;
+    Gen.case "arithmetic" test_arithmetic;
+    Gen.case "compare total order" test_compare_total_order;
+    Gen.case "to_string" test_to_string;
+    Gen.case "on_segment" test_on_segment;
+    Gen.to_alcotest prop_manhattan_symmetric;
+    Gen.to_alcotest prop_manhattan_triangle;
+    Gen.to_alcotest prop_chebyshev_le_manhattan;
+  ]

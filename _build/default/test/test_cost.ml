@@ -1,0 +1,86 @@
+let check_int = Alcotest.(check int)
+let mesh = Gen.mesh44
+
+(* datum 0 referenced twice by rank 5 and once by rank 0 *)
+let w = Gen.window ~n_data:2 [ (0, 5, 2); (0, 0, 1) ]
+
+let test_reference_cost () =
+  (* center rank 5 (=(1,1)): 0 for the local refs + dist(5,0)=2 for rank 0 *)
+  check_int "at rank 5" 2 (Sched.Cost.reference_cost mesh w ~data:0 ~center:5);
+  (* center rank 0: 2 refs * dist 2 + 0 *)
+  check_int "at rank 0" 4 (Sched.Cost.reference_cost mesh w ~data:0 ~center:0)
+
+let test_cost_vector_matches_pointwise () =
+  let v = Sched.Cost.cost_vector mesh w ~data:0 in
+  check_int "length" 16 (Array.length v);
+  Array.iteri
+    (fun center expected ->
+      check_int
+        (Printf.sprintf "center %d" center)
+        expected
+        (Sched.Cost.reference_cost mesh w ~data:0 ~center))
+    v
+
+let test_unreferenced_datum_is_free () =
+  let v = Sched.Cost.cost_vector mesh w ~data:1 in
+  Array.iter (fun c -> check_int "zero" 0 c) v;
+  check_int "center defaults to 0" 0
+    (Sched.Cost.local_optimal_center mesh w ~data:1)
+
+let test_local_optimal_center () =
+  check_int "rank 5 wins" 5 (Sched.Cost.local_optimal_center mesh w ~data:0)
+
+let test_local_optimal_tie_breaks_low_rank () =
+  (* two symmetric references: several centers tie; lowest rank wins *)
+  let w = Gen.window ~n_data:1 [ (0, 0, 1); (0, 3, 1) ] in
+  let v = Sched.Cost.cost_vector mesh w ~data:0 in
+  let c = Sched.Cost.local_optimal_center mesh w ~data:0 in
+  check_int "is argmin" v.(c)
+    (Array.fold_left min max_int v);
+  check_int "lowest tied rank" 0 c
+
+let test_movement_cost () =
+  check_int "corner to corner" 6 (Sched.Cost.movement_cost mesh ~from_:0 ~to_:15);
+  check_int "self" 0 (Sched.Cost.movement_cost mesh ~from_:7 ~to_:7)
+
+let test_path_cost () =
+  let w1 = Gen.window ~n_data:1 [ (0, 0, 1) ] in
+  let w2 = Gen.window ~n_data:1 [ (0, 15, 1) ] in
+  (* stay at 0: ref 0 + ref 6 = 6; move to 15: ref 0 + move 6 + ref 0 = 6 *)
+  check_int "stay" 6 (Sched.Cost.path_cost mesh [ (w1, 0); (w2, 0) ] ~data:0);
+  check_int "move" 6 (Sched.Cost.path_cost mesh [ (w1, 0); (w2, 15) ] ~data:0);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Cost.path_cost: empty window list") (fun () ->
+      ignore (Sched.Cost.path_cost mesh [] ~data:0))
+
+let prop_center_is_argmin =
+  let arb = Gen.single_datum_window_arbitrary ~max_count:5 () in
+  QCheck.Test.make ~name:"local optimal center minimizes cost vector"
+    ~count:200 arb (fun w ->
+      let v = Sched.Cost.cost_vector mesh w ~data:0 in
+      let c = Sched.Cost.local_optimal_center mesh w ~data:0 in
+      Array.for_all (fun x -> v.(c) <= x) v)
+
+let prop_cost_linear_in_merge =
+  let arb = Gen.single_datum_window_arbitrary ~max_count:5 () in
+  QCheck.Test.make ~name:"cost vectors add under window merge" ~count:200
+    (QCheck.pair arb arb) (fun (a, b) ->
+      let m = Reftrace.Window.merge a b in
+      let va = Sched.Cost.cost_vector mesh a ~data:0 in
+      let vb = Sched.Cost.cost_vector mesh b ~data:0 in
+      let vm = Sched.Cost.cost_vector mesh m ~data:0 in
+      Array.for_all2 (fun x y -> x = y) vm
+        (Array.mapi (fun i x -> x + vb.(i)) va))
+
+let suite =
+  [
+    Gen.case "reference cost" test_reference_cost;
+    Gen.case "cost vector matches pointwise" test_cost_vector_matches_pointwise;
+    Gen.case "unreferenced datum is free" test_unreferenced_datum_is_free;
+    Gen.case "local optimal center" test_local_optimal_center;
+    Gen.case "tie breaks to low rank" test_local_optimal_tie_breaks_low_rank;
+    Gen.case "movement cost" test_movement_cost;
+    Gen.case "path cost" test_path_cost;
+    Gen.to_alcotest prop_center_is_argmin;
+    Gen.to_alcotest prop_cost_linear_in_merge;
+  ]

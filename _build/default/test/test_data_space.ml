@@ -1,0 +1,81 @@
+let check_int = Alcotest.(check int)
+
+let space2 =
+  Reftrace.Data_space.create
+    (Reftrace.Data_space.array_desc "A" ~rows:2 ~cols:3)
+    [ Reftrace.Data_space.array_desc "C" ~rows:2 ~cols:2 ]
+
+let test_size () =
+  check_int "single matrix" 16
+    (Reftrace.Data_space.size (Reftrace.Data_space.matrix "A" 4));
+  check_int "two arrays" 10 (Reftrace.Data_space.size space2)
+
+let test_ids_dense_and_ordered () =
+  check_int "A(0,0)" 0
+    (Reftrace.Data_space.id space2 ~array_name:"A" ~row:0 ~col:0);
+  check_int "A(1,2)" 5
+    (Reftrace.Data_space.id space2 ~array_name:"A" ~row:1 ~col:2);
+  check_int "C starts after A" 6
+    (Reftrace.Data_space.id space2 ~array_name:"C" ~row:0 ~col:0);
+  check_int "C(1,1)" 9
+    (Reftrace.Data_space.id space2 ~array_name:"C" ~row:1 ~col:1)
+
+let test_locate_roundtrip () =
+  List.iter
+    (fun i ->
+      let d, r, c = Reftrace.Data_space.locate space2 i in
+      check_int "roundtrip" i
+        (Reftrace.Data_space.id space2 ~array_name:d.Reftrace.Data_space.name
+           ~row:r ~col:c))
+    (Reftrace.Data_space.ids space2)
+
+let test_describe () =
+  Alcotest.(check string)
+    "describe" "C(1,0)"
+    (Reftrace.Data_space.describe space2 8)
+
+let test_validation () =
+  Alcotest.check_raises "unknown array"
+    (Invalid_argument "Data_space: unknown array B") (fun () ->
+      ignore (Reftrace.Data_space.id space2 ~array_name:"B" ~row:0 ~col:0));
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Data_space.id: A(2,0) out of bounds") (fun () ->
+      ignore (Reftrace.Data_space.id space2 ~array_name:"A" ~row:2 ~col:0));
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Data_space.create: duplicate array names") (fun () ->
+      ignore
+        (Reftrace.Data_space.create
+           (Reftrace.Data_space.array_desc "A" ~rows:1 ~cols:1)
+           [ Reftrace.Data_space.array_desc "A" ~rows:1 ~cols:1 ]))
+
+let test_concat_shares_named_arrays () =
+  let a = Reftrace.Data_space.matrix "A" 2 in
+  let b =
+    Reftrace.Data_space.create
+      (Reftrace.Data_space.array_desc "A" ~rows:2 ~cols:2)
+      [ Reftrace.Data_space.array_desc "B" ~rows:1 ~cols:2 ]
+  in
+  let merged, translate = Reftrace.Data_space.concat a b in
+  check_int "A shared, B appended" 6 (Reftrace.Data_space.size merged);
+  (* A's elements keep their ids through translation *)
+  check_int "A(1,1) stable" 3 (translate 3);
+  (* B's first element lands after A *)
+  check_int "B(0,0)" 4 (translate 4)
+
+let test_concat_shape_mismatch () =
+  let a = Reftrace.Data_space.matrix "A" 2 in
+  let b = Reftrace.Data_space.matrix "A" 3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Data_space.concat: array A has shape 2x2 vs 3x3")
+    (fun () -> ignore (Reftrace.Data_space.concat a b))
+
+let suite =
+  [
+    Gen.case "size" test_size;
+    Gen.case "ids dense and ordered" test_ids_dense_and_ordered;
+    Gen.case "locate roundtrip" test_locate_roundtrip;
+    Gen.case "describe" test_describe;
+    Gen.case "validation" test_validation;
+    Gen.case "concat shares named arrays" test_concat_shares_named_arrays;
+    Gen.case "concat shape mismatch" test_concat_shape_mismatch;
+  ]

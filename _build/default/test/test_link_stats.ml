@@ -1,0 +1,61 @@
+let check_int = Alcotest.(check int)
+let mesh = Gen.mesh44
+
+let test_record_and_read () =
+  let s = Pim.Link_stats.create mesh in
+  Pim.Link_stats.record s ~src:0 ~dst:1 ~volume:5;
+  Pim.Link_stats.record s ~src:0 ~dst:1 ~volume:2;
+  check_int "accumulated" 7 (Pim.Link_stats.traffic s ~src:0 ~dst:1);
+  check_int "other direction untouched" 0
+    (Pim.Link_stats.traffic s ~src:1 ~dst:0);
+  check_int "total" 7 (Pim.Link_stats.total s)
+
+let test_non_adjacent_rejected () =
+  let s = Pim.Link_stats.create mesh in
+  Alcotest.check_raises "diagonal"
+    (Invalid_argument "Link_stats.record: 0 -> 5 is not a mesh link")
+    (fun () -> Pim.Link_stats.record s ~src:0 ~dst:5 ~volume:1)
+
+let test_max_link () =
+  let s = Pim.Link_stats.create mesh in
+  Alcotest.(check (option (triple int int int)))
+    "empty" None (Pim.Link_stats.max_link s);
+  Pim.Link_stats.record s ~src:0 ~dst:1 ~volume:3;
+  Pim.Link_stats.record s ~src:1 ~dst:2 ~volume:9;
+  Alcotest.(check (option (triple int int int)))
+    "heaviest" (Some (1, 2, 9)) (Pim.Link_stats.max_link s)
+
+let test_nonzero_links_sorted () =
+  let s = Pim.Link_stats.create mesh in
+  Pim.Link_stats.record s ~src:0 ~dst:1 ~volume:1;
+  Pim.Link_stats.record s ~src:1 ~dst:2 ~volume:5;
+  Pim.Link_stats.record s ~src:2 ~dst:3 ~volume:3;
+  let loads = List.map (fun (_, _, v) -> v) (Pim.Link_stats.nonzero_links s) in
+  Alcotest.(check (list int)) "descending" [ 5; 3; 1 ] loads
+
+let test_imbalance () =
+  let s = Pim.Link_stats.create mesh in
+  Alcotest.(check (float 1e-9)) "no traffic" 0. (Pim.Link_stats.imbalance s);
+  Pim.Link_stats.record s ~src:0 ~dst:1 ~volume:4;
+  Alcotest.(check (float 1e-9)) "single link" 1. (Pim.Link_stats.imbalance s);
+  Pim.Link_stats.record s ~src:1 ~dst:2 ~volume:2;
+  (* max 4, mean 3 *)
+  Alcotest.(check (float 1e-9)) "two links" (4. /. 3.)
+    (Pim.Link_stats.imbalance s)
+
+let test_reset () =
+  let s = Pim.Link_stats.create mesh in
+  Pim.Link_stats.record s ~src:0 ~dst:1 ~volume:4;
+  Pim.Link_stats.reset s;
+  check_int "total cleared" 0 (Pim.Link_stats.total s);
+  check_int "link cleared" 0 (Pim.Link_stats.traffic s ~src:0 ~dst:1)
+
+let suite =
+  [
+    Gen.case "record and read" test_record_and_read;
+    Gen.case "non-adjacent rejected" test_non_adjacent_rejected;
+    Gen.case "max link" test_max_link;
+    Gen.case "nonzero links sorted" test_nonzero_links_sorted;
+    Gen.case "imbalance" test_imbalance;
+    Gen.case "reset" test_reset;
+  ]

@@ -1,0 +1,58 @@
+let check_int = Alcotest.(check int)
+let mesh = Gen.mesh44
+
+let test_of_cost_vector_sorted () =
+  let list = Sched.Processor_list.of_cost_vector [| 5; 1; 3; 1 |] in
+  Alcotest.(check (list int)) "sorted, ties by rank" [ 1; 3; 2; 0 ] list
+
+let test_for_data_head_is_center () =
+  let w = Gen.window ~n_data:1 [ (0, 9, 3); (0, 2, 1) ] in
+  match Sched.Processor_list.for_data mesh w ~data:0 with
+  | head :: _ ->
+      check_int "head = local optimal center"
+        (Sched.Cost.local_optimal_center mesh w ~data:0)
+        head
+  | [] -> Alcotest.fail "non-empty list expected"
+
+let test_first_available_skips_full () =
+  let memory = Pim.Memory.create mesh ~capacity:1 in
+  ignore (Pim.Memory.allocate memory 4);
+  Alcotest.(check (option int))
+    "skips full head" (Some 7)
+    (Sched.Processor_list.first_available memory [ 4; 7; 2 ]);
+  Alcotest.(check (option int))
+    "none" None
+    (Sched.Processor_list.first_available memory [ 4 ])
+
+let test_assign_allocates () =
+  let memory = Pim.Memory.create mesh ~capacity:1 in
+  check_int "first" 4 (Sched.Processor_list.assign memory [ 4; 7 ]);
+  check_int "then next" 7 (Sched.Processor_list.assign memory [ 4; 7 ]);
+  Alcotest.check_raises "exhausted"
+    (Failure "Processor_list.assign: all candidate processors full")
+    (fun () -> ignore (Sched.Processor_list.assign memory [ 4; 7 ]))
+
+let prop_full_list_always_assignable =
+  QCheck.Test.make ~name:"complete list always assigns under headroom"
+    ~count:100
+    QCheck.(int_range 1 32)
+    (fun n_data ->
+      let capacity = Pim.Memory.capacity_for ~data_count:n_data ~mesh ~headroom:1 in
+      let memory = Pim.Memory.create mesh ~capacity in
+      let complete = List.init (Pim.Mesh.size mesh) Fun.id in
+      (* every datum finds a slot when capacity * procs >= n_data *)
+      List.for_all
+        (fun _ ->
+          match Sched.Processor_list.first_available memory complete with
+          | Some rank -> Pim.Memory.allocate memory rank
+          | None -> false)
+        (List.init n_data Fun.id))
+
+let suite =
+  [
+    Gen.case "of_cost_vector sorted" test_of_cost_vector_sorted;
+    Gen.case "for_data head is center" test_for_data_head_is_center;
+    Gen.case "first_available skips full" test_first_available_skips_full;
+    Gen.case "assign allocates" test_assign_allocates;
+    Gen.to_alcotest prop_full_list_always_assignable;
+  ]

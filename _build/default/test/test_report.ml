@@ -1,0 +1,57 @@
+let rows =
+  [
+    {
+      Sched.Report.benchmark = "1";
+      size = "8x8";
+      baseline = 100;
+      entries = [ Sched.Report.entry ~baseline:100 50 ];
+    };
+    {
+      Sched.Report.benchmark = "2";
+      size = "16x16";
+      baseline = 200;
+      entries = [ Sched.Report.entry ~baseline:200 150 ];
+    };
+  ]
+
+let test_entry_percentage () =
+  let e = Sched.Report.entry ~baseline:100 75 in
+  Alcotest.(check int) "cost" 75 e.Sched.Report.cost;
+  Alcotest.(check (float 1e-9)) "percent" 25. e.Sched.Report.improvement
+
+let test_average_improvements () =
+  match Sched.Report.average_improvements rows with
+  | [ avg ] -> Alcotest.(check (float 1e-9)) "mean of 50 and 25" 37.5 avg
+  | _ -> Alcotest.fail "one column expected"
+
+let test_average_empty () =
+  Alcotest.(check (list (float 1e-9)))
+    "empty" []
+    (Sched.Report.average_improvements [])
+
+let test_render_contains_data () =
+  let s = Sched.Report.render ~title:"T" ~columns:[ "SCDS" ] rows in
+  let mem needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title" true (mem "T");
+  Alcotest.(check bool) "benchmark column" true (mem "8x8");
+  Alcotest.(check bool) "cost" true (mem "50");
+  Alcotest.(check bool) "column header" true (mem "SCDS");
+  Alcotest.(check bool) "average row" true (mem "Avg")
+
+let test_render_rejects_ragged_rows () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Report.render: row width mismatch") (fun () ->
+      ignore (Sched.Report.render ~title:"T" ~columns:[ "A"; "B" ] rows))
+
+let suite =
+  [
+    Gen.case "entry percentage" test_entry_percentage;
+    Gen.case "average improvements" test_average_improvements;
+    Gen.case "average empty" test_average_empty;
+    Gen.case "render contains data" test_render_contains_data;
+    Gen.case "render rejects ragged rows" test_render_rejects_ragged_rows;
+  ]

@@ -1,0 +1,72 @@
+let check_int = Alcotest.(check int)
+let mesh = Gen.mesh44
+
+let test_message_cost () =
+  let msg = Pim.Router.message ~src:0 ~dst:15 ~volume:3 in
+  check_int "cost = volume * distance" 18 (Pim.Router.cost mesh msg)
+
+let test_route_matches_cost () =
+  let stats = Pim.Link_stats.create mesh in
+  let msg = Pim.Router.message ~src:0 ~dst:15 ~volume:3 in
+  check_int "routed cost" 18 (Pim.Router.route mesh stats msg);
+  check_int "stats total" 18 (Pim.Link_stats.total stats)
+
+let test_self_message_free () =
+  let stats = Pim.Link_stats.create mesh in
+  let msg = Pim.Router.message ~src:4 ~dst:4 ~volume:7 in
+  check_int "self" 0 (Pim.Router.route mesh stats msg);
+  check_int "no traffic" 0 (Pim.Link_stats.total stats)
+
+let test_zero_volume () =
+  let stats = Pim.Link_stats.create mesh in
+  let msg = Pim.Router.message ~src:0 ~dst:3 ~volume:0 in
+  check_int "zero volume" 0 (Pim.Router.route mesh stats msg)
+
+let test_negative_volume_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Router.message: negative volume") (fun () ->
+      ignore (Pim.Router.message ~src:0 ~dst:1 ~volume:(-1)))
+
+let test_route_all () =
+  let stats = Pim.Link_stats.create mesh in
+  let msgs =
+    [
+      Pim.Router.message ~src:0 ~dst:1 ~volume:2;
+      Pim.Router.message ~src:1 ~dst:0 ~volume:1;
+    ]
+  in
+  check_int "sum" 3 (Pim.Router.route_all mesh stats msgs)
+
+let test_xy_traffic_lands_on_x_first () =
+  (* 0 -> rank(2,1): x-first means links 0->1, 1->2, 2->rank(2,1). *)
+  let r a b = Pim.Mesh.rank_of_coord mesh (Pim.Coord.make ~x:a ~y:b) in
+  let stats = Pim.Link_stats.create mesh in
+  ignore
+    (Pim.Router.route mesh stats
+       (Pim.Router.message ~src:(r 0 0) ~dst:(r 2 1) ~volume:1));
+  check_int "x leg first" 1
+    (Pim.Link_stats.traffic stats ~src:(r 0 0) ~dst:(r 1 0));
+  check_int "y leg last" 1
+    (Pim.Link_stats.traffic stats ~src:(r 2 0) ~dst:(r 2 1));
+  check_int "not y first" 0
+    (Pim.Link_stats.traffic stats ~src:(r 0 0) ~dst:(r 0 1))
+
+let prop_route_cost_equals_analytic =
+  QCheck.Test.make ~name:"routed cost = volume * distance" ~count:300
+    QCheck.(triple (int_bound 15) (int_bound 15) (int_bound 9))
+    (fun (src, dst, volume) ->
+      let stats = Pim.Link_stats.create mesh in
+      let msg = Pim.Router.message ~src ~dst ~volume in
+      Pim.Router.route mesh stats msg = Pim.Router.cost mesh msg)
+
+let suite =
+  [
+    Gen.case "message cost" test_message_cost;
+    Gen.case "route matches cost" test_route_matches_cost;
+    Gen.case "self message free" test_self_message_free;
+    Gen.case "zero volume" test_zero_volume;
+    Gen.case "negative volume rejected" test_negative_volume_rejected;
+    Gen.case "route_all" test_route_all;
+    Gen.case "x-first dimension order" test_xy_traffic_lands_on_x_first;
+    Gen.to_alcotest prop_route_cost_equals_analytic;
+  ]

@@ -1,0 +1,143 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let mesh = Gen.mesh44
+
+let trace2 =
+  (* window 0: datum 0 at rank 5 twice; window 1: datum 0 at rank 0 once,
+     datum 1 at rank 15 once *)
+  Gen.trace mesh ~n_data:2 [ [ (0, 5, 2) ]; [ (0, 0, 1); (1, 15, 1) ] ]
+
+let test_create_defaults_to_rank0 () =
+  let s = Sched.Schedule.create mesh ~n_windows:2 ~n_data:3 in
+  check_int "default" 0 (Sched.Schedule.center s ~window:1 ~data:2);
+  check_int "windows" 2 (Sched.Schedule.n_windows s);
+  check_int "data" 3 (Sched.Schedule.n_data s)
+
+let test_constant () =
+  let s = Sched.Schedule.constant mesh ~n_windows:3 [| 4; 9 |] in
+  check_int "datum 0" 4 (Sched.Schedule.center s ~window:2 ~data:0);
+  check_bool "static" true (Sched.Schedule.is_static s ~data:1);
+  check_int "no moves" 0 (Sched.Schedule.moves s);
+  Alcotest.check_raises "invalid rank"
+    (Invalid_argument "Schedule.constant: datum 0 at invalid rank 99")
+    (fun () -> ignore (Sched.Schedule.constant mesh ~n_windows:1 [| 99 |]))
+
+let test_set_center_and_moves () =
+  let s = Sched.Schedule.create mesh ~n_windows:3 ~n_data:1 in
+  Sched.Schedule.set_center s ~window:1 ~data:0 5;
+  Sched.Schedule.set_center s ~window:2 ~data:0 5;
+  check_int "one move" 1 (Sched.Schedule.moves s);
+  Alcotest.(check (list int))
+    "trajectory" [ 0; 5; 5 ]
+    (Array.to_list (Sched.Schedule.centers_of_data s ~data:0));
+  check_bool "not static" false (Sched.Schedule.is_static s ~data:0)
+
+let test_cost_breakdown () =
+  (* place datum 0 at 5 in w0, at 0 in w1; datum 1 stays at 15 *)
+  let s = Sched.Schedule.create mesh ~n_windows:2 ~n_data:2 in
+  Sched.Schedule.set_center s ~window:0 ~data:0 5;
+  Sched.Schedule.set_center s ~window:1 ~data:0 0;
+  Sched.Schedule.set_center s ~window:0 ~data:1 15;
+  Sched.Schedule.set_center s ~window:1 ~data:1 15;
+  let b = Sched.Schedule.cost s trace2 in
+  (* references: w0 datum0 local (0), w1 datum0 local (0), datum1 local (0) *)
+  check_int "reference" 0 b.Sched.Schedule.reference;
+  (* movement: datum0 rank5 -> rank0 = 2 *)
+  check_int "movement" 2 b.Sched.Schedule.movement;
+  check_int "total" 2 b.Sched.Schedule.total
+
+let test_cost_counts_remote_references () =
+  let s = Sched.Schedule.constant mesh ~n_windows:2 [| 0; 0 |] in
+  let b = Sched.Schedule.cost s trace2 in
+  (* w0: datum0 2 refs from rank5 at dist 2 = 4; w1: datum0 local 0,
+     datum1 from rank15 at dist 6 = 6 *)
+  check_int "reference" 10 b.Sched.Schedule.reference;
+  check_int "movement" 0 b.Sched.Schedule.movement
+
+let test_cost_shape_mismatch () =
+  let s = Sched.Schedule.create mesh ~n_windows:3 ~n_data:2 in
+  Alcotest.check_raises "window mismatch"
+    (Invalid_argument "Schedule: trace has 2 windows, schedule has 3")
+    (fun () -> ignore (Sched.Schedule.cost s trace2))
+
+let test_check_capacity () =
+  let s = Sched.Schedule.constant mesh ~n_windows:1 [| 3; 3; 3 |] in
+  Alcotest.(check (option (triple int int int)))
+    "violation" (Some (0, 3, 3))
+    (Sched.Schedule.check_capacity s ~capacity:2);
+  Alcotest.(check (option (triple int int int)))
+    "feasible" None
+    (Sched.Schedule.check_capacity s ~capacity:3)
+
+let test_to_rounds_structure () =
+  let s = Sched.Schedule.create mesh ~n_windows:2 ~n_data:2 in
+  Sched.Schedule.set_center s ~window:0 ~data:0 5;
+  Sched.Schedule.set_center s ~window:1 ~data:0 0;
+  Sched.Schedule.set_center s ~window:0 ~data:1 15;
+  Sched.Schedule.set_center s ~window:1 ~data:1 15;
+  match Sched.Schedule.to_rounds s trace2 with
+  | [ r0; r1 ] ->
+      check_int "no migrations into window 0" 0
+        (List.length r0.Pim.Simulator.migrations);
+      (* datum 0 served locally in w0 -> no reference messages *)
+      check_int "w0 references local" 0
+        (List.length r0.Pim.Simulator.references);
+      check_int "w1 one migration" 1
+        (List.length r1.Pim.Simulator.migrations);
+      check_int "w1 references local" 0
+        (List.length r1.Pim.Simulator.references)
+  | _ -> Alcotest.fail "expected two rounds"
+
+let test_equal () =
+  let a = Sched.Schedule.constant mesh ~n_windows:2 [| 1; 2 |] in
+  let b = Sched.Schedule.constant mesh ~n_windows:2 [| 1; 2 |] in
+  check_bool "equal" true (Sched.Schedule.equal a b);
+  Sched.Schedule.set_center b ~window:1 ~data:0 3;
+  check_bool "different" false (Sched.Schedule.equal a b)
+
+let test_prefetch_preserves_volume () =
+  let s = Sched.Schedule.create mesh ~n_windows:2 ~n_data:2 in
+  Sched.Schedule.set_center s ~window:0 ~data:0 5;
+  Sched.Schedule.set_center s ~window:1 ~data:0 0;
+  Sched.Schedule.set_center s ~window:0 ~data:1 15;
+  Sched.Schedule.set_center s ~window:1 ~data:1 15;
+  let total prefetch =
+    (Pim.Simulator.run mesh (Sched.Schedule.to_rounds ~prefetch s trace2))
+      .Pim.Simulator.total_cost
+  in
+  check_int "same hop-volume either way" (total false) (total true);
+  (* the migration moved one round earlier *)
+  match Sched.Schedule.to_rounds ~prefetch:true s trace2 with
+  | [ r0; r1 ] ->
+      check_int "migration in round 0" 1
+        (List.length r0.Pim.Simulator.migrations);
+      check_int "round 1 empty of migrations" 0
+        (List.length r1.Pim.Simulator.migrations)
+  | _ -> Alcotest.fail "two rounds expected"
+
+let prop_prefetch_cost_identity =
+  let arb = Gen.trace_arbitrary ~max_data:5 ~max_windows:5 ~max_count:4 () in
+  QCheck.Test.make
+    ~name:"prefetch lowering carries identical hop-volume" ~count:60 arb
+    (fun t ->
+      let s = Sched.Lomcds.run mesh t in
+      let total prefetch =
+        (Pim.Simulator.run mesh (Sched.Schedule.to_rounds ~prefetch s t))
+          .Pim.Simulator.total_cost
+      in
+      total true = total false && total false = Sched.Schedule.total_cost s t)
+
+let suite =
+  [
+    Gen.case "create defaults" test_create_defaults_to_rank0;
+    Gen.case "prefetch preserves volume" test_prefetch_preserves_volume;
+    Gen.to_alcotest prop_prefetch_cost_identity;
+    Gen.case "constant" test_constant;
+    Gen.case "set_center and moves" test_set_center_and_moves;
+    Gen.case "cost breakdown" test_cost_breakdown;
+    Gen.case "remote references priced" test_cost_counts_remote_references;
+    Gen.case "cost shape mismatch" test_cost_shape_mismatch;
+    Gen.case "check capacity" test_check_capacity;
+    Gen.case "to_rounds structure" test_to_rounds_structure;
+    Gen.case "equal" test_equal;
+  ]

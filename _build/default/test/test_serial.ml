@@ -1,0 +1,94 @@
+let mesh = Gen.mesh44
+
+let trace_equal a b =
+  Reftrace.Data_space.arrays (Reftrace.Trace.space a)
+  = Reftrace.Data_space.arrays (Reftrace.Trace.space b)
+  && Reftrace.Trace.n_windows a = Reftrace.Trace.n_windows b
+  && List.for_all2 Reftrace.Window.equal (Reftrace.Trace.windows a)
+       (Reftrace.Trace.windows b)
+
+let test_roundtrip_simple () =
+  let t = Gen.trace mesh ~n_data:3 [ [ (0, 1, 2); (2, 5, 1) ]; [ (1, 3, 4) ] ] in
+  let t' = Reftrace.Serial.of_string (Reftrace.Serial.to_string t) in
+  Alcotest.(check bool) "equal" true (trace_equal t t')
+
+let test_roundtrip_benchmark () =
+  let t = Workloads.Benchmarks.trace Workloads.Benchmarks.B3 ~n:8 mesh in
+  let t' = Reftrace.Serial.of_string (Reftrace.Serial.to_string t) in
+  Alcotest.(check bool) "equal" true (trace_equal t t');
+  Alcotest.(check int)
+    "same references"
+    (Reftrace.Trace.total_references t)
+    (Reftrace.Trace.total_references t')
+
+let test_format_shape () =
+  let t = Gen.trace mesh ~n_data:2 [ [ (0, 1, 2) ] ] in
+  let s = Reftrace.Serial.to_string t in
+  Alcotest.(check bool) "header" true
+    (String.length s > 20 && String.sub s 0 20 = "# pim-sched trace v1");
+  Alcotest.(check bool) "has window line" true
+    (List.mem "window 0" (String.split_on_char '\n' s));
+  Alcotest.(check bool) "has ref line" true
+    (List.mem "ref 0 1 2" (String.split_on_char '\n' s))
+
+let test_comments_and_blanks_ignored () =
+  let input =
+    "# a comment\n\narray A 1 2\n# another\nwindow 0\n\nref 0 3 2\nref 1 0 1\n"
+  in
+  let t = Reftrace.Serial.of_string input in
+  Alcotest.(check int) "one window" 1 (Reftrace.Trace.n_windows t);
+  Alcotest.(check int) "datum 0 refs" 2
+    (Reftrace.Window.references (Reftrace.Trace.window t 0) 0)
+
+let check_fails input expected =
+  Alcotest.check_raises "parse error" (Failure expected) (fun () ->
+      ignore (Reftrace.Serial.of_string input))
+
+let test_parse_errors () =
+  check_fails "window 0\n"
+    "Serial.of_string: line 1: no array declared before windows";
+  check_fails "array A 1 1\nref 0 0 1\n"
+    "Serial.of_string: line 2: ref before any window";
+  check_fails "array A 1 1\nwindow 1\n"
+    "Serial.of_string: line 2: expected window 0, got 1";
+  check_fails "array A 1 1\nwindow 0\narray B 1 1\n"
+    "Serial.of_string: line 3: array declarations must precede windows";
+  check_fails "array A 1 1\nwindow 0\nwibble\n"
+    "Serial.of_string: line 3: unrecognized line \"wibble\"";
+  check_fails "array A x 1\n"
+    "Serial.of_string: line 1: malformed array dimensions";
+  check_fails "" "Serial.of_string: empty input";
+  check_fails "array A 1 1\nwindow 0\nref 0 0 -1\n"
+    "Serial.of_string: line 3: Window.add: negative count"
+
+let test_out_of_range_data_rejected () =
+  check_fails "array A 1 1\nwindow 0\nref 5 0 1\n"
+    "Serial.of_string: line 3: Window: data id 5 out of range"
+
+let test_file_roundtrip () =
+  let t = Workloads.Lu.trace ~n:6 mesh in
+  let path = Filename.temp_file "pimsched" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Reftrace.Serial.save t path;
+      let t' = Reftrace.Serial.load path in
+      Alcotest.(check bool) "equal" true (trace_equal t t'))
+
+let prop_roundtrip_random =
+  let arb = Gen.trace_arbitrary ~max_data:6 ~max_windows:5 ~max_count:4 () in
+  QCheck.Test.make ~name:"serialize/parse roundtrip on random traces"
+    ~count:100 arb (fun t ->
+      trace_equal t (Reftrace.Serial.of_string (Reftrace.Serial.to_string t)))
+
+let suite =
+  [
+    Gen.case "roundtrip simple" test_roundtrip_simple;
+    Gen.case "roundtrip benchmark" test_roundtrip_benchmark;
+    Gen.case "format shape" test_format_shape;
+    Gen.case "comments and blanks" test_comments_and_blanks_ignored;
+    Gen.case "parse errors" test_parse_errors;
+    Gen.case "out-of-range data rejected" test_out_of_range_data_rejected;
+    Gen.case "file roundtrip" test_file_roundtrip;
+    Gen.to_alcotest prop_roundtrip_random;
+  ]

@@ -1,0 +1,92 @@
+let check_int = Alcotest.(check int)
+let mesh = Gen.mesh44
+let msg = Pim.Router.message
+
+let test_empty_rounds () =
+  let report = Pim.Simulator.run mesh [] in
+  check_int "total" 0 report.Pim.Simulator.total_cost;
+  check_int "rounds" 0 (List.length report.Pim.Simulator.rounds)
+
+let test_single_round_split () =
+  let round =
+    {
+      Pim.Simulator.migrations = [ msg ~src:0 ~dst:1 ~volume:2 ];
+      references = [ msg ~src:1 ~dst:3 ~volume:1 ];
+    }
+  in
+  let report = Pim.Simulator.run mesh [ round ] in
+  check_int "migration" 2 report.Pim.Simulator.total_migration;
+  check_int "reference" 2 report.Pim.Simulator.total_reference;
+  check_int "total" 4 report.Pim.Simulator.total_cost
+
+let test_per_round_reports () =
+  let r1 =
+    { Pim.Simulator.migrations = []; references = [ msg ~src:0 ~dst:3 ~volume:1 ] }
+  in
+  let r2 =
+    {
+      Pim.Simulator.migrations = [ msg ~src:3 ~dst:0 ~volume:1 ];
+      references = [];
+    }
+  in
+  let report = Pim.Simulator.run mesh [ r1; r2 ] in
+  match report.Pim.Simulator.rounds with
+  | [ a; b ] ->
+      check_int "round 0 idx" 0 a.Pim.Simulator.round;
+      check_int "round 0 ref" 3 a.Pim.Simulator.reference_cost;
+      check_int "round 1 migration" 3 b.Pim.Simulator.migration_cost;
+      check_int "round 0 messages" 1 a.Pim.Simulator.messages
+  | _ -> Alcotest.fail "expected two round reports"
+
+let test_latency_bound_distance_dominates () =
+  (* One long message: latency bound = its hop distance. *)
+  let round =
+    { Pim.Simulator.migrations = []; references = [ msg ~src:0 ~dst:15 ~volume:1 ] }
+  in
+  let report = Pim.Simulator.run mesh [ round ] in
+  match report.Pim.Simulator.rounds with
+  | [ r ] -> check_int "latency" 6 r.Pim.Simulator.latency_bound
+  | _ -> Alcotest.fail "one round expected"
+
+let test_latency_bound_congestion_dominates () =
+  (* Many unit messages over the same link: bound = link load. *)
+  let references = List.init 5 (fun _ -> msg ~src:0 ~dst:1 ~volume:1) in
+  let round = { Pim.Simulator.migrations = []; references } in
+  let report = Pim.Simulator.run mesh [ round ] in
+  match report.Pim.Simulator.rounds with
+  | [ r ] -> check_int "latency" 5 r.Pim.Simulator.latency_bound
+  | _ -> Alcotest.fail "one round expected"
+
+let test_local_messages_free () =
+  let round =
+    {
+      Pim.Simulator.migrations = [ msg ~src:2 ~dst:2 ~volume:9 ];
+      references = [ msg ~src:4 ~dst:4 ~volume:9 ];
+    }
+  in
+  let report = Pim.Simulator.run mesh [ round ] in
+  check_int "total" 0 report.Pim.Simulator.total_cost;
+  match report.Pim.Simulator.rounds with
+  | [ r ] -> check_int "no live messages" 0 r.Pim.Simulator.messages
+  | _ -> Alcotest.fail "one round expected"
+
+let test_cumulative_links () =
+  let rounds =
+    List.init 3 (fun _ ->
+        { Pim.Simulator.migrations = []; references = [ msg ~src:0 ~dst:1 ~volume:1 ] })
+  in
+  let report = Pim.Simulator.run mesh rounds in
+  check_int "cumulative" 3
+    (Pim.Link_stats.total report.Pim.Simulator.link_stats)
+
+let suite =
+  [
+    Gen.case "empty rounds" test_empty_rounds;
+    Gen.case "single round split" test_single_round_split;
+    Gen.case "per-round reports" test_per_round_reports;
+    Gen.case "latency: distance dominates" test_latency_bound_distance_dominates;
+    Gen.case "latency: congestion dominates"
+      test_latency_bound_congestion_dominates;
+    Gen.case "local messages free" test_local_messages_free;
+    Gen.case "cumulative link stats" test_cumulative_links;
+  ]

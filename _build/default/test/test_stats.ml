@@ -1,0 +1,94 @@
+let mesh = Gen.mesh44
+let check_float = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+let test_centroid () =
+  let w = Gen.window ~n_data:1 [ (0, 0, 1); (0, 3, 1) ] in
+  (* ranks 0=(0,0) and 3=(3,0), equal weight *)
+  (match Reftrace.Stats.centroid mesh w ~data:0 with
+  | Some (x, y) ->
+      check_float "x" 1.5 x;
+      check_float "y" 0. y
+  | None -> Alcotest.fail "centroid expected");
+  Alcotest.(check (option (pair (float 1e-6) (float 1e-6))))
+    "unreferenced" None
+    (Reftrace.Stats.centroid mesh (Reftrace.Window.create ~n_data:1) ~data:0)
+
+let test_centroid_weighted () =
+  let w = Gen.window ~n_data:1 [ (0, 0, 3); (0, 3, 1) ] in
+  match Reftrace.Stats.centroid mesh w ~data:0 with
+  | Some (x, _) -> check_float "weighted x" 0.75 x
+  | None -> Alcotest.fail "centroid expected"
+
+let test_entropy_extremes () =
+  let single = Gen.window ~n_data:1 [ (0, 5, 9) ] in
+  check_float "one processor" 0. (Reftrace.Stats.window_entropy mesh single);
+  let uniform =
+    Gen.window ~n_data:1 (List.init 16 (fun p -> (0, p, 1)))
+  in
+  check_float "uniform over 16" 4. (Reftrace.Stats.window_entropy mesh uniform);
+  check_float "empty" 0.
+    (Reftrace.Stats.window_entropy mesh (Reftrace.Window.create ~n_data:1))
+
+let test_stencil_profile_is_stationary () =
+  let t = Workloads.Stencil.trace ~n:8 ~sweeps:4 mesh in
+  let p = Reftrace.Stats.profile mesh t in
+  check_float "no drift" 0. p.Reftrace.Stats.drift;
+  check_bool "full reuse after first sweep" true (p.Reftrace.Stats.reuse > 0.7)
+
+let test_code_kernel_drifts () =
+  let t = Workloads.Code_kernel.trace ~n:16 mesh in
+  let p = Reftrace.Stats.profile mesh t in
+  check_bool "hot spot moves" true (p.Reftrace.Stats.drift > 0.3)
+
+let test_matmul_high_sharing () =
+  let t = Workloads.Matmul.trace ~n:8 mesh in
+  let p = Reftrace.Stats.profile mesh t in
+  (* row/column broadcast: each A element of the pivot row is read by a
+     whole row of the processor grid *)
+  check_bool "shared" true (p.Reftrace.Stats.sharing_degree > 1.5)
+
+let test_profile_counts () =
+  let t = Workloads.Lu.trace ~n:8 mesh in
+  let p = Reftrace.Stats.profile mesh t in
+  Alcotest.(check int) "windows" (Reftrace.Trace.n_windows t) p.Reftrace.Stats.windows;
+  Alcotest.(check int)
+    "references"
+    (Reftrace.Trace.total_references t)
+    p.Reftrace.Stats.references
+
+let prop_metrics_in_range =
+  let arb = Gen.trace_arbitrary ~max_data:5 ~max_windows:5 ~max_count:4 () in
+  QCheck.Test.make ~name:"metrics stay in their ranges" ~count:100 arb
+    (fun t ->
+      let p = Reftrace.Stats.profile mesh t in
+      p.Reftrace.Stats.drift >= 0.
+      && p.Reftrace.Stats.entropy >= 0.
+      && p.Reftrace.Stats.entropy <= 4. +. 1e-9
+      && p.Reftrace.Stats.reuse >= 0.
+      && p.Reftrace.Stats.reuse <= 1.
+      && p.Reftrace.Stats.sharing_degree >= 0.)
+
+let prop_single_window_traces_are_stationary =
+  (* one window: drift is 0 by definition and movement cannot help *)
+  let arb = Gen.trace_arbitrary ~max_data:4 ~max_windows:1 ~max_count:4 () in
+  QCheck.Test.make
+    ~name:"single-window traces: drift 0 and GOMCDS = SCDS cost" ~count:100
+    arb (fun t ->
+      let p = Reftrace.Stats.profile mesh t in
+      p.Reftrace.Stats.drift = 0.
+      && Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t
+         = Sched.Schedule.total_cost (Sched.Scds.run mesh t) t)
+
+let suite =
+  [
+    Gen.case "centroid" test_centroid;
+    Gen.case "centroid weighted" test_centroid_weighted;
+    Gen.case "entropy extremes" test_entropy_extremes;
+    Gen.case "stencil stationary" test_stencil_profile_is_stationary;
+    Gen.case "code kernel drifts" test_code_kernel_drifts;
+    Gen.case "matmul high sharing" test_matmul_high_sharing;
+    Gen.case "profile counts" test_profile_counts;
+    Gen.to_alcotest prop_metrics_in_range;
+    Gen.to_alcotest prop_single_window_traces_are_stationary;
+  ]

@@ -1,0 +1,146 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let profile_t = Alcotest.(list (pair int int))
+
+let test_empty () =
+  let w = Reftrace.Window.create ~n_data:4 in
+  check_bool "empty" true (Reftrace.Window.is_empty w);
+  check_int "total" 0 (Reftrace.Window.total_references w);
+  Alcotest.(check (list int)) "no data" [] (Reftrace.Window.referenced_data w);
+  check_int "max_proc" (-1) (Reftrace.Window.max_proc w)
+
+let test_add_accumulates () =
+  let w = Reftrace.Window.create ~n_data:2 in
+  Reftrace.Window.add w ~data:0 ~proc:3 ~count:2;
+  Reftrace.Window.add w ~data:0 ~proc:3 ~count:1;
+  Reftrace.Window.add w ~data:0 ~proc:1 ~count:4;
+  Alcotest.check profile_t "profile sorted by proc" [ (1, 4); (3, 3) ]
+    (Reftrace.Window.profile w 0);
+  check_int "references" 7 (Reftrace.Window.references w 0);
+  check_int "other datum untouched" 0 (Reftrace.Window.references w 1)
+
+let test_zero_count_noop () =
+  let w = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add w ~data:0 ~proc:0 ~count:0;
+  check_bool "still empty" true (Reftrace.Window.is_empty w)
+
+let test_validation () =
+  let w = Reftrace.Window.create ~n_data:1 in
+  Alcotest.check_raises "bad data"
+    (Invalid_argument "Window: data id 5 out of range") (fun () ->
+      Reftrace.Window.add w ~data:5 ~proc:0 ~count:1);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Window.add: negative count") (fun () ->
+      Reftrace.Window.add w ~data:0 ~proc:0 ~count:(-1))
+
+let test_merge_sums () =
+  let a = Gen.window ~n_data:2 [ (0, 1, 2); (1, 0, 1) ] in
+  let b = Gen.window ~n_data:2 [ (0, 1, 3); (0, 2, 1) ] in
+  let m = Reftrace.Window.merge a b in
+  Alcotest.check profile_t "summed" [ (1, 5); (2, 1) ]
+    (Reftrace.Window.profile m 0);
+  Alcotest.check profile_t "carried" [ (0, 1) ] (Reftrace.Window.profile m 1);
+  (* merge is non-destructive *)
+  check_int "a untouched" 2 (Reftrace.Window.references a 0)
+
+let test_merge_mismatched () =
+  let a = Reftrace.Window.create ~n_data:1 in
+  let b = Reftrace.Window.create ~n_data:2 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Window.merge: mismatched data spaces") (fun () ->
+      ignore (Reftrace.Window.merge a b))
+
+let test_merge_list () =
+  let ws =
+    List.init 3 (fun i -> Gen.window ~n_data:1 [ (0, i, i + 1) ])
+  in
+  let m = Reftrace.Window.merge_list ws in
+  Alcotest.check profile_t "all merged" [ (0, 1); (1, 2); (2, 3) ]
+    (Reftrace.Window.profile m 0)
+
+let test_copy_independent () =
+  let a = Gen.window ~n_data:1 [ (0, 0, 1) ] in
+  let b = Reftrace.Window.copy a in
+  Reftrace.Window.add b ~data:0 ~proc:0 ~count:5;
+  check_int "original" 1 (Reftrace.Window.references a 0);
+  check_int "copy" 6 (Reftrace.Window.references b 0)
+
+let test_equal () =
+  let a = Gen.window ~n_data:2 [ (0, 1, 2); (1, 3, 1) ] in
+  let b = Gen.window ~n_data:2 [ (1, 3, 1); (0, 1, 2) ] in
+  check_bool "order independent" true (Reftrace.Window.equal a b);
+  Reftrace.Window.add b ~data:0 ~proc:1 ~count:1;
+  check_bool "detects difference" false (Reftrace.Window.equal a b)
+
+let prop_merge_commutative =
+  let arb = Gen.single_datum_window_arbitrary ~max_count:5 () in
+  QCheck.Test.make ~name:"merge is commutative" ~count:100 (QCheck.pair arb arb)
+    (fun (a, b) ->
+      Reftrace.Window.equal (Reftrace.Window.merge a b)
+        (Reftrace.Window.merge b a))
+
+let prop_merge_total_references_additive =
+  let arb = Gen.single_datum_window_arbitrary ~max_count:5 () in
+  QCheck.Test.make ~name:"merge adds reference counts" ~count:100
+    (QCheck.pair arb arb) (fun (a, b) ->
+      Reftrace.Window.total_references (Reftrace.Window.merge a b)
+      = Reftrace.Window.total_references a
+        + Reftrace.Window.total_references b)
+
+let test_kinds_separate_profiles () =
+  let w = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add w ~data:0 ~proc:2 ~count:3;
+  Reftrace.Window.add ~kind:Reftrace.Window.Write w ~data:0 ~proc:5 ~count:2;
+  Alcotest.check profile_t "reads" [ (2, 3) ] (Reftrace.Window.read_profile w 0);
+  Alcotest.check profile_t "writes" [ (5, 2) ]
+    (Reftrace.Window.write_profile w 0);
+  Alcotest.check profile_t "combined" [ (2, 3); (5, 2) ]
+    (Reftrace.Window.profile w 0);
+  check_int "references counts both" 5 (Reftrace.Window.references w 0);
+  check_int "writes" 2 (Reftrace.Window.writes w 0)
+
+let test_kinds_same_proc_combine () =
+  let w = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add w ~data:0 ~proc:4 ~count:1;
+  Reftrace.Window.add ~kind:Reftrace.Window.Write w ~data:0 ~proc:4 ~count:2;
+  Alcotest.check profile_t "summed at proc" [ (4, 3) ]
+    (Reftrace.Window.profile w 0)
+
+let test_equal_distinguishes_kinds () =
+  let a = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add a ~data:0 ~proc:1 ~count:1;
+  let b = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add ~kind:Reftrace.Window.Write b ~data:0 ~proc:1 ~count:1;
+  check_bool "same combined, different kinds" false
+    (Reftrace.Window.equal a b)
+
+let test_merge_preserves_kinds () =
+  let a = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add ~kind:Reftrace.Window.Write a ~data:0 ~proc:3 ~count:1;
+  let b = Reftrace.Window.create ~n_data:1 in
+  Reftrace.Window.add b ~data:0 ~proc:3 ~count:1;
+  let m = Reftrace.Window.merge a b in
+  Alcotest.check profile_t "write kept" [ (3, 1) ]
+    (Reftrace.Window.write_profile m 0);
+  Alcotest.check profile_t "read kept" [ (3, 1) ]
+    (Reftrace.Window.read_profile m 0)
+
+let suite =
+  [
+    Gen.case "empty" test_empty;
+    Gen.case "kinds separate profiles" test_kinds_separate_profiles;
+    Gen.case "kinds same proc combine" test_kinds_same_proc_combine;
+    Gen.case "equal distinguishes kinds" test_equal_distinguishes_kinds;
+    Gen.case "merge preserves kinds" test_merge_preserves_kinds;
+    Gen.case "add accumulates" test_add_accumulates;
+    Gen.case "zero count noop" test_zero_count_noop;
+    Gen.case "validation" test_validation;
+    Gen.case "merge sums" test_merge_sums;
+    Gen.case "merge mismatched" test_merge_mismatched;
+    Gen.case "merge_list" test_merge_list;
+    Gen.case "copy independent" test_copy_independent;
+    Gen.case "equal" test_equal;
+    Gen.to_alcotest prop_merge_commutative;
+    Gen.to_alcotest prop_merge_total_references_additive;
+  ]
