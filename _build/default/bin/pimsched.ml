@@ -136,6 +136,25 @@ let trace_file_arg =
           "Load a serialized reference trace instead of generating a \
            workload (see export-trace).")
 
+let jobs_arg =
+  let pos_int =
+    let parse s =
+      match Cmdliner.Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "expected N >= 1, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Cmdliner.Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt pos_int (Sched.Engine.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains used for per-datum work (cost vectors, per-datum DPs). \
+           Schedules are identical at any setting; the default fits the \
+           machine.")
+
 let simulate_arg =
   Arg.(
     value & flag
@@ -193,12 +212,13 @@ let describe_instance ?trace_file workload mesh trace capacity =
 (* ---------------------------------------------------------------- *)
 
 let run_schedule workload size mesh_shape torus partition unbounded
-    trace_file algorithm simulate plan_out =
+    trace_file algorithm jobs simulate plan_out =
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
   describe_instance ?trace_file workload mesh trace capacity;
-  let schedule = Sched.Scheduler.run ?capacity algorithm mesh trace in
+  let problem = Sched.Problem.of_capacity ?capacity ~jobs mesh trace in
+  let schedule = Sched.Scheduler.solve problem algorithm in
   (match plan_out with
   | Some path ->
       Sched.Schedule_serial.save schedule path;
@@ -218,20 +238,22 @@ let run_schedule workload size mesh_shape torus partition unbounded
   end
 
 let run_compare workload size mesh_shape torus partition unbounded trace_file
-    =
+    jobs =
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
   describe_instance ?trace_file workload mesh trace capacity;
-  let bound = Sched.Bounds.lower_bound mesh trace in
+  (* one context: the bound and all twelve algorithms share its caches *)
+  let problem = Sched.Problem.of_capacity ?capacity ~jobs mesh trace in
+  let bound = Sched.Bounds.lower_bound_in problem in
   let baseline =
     Sched.Schedule.total_cost
-      (Sched.Scheduler.run ?capacity Sched.Scheduler.Row_wise mesh trace)
+      (Sched.Scheduler.solve problem Sched.Scheduler.Row_wise)
       trace
   in
   List.iter
     (fun algorithm ->
-      let schedule = Sched.Scheduler.run ?capacity algorithm mesh trace in
+      let schedule = Sched.Scheduler.solve problem algorithm in
       let total = Sched.Schedule.total_cost schedule trace in
       Printf.printf
         "%-16s total=%6d  improvement=%5.1f%%  gap-to-bound=%5.1f%%\n"
@@ -243,7 +265,7 @@ let run_compare workload size mesh_shape torus partition unbounded trace_file
   Printf.printf "%-16s total=%6d  (sum of per-datum optima)\n" "lower-bound"
     bound
 
-let run_table which mesh_shape sizes =
+let run_table which mesh_shape sizes jobs =
   let mesh = build_mesh mesh_shape false in
   let grouped = which = 2 in
   let algos =
@@ -256,10 +278,14 @@ let run_table which mesh_shape sizes =
         List.map
           (fun n ->
             let trace = Workloads.Benchmarks.trace bench ~n mesh in
-            let capacity = Some (Workloads.Benchmarks.capacity bench ~n mesh) in
+            let capacity = Workloads.Benchmarks.capacity bench ~n mesh in
+            let problem =
+              Sched.Problem.create
+                ~policy:(Sched.Problem.Bounded capacity) ~jobs mesh trace
+            in
             let cost algorithm =
               Sched.Schedule.total_cost
-                (Sched.Scheduler.run ?capacity algorithm mesh trace)
+                (Sched.Scheduler.solve problem algorithm)
                 trace
             in
             let baseline = cost Sched.Scheduler.Row_wise in
@@ -365,14 +391,14 @@ let schedule_cmd =
     Term.(
       const run_schedule $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ algorithm_arg
-      $ simulate_arg $ plan_out_arg)
+      $ jobs_arg $ simulate_arg $ plan_out_arg)
 
 let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every algorithm on one instance")
     Term.(
       const run_compare $ workload_arg $ size_arg $ mesh_arg $ torus_arg
-      $ partition_arg $ unbounded_arg $ trace_file_arg)
+      $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg)
 
 let table_cmd =
   let which_arg =
@@ -388,7 +414,7 @@ let table_cmd =
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate paper Table 1 or 2")
-    Term.(const run_table $ which_arg $ mesh_arg $ sizes_arg)
+    Term.(const run_table $ which_arg $ mesh_arg $ sizes_arg $ jobs_arg)
 
 let example_cmd =
   Cmd.v
@@ -476,7 +502,7 @@ let stats_cmd =
       const run_stats $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ trace_file_arg)
 
-let run_sweep sizes mesh_shape torus output headroom =
+let run_sweep sizes mesh_shape torus output headroom jobs =
   let mesh = build_mesh mesh_shape torus in
   let instances =
     List.concat_map
@@ -488,7 +514,7 @@ let run_sweep sizes mesh_shape torus output headroom =
           sizes)
       Workloads.Benchmarks.all
   in
-  let rows = Sched.Sweep.run ~headroom mesh instances Sched.Scheduler.all in
+  let rows = Sched.Sweep.run ~headroom ~jobs mesh instances Sched.Scheduler.all in
   let csv = Sched.Sweep.to_csv rows in
   match output with
   | Some path ->
@@ -523,7 +549,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Run all algorithms over the benchmarks, emit CSV")
     Term.(
       const run_sweep $ sizes_arg $ mesh_arg $ torus_arg $ output_arg
-      $ headroom_arg)
+      $ headroom_arg $ jobs_arg)
 
 let main =
   Cmd.group

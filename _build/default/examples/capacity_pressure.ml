@@ -19,9 +19,15 @@ let () =
     data_count minimum;
   Printf.printf "%9s %9s | %8s %8s %8s | %s\n" "capacity" "slack" "SCDS"
     "LOMCDS" "GOMCDS" "max load (GOMCDS)";
+  (* one base context; [with_policy] swaps the capacity while sharing the
+     cached cost vectors across all three pressure levels *)
+  let base = Sched.Problem.create mesh trace in
   List.iter
     (fun capacity ->
-      let run a = Sched.Scheduler.run ~capacity a mesh trace in
+      let problem =
+        Sched.Problem.with_policy base (Sched.Problem.Bounded capacity)
+      in
+      let run a = Sched.Scheduler.solve problem a in
       let total a = Sched.Schedule.total_cost (run a) trace in
       let g = run Sched.Scheduler.Gomcds in
       (* the tightest any window/processor actually gets *)
@@ -44,7 +50,7 @@ let () =
     [ minimum; 2 * minimum; 4 * minimum ];
   let unconstrained =
     Sched.Schedule.total_cost
-      (Sched.Scheduler.run Sched.Scheduler.Gomcds mesh trace)
+      (Sched.Scheduler.solve base Sched.Scheduler.Gomcds)
       trace
   in
   Printf.printf "%9s %9s | %8s %8s %8d |\n" "inf" "-" "-" "-" unconstrained;

@@ -22,15 +22,21 @@ let () =
     (Reftrace.Trace.n_windows trace)
     (Reftrace.Trace.total_references trace);
 
+  (* One context under the paper's memory rule; every scheduler below
+     shares its cost-vector cache. *)
+  let problem =
+    Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) mesh trace
+  in
+
   (* The straight-forward row-wise distribution vs. the three schedulers. *)
   let baseline =
     Sched.Schedule.total_cost
-      (Sched.Scheduler.run ~capacity Sched.Scheduler.Row_wise mesh trace)
+      (Sched.Scheduler.solve problem Sched.Scheduler.Row_wise)
       trace
   in
   List.iter
     (fun algo ->
-      let s = Sched.Scheduler.run ~capacity algo mesh trace in
+      let s = Sched.Scheduler.solve problem algo in
       let total = Sched.Schedule.total_cost s trace in
       Printf.printf "%-16s comm = %6d   improvement = %5.1f%%   moves = %d\n"
         (Sched.Scheduler.name algo)
@@ -44,7 +50,7 @@ let () =
      in the trailing submatrix for k < 8, is the pivot at k = 8, and is dead
      afterwards — watch GOMCDS park it once it no longer matters. *)
   let a88 = Reftrace.Data_space.id space ~array_name:"A" ~row:8 ~col:8 in
-  let gomcds = Sched.Scheduler.run ~capacity Sched.Scheduler.Gomcds mesh trace in
+  let gomcds = Sched.Scheduler.solve problem Sched.Scheduler.Gomcds in
   Printf.printf "\nGOMCDS trajectory of %s (pivot at window 8):\n "
     (Reftrace.Data_space.describe space a88);
   Array.iteri

@@ -18,8 +18,12 @@ let () =
     Pim.Memory.capacity_for ~data_count:(n * n) ~mesh ~headroom:2
   in
 
+  let problem =
+    Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) mesh trace
+  in
+
   (* 1. Plan: compute and serialize the schedule. *)
-  let schedule = Sched.Scheduler.run ~capacity Sched.Scheduler.Best_refined mesh trace in
+  let schedule = Sched.Scheduler.solve problem Sched.Scheduler.Best_refined in
   let plan = Filename.temp_file "lu" ".plan" in
   Sched.Schedule_serial.save schedule plan;
   Printf.printf "plan: %d windows, %d data, %d migrations -> %s\n"
@@ -45,7 +49,7 @@ let () =
   assert (r.Exec.Distributed_lu.traffic = r.Exec.Distributed_lu.analytic);
 
   (* 4. Same computation under the straight-forward layout, for contrast. *)
-  let sf = Sched.Scheduler.run ~capacity Sched.Scheduler.Row_wise mesh trace in
+  let sf = Sched.Scheduler.solve problem Sched.Scheduler.Row_wise in
   let r_sf = Exec.Distributed_lu.run mesh ~matrix sf in
   Printf.printf
     "row-wise layout moves %d hop-units for the same answer (%.1fx more)\n"

@@ -1,1 +1,1 @@
-lib/core/bounds.ml: Array Cost Gomcds Reftrace
+lib/core/bounds.ml: Array Engine Pathgraph Problem Reftrace

@@ -1,1 +1,1 @@
-lib/core/bounds.mli: Pim Reftrace
+lib/core/bounds.mli: Pim Problem Reftrace

@@ -1,1 +1,1 @@
-lib/core/brute_force.ml: Array Cost Pim Reftrace
+lib/core/brute_force.ml: Array Cost Engine Pim Problem Reftrace

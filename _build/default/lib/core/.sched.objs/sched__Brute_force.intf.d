@@ -1,1 +1,1 @@
-lib/core/brute_force.mli: Pim Reftrace
+lib/core/brute_force.mli: Pim Problem Reftrace

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Atomic Condition Domain List Mutex

@@ -1,1 +1,1 @@
-lib/core/gomcds.ml: Array Cost List Option Ordering Pathgraph Pim Printf Reftrace Schedule
+lib/core/gomcds.ml: Array Cost Engine List Option Pathgraph Pim Problem Reftrace Schedule

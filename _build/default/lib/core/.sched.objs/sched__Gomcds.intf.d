@@ -1,1 +1,1 @@
-lib/core/gomcds.mli: Pathgraph Pim Reftrace Schedule
+lib/core/gomcds.mli: Pathgraph Pim Problem Reftrace Schedule

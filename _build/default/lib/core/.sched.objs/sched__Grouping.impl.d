@@ -1,1 +1,1 @@
-lib/core/grouping.ml: Array Cost Fun Int List Pathgraph Pim Printf Processor_list Reftrace Schedule
+lib/core/grouping.ml: Array Engine Fun Int List Pathgraph Problem Processor_list Reftrace Schedule

@@ -1,1 +1,1 @@
-lib/core/grouping.mli: Pim Reftrace Schedule
+lib/core/grouping.mli: Pim Problem Reftrace Schedule

@@ -1,1 +1,1 @@
-lib/core/lomcds.ml: Array Cost Fun Int List Ordering Pim Printf Processor_list Reftrace Schedule
+lib/core/lomcds.ml: Array Cost Fun Int List Ordering Pim Problem Processor_list Reftrace Schedule

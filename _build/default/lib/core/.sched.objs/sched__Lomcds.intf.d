@@ -1,1 +1,1 @@
-lib/core/lomcds.mli: Pim Reftrace Schedule
+lib/core/lomcds.mli: Pim Problem Reftrace Schedule

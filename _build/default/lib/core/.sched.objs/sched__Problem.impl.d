@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Engine Fun Int List Pathgraph Pim Printf Processor_list Reftrace

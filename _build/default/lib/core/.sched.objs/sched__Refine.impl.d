@@ -1,1 +1,1 @@
-lib/core/refine.ml: Array Gomcds Grouping List Lomcds Ordering Pathgraph Pim Printf Reftrace Schedule
+lib/core/refine.ml: Array Gomcds Grouping List Lomcds Pathgraph Pim Printf Problem Reftrace Schedule

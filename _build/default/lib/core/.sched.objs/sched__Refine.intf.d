@@ -1,1 +1,1 @@
-lib/core/refine.mli: Pim Reftrace Schedule
+lib/core/refine.mli: Pim Problem Reftrace Schedule

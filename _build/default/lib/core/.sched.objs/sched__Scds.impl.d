@@ -1,1 +1,1 @@
-lib/core/scds.ml: Array List Ordering Pim Printf Processor_list Reftrace Schedule
+lib/core/scds.ml: Array List Problem Processor_list Schedule

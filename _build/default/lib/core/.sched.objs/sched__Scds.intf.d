@@ -1,1 +1,1 @@
-lib/core/scds.mli: Pim Reftrace Schedule
+lib/core/scds.mli: Pim Problem Reftrace Schedule

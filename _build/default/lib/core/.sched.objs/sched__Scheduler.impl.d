@@ -1,1 +1,1 @@
-lib/core/scheduler.ml: Baseline Gomcds Grouping Lomcds Printf Refine Reftrace Scds Schedule
+lib/core/scheduler.ml: Baseline Gomcds Grouping List Lomcds Printf Problem Refine Scds Schedule String

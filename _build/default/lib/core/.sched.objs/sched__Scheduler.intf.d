@@ -1,1 +1,1 @@
-lib/core/scheduler.mli: Pim Reftrace Schedule
+lib/core/scheduler.mli: Pim Problem Reftrace Schedule

@@ -1,1 +1,1 @@
-lib/core/sweep.ml: Bounds Buffer List Pim Printf Reftrace Schedule Scheduler
+lib/core/sweep.ml: Bounds Buffer List Pim Printf Problem Reftrace Schedule Scheduler

@@ -1,28 +1,36 @@
-let lower_bound mesh trace =
-  let space = Reftrace.Trace.space trace in
-  let n = Reftrace.Data_space.size space in
-  let total = ref 0 in
-  for data = 0 to n - 1 do
-    total :=
-      !total
-      + Reftrace.Data_space.volume_of space data
-        * fst (Gomcds.optimal_centers mesh trace ~data)
-  done;
-  !total
+let lower_bound_in problem =
+  let space = Problem.space problem in
+  let dist = Problem.distance_table problem in
+  (* one independent DP per datum: fan out, merge by index *)
+  let costs =
+    Engine.map
+      ~jobs:(Problem.jobs problem)
+      (Problem.n_data problem)
+      (fun data ->
+        Reftrace.Data_space.volume_of space data
+        * fst
+            (Pathgraph.Layered.solve_dense ~dist
+               ~vectors:(Problem.layer_vectors problem ~data)))
+  in
+  Array.fold_left ( + ) 0 costs
+
+let lower_bound mesh trace = lower_bound_in (Problem.create mesh trace)
+
+let static_lower_bound_in problem =
+  let space = Problem.space problem in
+  let costs =
+    Engine.map
+      ~jobs:(Problem.jobs problem)
+      (Problem.n_data problem)
+      (fun data ->
+        let v = Problem.merged_vector problem ~data in
+        Reftrace.Data_space.volume_of space data
+        * Array.fold_left min max_int v)
+  in
+  Array.fold_left ( + ) 0 costs
 
 let static_lower_bound mesh trace =
-  let merged = Reftrace.Trace.merged trace in
-  let space = Reftrace.Trace.space trace in
-  let n = Reftrace.Data_space.size space in
-  let total = ref 0 in
-  for data = 0 to n - 1 do
-    let v = Cost.cost_vector mesh merged ~data in
-    total :=
-      !total
-      + Reftrace.Data_space.volume_of space data
-        * Array.fold_left min max_int v
-  done;
-  !total
+  static_lower_bound_in (Problem.create mesh trace)
 
 let gap ~bound ~cost =
   if bound = 0 then 0.

@@ -6,13 +6,22 @@
     each scheduler's gap to this bound, which turns "A beats B" comparisons
     into absolute statements about remaining headroom. *)
 
-(** [lower_bound mesh trace] is Σ over data of the unconstrained optimal
-    per-datum cost. Memoize the call if used repeatedly: it runs one DP per
-    datum. *)
+(** [lower_bound_in problem] is Σ over data of the unconstrained optimal
+    per-datum cost, one DP per datum run concurrently on the context's
+    domain pool. The per-datum cost vectors stay cached on the context, so
+    a later scheduler run on the same instance rereads them for free. *)
+val lower_bound_in : Problem.t -> int
+
+(** @deprecated [lower_bound mesh trace] is {!lower_bound_in} on a
+    throwaway serial context. Memoize the call if used repeatedly. *)
 val lower_bound : Pim.Mesh.t -> Reftrace.Trace.t -> int
 
-(** [static_lower_bound mesh trace] is the same bound restricted to
+(** [static_lower_bound_in problem] is the same bound restricted to
     movement-free schedules — the best cost SCDS could possibly achieve. *)
+val static_lower_bound_in : Problem.t -> int
+
+(** @deprecated [static_lower_bound mesh trace] is
+    {!static_lower_bound_in} on a throwaway serial context. *)
 val static_lower_bound : Pim.Mesh.t -> Reftrace.Trace.t -> int
 
 (** [gap ~bound ~cost] is [(cost - bound) / bound * 100.]; [0.] when the

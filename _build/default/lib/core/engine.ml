@@ -1,0 +1,135 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Persistent domain pool.
+
+   Helper domains are spawned once, on first demand, and kept for the
+   lifetime of the process (joined from an [at_exit] hook): publishing a
+   job to sleeping workers costs a mutex round-trip instead of a domain
+   spawn, so fanning many small batches out — the cache-fill pattern of
+   [Problem] — stays cheap.
+
+   A job is a shared index counter: the submitting domain and up to
+   [jobs - 1] helpers race to claim indices, so the submitter alone makes
+   progress even if every helper is busy or the machine has one core.
+   [slots] bounds helper participation to the job's own [jobs] budget no
+   matter how large the pool has grown. Body exceptions are recorded
+   (first one wins) and re-raised by the submitter once every index has
+   completed, so no work is left in flight when [run_pool] returns. *)
+
+type job = {
+  n : int;
+  body : int -> unit;
+  next : int Atomic.t; (* next index to claim *)
+  completed : int Atomic.t; (* indices whose body has returned *)
+  slots : int Atomic.t; (* remaining helper seats *)
+  failed : exn option Atomic.t;
+}
+
+let pool_mutex = Mutex.create ()
+let pool_cond = Condition.create ()
+
+(* All three protected by [pool_mutex]; [pool_gen] bumps on every publish
+   so a worker can tell a fresh job from the one it just finished. *)
+let pool_job : job option ref = ref None
+let pool_gen = ref 0
+let pool_handles : unit Domain.t list ref = ref []
+let pool_stop = ref false
+
+let run_job job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (try job.body i
+       with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+      Atomic.incr job.completed;
+      go ()
+    end
+  in
+  go ()
+
+let worker () =
+  let rec loop seen =
+    Mutex.lock pool_mutex;
+    while (not !pool_stop) && !pool_gen = seen do
+      Condition.wait pool_cond pool_mutex
+    done;
+    let stop = !pool_stop in
+    let gen = !pool_gen in
+    let job = !pool_job in
+    Mutex.unlock pool_mutex;
+    if not stop then begin
+      (match job with
+      | Some j when Atomic.fetch_and_add j.slots (-1) > 0 -> run_job j
+      | Some _ | None -> ());
+      loop gen
+    end
+  in
+  loop 0
+
+let shutdown () =
+  Mutex.lock pool_mutex;
+  pool_stop := true;
+  Condition.broadcast pool_cond;
+  let handles = !pool_handles in
+  pool_handles := [];
+  Mutex.unlock pool_mutex;
+  List.iter Domain.join handles
+
+let () = at_exit shutdown
+
+(* Grow the pool to [helpers] domains (it never shrinks). *)
+let ensure_helpers helpers =
+  Mutex.lock pool_mutex;
+  let missing = helpers - List.length !pool_handles in
+  for _ = 1 to missing do
+    pool_handles := Domain.spawn worker :: !pool_handles
+  done;
+  Mutex.unlock pool_mutex
+
+let run_pool ~jobs n body =
+  (* more domains than cores never helps and on small machines actively
+     hurts (context-switch churn), so the budget is capped at the
+     machine's recommended count; results do not depend on the cap *)
+  let k = min (min jobs n) (default_jobs ()) in
+  if k <= 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let job =
+      {
+        n;
+        body;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        slots = Atomic.make (k - 1);
+        failed = Atomic.make None;
+      }
+    in
+    ensure_helpers (k - 1);
+    Mutex.lock pool_mutex;
+    pool_job := Some job;
+    incr pool_gen;
+    Condition.broadcast pool_cond;
+    Mutex.unlock pool_mutex;
+    run_job job;
+    (* the counter is exhausted; wait out helpers still inside a body *)
+    while Atomic.get job.completed < n do
+      Domain.cpu_relax ()
+    done;
+    match Atomic.get job.failed with Some e -> raise e | None -> ()
+  end
+
+let iter ~jobs n f =
+  if n < 0 then invalid_arg "Engine.iter: negative count";
+  run_pool ~jobs n f
+
+let map ~jobs n f =
+  if n < 0 then invalid_arg "Engine.map: negative count";
+  if n = 0 then [||]
+  else if min jobs n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    run_pool ~jobs n (fun i -> results.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,38 @@
+(** Fixed-size domain pool for per-datum fan-out.
+
+    Every multiple-center scheduler in this library decomposes into
+    independent per-datum subproblems (paper §3): cost vectors, shortest
+    paths and window partitions for datum [d] read only the trace and the
+    mesh, never another datum's state. This module exploits that with a
+    deterministic fork/join: [map ~jobs n f] computes [f i] for every
+    [i < n] on up to [jobs] OCaml 5 domains and returns the results
+    {e indexed by [i]} — so the output is byte-identical whatever the
+    interleaving, and callers that merge results serially (capacity
+    allocation, tie-breaking ranks) see exactly the serial order.
+
+    Work is distributed by an atomic counter, so uneven per-index cost
+    (data referenced in many vs few windows) balances automatically.
+    Helper domains are spawned once and reused across calls (the pool
+    lives until process exit), so fanning out many small batches — the
+    {!Problem} cache-fill pattern — does not pay a spawn per call.
+
+    [f] must not mutate state shared between indices. Writing to
+    per-index slots (array cell [i], a cache row owned by datum [i]) is
+    safe; anything else is a data race. *)
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()] — the pool
+    size used by the CLI when [--jobs] is not given. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs n f] is [Array.init n f], computed on up to [jobs] domains
+    ([jobs <= 1] runs serially in the calling domain, touching no pool).
+    The effective domain count is additionally capped at
+    {!default_jobs} — oversubscribing cores never helps — without any
+    effect on the results. An exception raised by [f] is re-raised in the
+    calling domain after every index has completed.
+    @raise Invalid_argument if [n < 0]. *)
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** [iter ~jobs n f] is [map] for side-effecting [f] (per-index cache
+    fills); results are discarded. *)
+val iter : jobs:int -> int -> (int -> unit) -> unit

@@ -19,44 +19,57 @@ let optimal_centers mesh trace ~data =
 let cost_graph mesh trace ~data =
   Pathgraph.Layered.to_digraph (problem mesh trace ~data)
 
-let run ?capacity mesh trace =
-  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
-  let n_windows = Reftrace.Trace.n_windows trace in
-  let schedule = Schedule.create mesh ~n_windows ~n_data in
-  let memories =
-    match capacity with
-    | None -> None
-    | Some c ->
-        if c * Pim.Mesh.size mesh < n_data then
-          invalid_arg
-            (Printf.sprintf
-               "Gomcds.run: %d data cannot fit in %d processors of capacity \
-                %d"
-               n_data (Pim.Mesh.size mesh) c);
-        Some (Array.init n_windows (fun _ -> Pim.Memory.create mesh ~capacity:c))
+let schedule problem =
+  Problem.check_feasible problem ~who:"Gomcds.run";
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
+  let schedule =
+    Schedule.create (Problem.mesh problem) ~n_windows ~n_data
   in
-  List.iter
-    (fun data ->
-      let p = problem mesh trace ~data in
+  let dist = Problem.distance_table problem in
+  (match Problem.policy problem with
+  | Problem.Unbounded ->
+      (* Every datum's DP is independent: fan the whole solve out across
+         the domain pool and merge by datum index. *)
       let centers =
-        match memories with
-        | None -> snd (Pathgraph.Layered.solve p)
-        | Some mems ->
-            let allowed ~layer j = not (Pim.Memory.is_full mems.(layer) j) in
-            (* Placing data one at a time into capacity c with
-               n_data <= c * processors means every layer always retains a
-               free slot, so a feasible path exists. *)
-            let result = Pathgraph.Layered.solve_filtered p ~allowed in
-            let _, centers = Option.get result in
-            Array.iteri
-              (fun layer rank ->
-                let ok = Pim.Memory.allocate mems.(layer) rank in
-                assert ok)
-              centers;
-            centers
+        Engine.map ~jobs:(Problem.jobs problem) n_data (fun data ->
+            snd
+              (Pathgraph.Layered.solve_dense ~dist
+                 ~vectors:(Problem.layer_vectors problem ~data)))
       in
       Array.iteri
-        (fun w rank -> Schedule.set_center schedule ~window:w ~data rank)
-        centers)
-    (Ordering.by_total_references trace);
+        (fun data cs ->
+          Array.iteri
+            (fun w rank -> Schedule.set_center schedule ~window:w ~data rank)
+            cs)
+        centers
+  | Problem.Bounded c ->
+      (* Occupancy evolves datum by datum, so routing is serial — but the
+         cost vectors it reads are filled in parallel first. *)
+      Problem.prefetch_all problem;
+      let mems =
+        Array.init n_windows (fun _ ->
+            Pim.Memory.create (Problem.mesh problem) ~capacity:c)
+      in
+      List.iter
+        (fun data ->
+          let vectors = Problem.layer_vectors problem ~data in
+          let allowed ~layer j = not (Pim.Memory.is_full mems.(layer) j) in
+          (* Placing data one at a time into capacity c with
+             n_data <= c * processors means every layer always retains a
+             free slot, so a feasible path exists. *)
+          let result =
+            Pathgraph.Layered.solve_dense_filtered ~dist ~vectors ~allowed
+          in
+          let _, centers = Option.get result in
+          Array.iteri
+            (fun layer rank ->
+              let ok = Pim.Memory.allocate mems.(layer) rank in
+              assert ok;
+              Schedule.set_center schedule ~window:layer ~data rank)
+            centers)
+        (Problem.by_total_references problem));
   schedule
+
+let run ?capacity mesh trace =
+  schedule (Problem.of_capacity ?capacity mesh trace)

@@ -12,8 +12,17 @@
     shortest path is restricted to (window, processor) nodes with free
     slots, the precise form of the paper's processor-list remark. *)
 
-(** [run ?capacity mesh trace] computes the GOMCDS schedule.
-    @raise Invalid_argument if capacity is infeasible. *)
+(** [schedule problem] computes the GOMCDS schedule on a shared
+    {!Problem.t}. With an unbounded policy the per-datum shortest paths are
+    solved concurrently on the context's domain pool (they share no state);
+    with [Bounded _] the cost vectors are filled in parallel and the
+    occupancy-aware routing runs serially, heaviest datum first. Either
+    way the schedule is identical at every [jobs] setting.
+    @raise Invalid_argument if the capacity policy is infeasible. *)
+val schedule : Problem.t -> Schedule.t
+
+(** @deprecated [run ?capacity mesh trace] is the pre-{!Problem} shim over
+    {!schedule} (builds a serial one-shot context). *)
 val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
 
 (** [optimal_centers mesh trace ~data] is the unconstrained per-window
@@ -24,7 +33,8 @@ val optimal_centers :
 
 (** [cost_problem mesh trace ~data] is the layered shortest-path problem for
     one datum (reference cost on nodes, migration on edges) — the object
-    both {!run} and {!Refine} solve. *)
+    both {!schedule} and {!Refine} solve. {!Problem.layered} is the cached
+    equivalent; this one recomputes its vectors each call. *)
 val cost_problem :
   Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> Pathgraph.Layered.problem
 

@@ -17,8 +17,7 @@ let sum_into acc v = Array.iteri (fun i x -> acc.(i) <- acc.(i) + x) v
 
    Returns the partition as index ranges into [ws] plus the summed cost
    vector of each group. *)
-let greedy_ranges mesh ~vectors ~n =
-  let dist = Pim.Mesh.distance mesh in
+let greedy_ranges ~dist ~vectors ~n =
   let centers = Array.map argmin vectors in
   let refcosts = Array.mapi (fun i v -> v.(centers.(i))) vectors in
   (* tail.(i) = cost of running windows i..n-1 as singletons, excluding the
@@ -75,7 +74,7 @@ let greedy_ranges mesh ~vectors ~n =
 
 (* Re-optimize group centers with the shortest-path DP (GOMCDS over merged
    windows). *)
-let refine_centers mesh groups =
+let refine_centers ~dist groups =
   match groups with
   | [] -> []
   | _ ->
@@ -85,9 +84,7 @@ let refine_centers mesh groups =
           Pathgraph.Layered.n_layers = Array.length vecs;
           width = Array.length vecs.(0);
           enter_cost = (fun j -> vecs.(0).(j));
-          step_cost =
-            (fun ~layer j k ->
-              Pim.Mesh.distance mesh j k + vecs.(layer).(k));
+          step_cost = (fun ~layer j k -> dist j k + vecs.(layer).(k));
         }
       in
       let _, centers = Pathgraph.Layered.solve problem in
@@ -95,38 +92,46 @@ let refine_centers mesh groups =
         (fun i (lo, hi, v, _) -> (lo, hi, v, centers.(i)))
         groups
 
-let partition mesh trace ~data ~centers =
-  let ws =
-    Reftrace.Trace.windows trace
-    |> List.mapi (fun i w -> (i, w))
-    |> List.filter (fun (_, w) -> Reftrace.Window.references w data > 0)
+(* Referenced-window subsequence of one datum: window indices plus their
+   (cached) cost vectors. *)
+let referenced_vectors problem ~data =
+  let indices = ref [] in
+  for w = Problem.n_windows problem - 1 downto 0 do
+    if Reftrace.Window.references (Problem.window problem w) data > 0 then
+      indices := w :: !indices
+  done;
+  let indices = Array.of_list !indices in
+  let vectors =
+    Array.map (fun w -> Problem.cost_vector problem ~window:w ~data) indices
   in
-  match ws with
-  | [] -> []
-  | _ ->
-      let indices = Array.of_list (List.map fst ws) in
-      let vectors =
-        Array.of_list
-          (List.map (fun (_, w) -> Cost.cost_vector mesh w ~data) ws)
-      in
-      let ranges = greedy_ranges mesh ~vectors ~n:(Array.length vectors) in
+  (indices, vectors)
+
+let groups problem ~data ~centers =
+  let indices, vectors = referenced_vectors problem ~data in
+  match Array.length vectors with
+  | 0 -> []
+  | n ->
+      let dist = Problem.distance problem in
+      let ranges = greedy_ranges ~dist ~vectors ~n in
       let ranges =
         match centers with
         | `Local -> ranges
-        | `Global -> refine_centers mesh ranges
+        | `Global -> refine_centers ~dist ranges
       in
       List.map
         (fun (lo, hi, _, center) ->
           { first = indices.(lo); last = indices.(hi); center })
         ranges
 
+let partition mesh trace ~data ~centers =
+  groups (Problem.create mesh trace) ~data ~centers
+
 (* Exact DP over all (partition, centers) choices for one datum.
    dp.(i).(c) = cheapest cost of covering referenced windows 0..i with the
    last group ending at i and centered at c. Prefix-summed cost vectors make
    any group's vector O(m) to read off. *)
-let optimal_ranges mesh ~vectors ~n =
+let optimal_ranges ~dist ~vectors ~n =
   let m = Array.length vectors.(0) in
-  let dist = Array.init m (fun a -> Array.init m (Pim.Mesh.distance mesh a)) in
   let prefix = Array.make_matrix (n + 1) m 0 in
   for i = 0 to n - 1 do
     for c = 0 to m - 1 do
@@ -160,7 +165,7 @@ let optimal_ranges mesh ~vectors ~n =
       let best = ref inf in
       for c' = 0 to m - 1 do
         if dp.(i).(c') < inf then
-          best := min !best (dp.(i).(c') + dist.(c').(c))
+          best := min !best (dp.(i).(c') + dist c' c)
       done;
       best_in.(i).(c) <- !best
     done
@@ -172,7 +177,7 @@ let optimal_ranges mesh ~vectors ~n =
     let best = ref inf and arg = ref (-1) in
     for c' = 0 to m - 1 do
       if dp.(j).(c') < inf then begin
-        let v = dp.(j).(c') + dist.(c').(c) in
+        let v = dp.(j).(c') + dist c' c in
         if v < !best then begin
           best := v;
           arg := c'
@@ -195,25 +200,20 @@ let optimal_ranges mesh ~vectors ~n =
   in
   (dp.(n - 1).(!final_center), rebuild (n - 1) !final_center [])
 
-let optimal_partition mesh trace ~data =
-  let ws =
-    Reftrace.Trace.windows trace
-    |> List.mapi (fun i w -> (i, w))
-    |> List.filter (fun (_, w) -> Reftrace.Window.references w data > 0)
-  in
-  match ws with
-  | [] -> []
-  | _ ->
-      let indices = Array.of_list (List.map fst ws) in
-      let vectors =
-        Array.of_list
-          (List.map (fun (_, w) -> Cost.cost_vector mesh w ~data) ws)
-      in
-      let _, ranges = optimal_ranges mesh ~vectors ~n:(Array.length vectors) in
+let optimal_groups problem ~data =
+  let indices, vectors = referenced_vectors problem ~data in
+  match Array.length vectors with
+  | 0 -> []
+  | n ->
+      let dist = Problem.distance problem in
+      let _, ranges = optimal_ranges ~dist ~vectors ~n in
       List.map
         (fun (lo, hi, _, center) ->
           { first = indices.(lo); last = indices.(hi); center })
         ranges
+
+let optimal_partition mesh trace ~data =
+  optimal_groups (Problem.create mesh trace) ~data
 
 (* Desired (capacity-oblivious) trajectory: before the first group the datum
    already sits at that group's center (initial placement is free); inside a
@@ -234,29 +234,22 @@ let desired_trajectory ~n_windows groups =
         groups;
       Some traj
 
-let ranks_by_distance mesh ~target =
-  let size = Pim.Mesh.size mesh in
-  List.init size Fun.id
-  |> List.sort (fun a b ->
-         let c =
-           Int.compare
-             (Pim.Mesh.distance mesh target a)
-             (Pim.Mesh.distance mesh target b)
-         in
-         if c <> 0 then c else Int.compare a b)
-
-let run_with_partitions ?capacity mesh trace ~partition_of =
-  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
-  let n_windows = Reftrace.Trace.n_windows trace in
+let run_with_partitions problem ~partition_of =
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
+  (* parallel phase: each datum's partition (and the cost vectors it pulls
+     in) is independent of every other datum's *)
   let desired =
-    Array.init n_data (fun data ->
+    Engine.map ~jobs:(Problem.jobs problem) n_data (fun data ->
         match desired_trajectory ~n_windows (partition_of ~data) with
         | Some traj -> traj
         | None -> Array.make n_windows 0)
   in
-  let schedule = Schedule.create mesh ~n_windows ~n_data in
-  match capacity with
-  | None ->
+  let schedule =
+    Schedule.create (Problem.mesh problem) ~n_windows ~n_data
+  in
+  match Problem.policy problem with
+  | Problem.Unbounded ->
       Array.iteri
         (fun data traj ->
           Array.iteri
@@ -264,45 +257,48 @@ let run_with_partitions ?capacity mesh trace ~partition_of =
             traj)
         desired;
       schedule
-  | Some c ->
-      if c * Pim.Mesh.size mesh < n_data then
-        invalid_arg
-          (Printf.sprintf
-             "Grouping.run: %d data cannot fit in %d processors of capacity \
-              %d"
-             n_data (Pim.Mesh.size mesh) c);
+  | Problem.Bounded _ ->
+      Problem.check_feasible problem ~who:"Grouping.run";
       (* Per-window repair: place each datum as close as possible to its
-         desired center, heavier data first. *)
+         desired center, heavier data first — serial, like every
+         capacity-allocation loop. *)
       let current = Array.make n_data (-1) in
-      List.iteri
-        (fun w window ->
-          let memory = Pim.Memory.create mesh ~capacity:c in
-          let order =
-            List.init n_data Fun.id
-            |> List.sort (fun a b ->
-                   let r d = Reftrace.Window.references window d in
-                   let cmp = Int.compare (r b) (r a) in
-                   if cmp <> 0 then cmp else Int.compare a b)
-          in
-          List.iter
-            (fun data ->
-              let target = desired.(data).(w) in
-              let rank =
-                Processor_list.assign memory (ranks_by_distance mesh ~target)
-              in
-              current.(data) <- rank)
-            order;
-          Array.iteri
-            (fun data rank ->
-              Schedule.set_center schedule ~window:w ~data rank)
-            current)
-        (Reftrace.Trace.windows trace);
+      for w = 0 to n_windows - 1 do
+        let window = Problem.window problem w in
+        let memory = Problem.fresh_memory problem in
+        let order =
+          List.init n_data Fun.id
+          |> List.sort (fun a b ->
+                 let r d = Reftrace.Window.references window d in
+                 let cmp = Int.compare (r b) (r a) in
+                 if cmp <> 0 then cmp else Int.compare a b)
+        in
+        List.iter
+          (fun data ->
+            let target = desired.(data).(w) in
+            let rank =
+              Processor_list.assign memory
+                (Problem.ranks_near problem ~target)
+            in
+            current.(data) <- rank)
+          order;
+        Array.iteri
+          (fun data rank ->
+            Schedule.set_center schedule ~window:w ~data rank)
+          current
+      done;
       schedule
 
+let schedule ?(centers = `Local) problem =
+  run_with_partitions problem ~partition_of:(fun ~data ->
+      groups problem ~data ~centers)
+
+let optimal_schedule problem =
+  run_with_partitions problem ~partition_of:(fun ~data ->
+      optimal_groups problem ~data)
+
 let run ?capacity ?(centers = `Local) mesh trace =
-  run_with_partitions ?capacity mesh trace
-    ~partition_of:(fun ~data -> partition mesh trace ~data ~centers)
+  schedule ~centers (Problem.of_capacity ?capacity mesh trace)
 
 let optimal_run ?capacity mesh trace =
-  run_with_partitions ?capacity mesh trace
-    ~partition_of:(fun ~data -> optimal_partition mesh trace ~data)
+  optimal_schedule (Problem.of_capacity ?capacity mesh trace)

@@ -26,9 +26,15 @@ type group = {
   center : int;  (** processor holding the datum for the group's span *)
 }
 
-(** [partition mesh trace ~data ~centers] runs the greedy Algorithm 3 for
-    one datum and returns its groups in execution order; the empty list when
+(** [groups problem ~data ~centers] runs the greedy Algorithm 3 for one
+    datum on a shared {!Problem.t} (cost vectors cached, distances from the
+    table) and returns its groups in execution order; the empty list when
     the datum is never referenced. *)
+val groups :
+  Problem.t -> data:int -> centers:center_policy -> group list
+
+(** @deprecated [partition mesh trace ~data ~centers] is {!groups} on a
+    throwaway context, kept for old call sites. *)
 val partition :
   Pim.Mesh.t ->
   Reftrace.Trace.t ->
@@ -36,11 +42,17 @@ val partition :
   centers:center_policy ->
   group list
 
-(** [run ?capacity ?centers mesh trace] builds the full schedule; groups are
-    computed per datum, gaps keep data in place, and bounded memory is
-    repaired by a per-window processor-list pass that keeps each datum as
-    close to its desired center as possible. [centers] defaults to
-    [`Local]. *)
+(** [schedule ?centers problem] builds the full schedule; per-datum
+    partitions fan out across the context's domain pool, gaps keep data in
+    place, and a bounded policy is repaired by a serial per-window
+    processor-list pass that keeps each datum as close to its desired
+    center as possible — identical output at every [jobs] setting.
+    [centers] defaults to [`Local].
+    @raise Invalid_argument if the capacity policy is infeasible. *)
+val schedule : ?centers:center_policy -> Problem.t -> Schedule.t
+
+(** @deprecated [run ?capacity ?centers mesh trace] is the pre-{!Problem}
+    shim over {!schedule}. *)
 val run :
   ?capacity:int ->
   ?centers:center_policy ->
@@ -48,7 +60,7 @@ val run :
   Reftrace.Trace.t ->
   Schedule.t
 
-(** [optimal_partition mesh trace ~data] replaces the paper's greedy with an
+(** [optimal_groups problem ~data] replaces the paper's greedy with an
     exact dynamic program: over all ways to cut the datum's referenced
     windows into consecutive groups {e and} all choices of one center per
     group, it minimizes Σ group reference cost + movement between
@@ -62,10 +74,18 @@ val run :
     partition with free centers is in its search space, and no partition
     can beat a free trajectory). Grouping's practical value is therefore as
     a cheap repair of LOMCDS's center-chasing — which is how the paper's
-    Table 2 uses it. Returns groups like {!partition}. *)
+    Table 2 uses it. Returns groups like {!groups}. *)
+val optimal_groups : Problem.t -> data:int -> group list
+
+(** @deprecated [optimal_partition mesh trace ~data] is {!optimal_groups}
+    on a throwaway context. *)
 val optimal_partition :
   Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> group list
 
-(** [optimal_run ?capacity mesh trace] builds the schedule from
-    {!optimal_partition} for every datum (capacity handled like {!run}). *)
+(** [optimal_schedule problem] builds the schedule from {!optimal_groups}
+    for every datum (capacity handled like {!schedule}). *)
+val optimal_schedule : Problem.t -> Schedule.t
+
+(** @deprecated [optimal_run ?capacity mesh trace] is the pre-{!Problem}
+    shim over {!optimal_schedule}. *)
 val optimal_run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t

@@ -7,39 +7,33 @@ let local_centers mesh trace ~data =
   |> Array.of_list
 
 (* First window in which each datum is referenced; [n_windows] if never. *)
-let first_reference_window trace ~n_data =
-  let first = Array.make n_data (Reftrace.Trace.n_windows trace) in
-  List.iteri
-    (fun w window ->
-      List.iter
-        (fun data -> if first.(data) > w then first.(data) <- w)
-        (Reftrace.Window.referenced_data window))
-    (Reftrace.Trace.windows trace);
+let first_reference_window problem =
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
+  let first = Array.make n_data n_windows in
+  for w = 0 to n_windows - 1 do
+    List.iter
+      (fun data -> if first.(data) > w then first.(data) <- w)
+      (Reftrace.Window.referenced_data (Problem.window problem w))
+  done;
   first
 
-let fresh_memory ?capacity mesh ~n_data =
-  match capacity with
-  | None -> Pim.Memory.unbounded mesh
-  | Some c ->
-      if c * Pim.Mesh.size mesh < n_data then
-        invalid_arg
-          (Printf.sprintf
-             "Lomcds.run: %d data cannot fit in %d processors of capacity %d"
-             n_data (Pim.Mesh.size mesh) c);
-      Pim.Memory.create mesh ~capacity:c
-
-let run ?capacity mesh trace =
-  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
-  let n_windows = Reftrace.Trace.n_windows trace in
+let schedule problem =
+  Problem.check_feasible problem ~who:"Lomcds.run";
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
+  let mesh = Problem.mesh problem in
+  (* parallel phase: every processor list the serial walk below reads *)
+  Problem.prefetch_referenced problem;
   let schedule = Schedule.create mesh ~n_windows ~n_data in
-  let first = first_reference_window trace ~n_data in
+  let first = first_reference_window problem in
   (* Initial placement: each datum goes where its first referencing window
      wants it; data never referenced fall back to the merged profile (all
      zeros -> lowest ranks, spread by capacity). Assignment order: earlier
      first window, then heavier in that window. *)
   let initial = Array.make n_data 0 in
-  let init_memory = fresh_memory ?capacity mesh ~n_data in
-  let merged = Reftrace.Trace.merged trace in
+  let init_memory = Problem.fresh_memory problem in
+  let merged = Problem.merged problem in
   let init_order =
     List.init n_data Fun.id
     |> List.sort (fun a b ->
@@ -48,41 +42,43 @@ let run ?capacity mesh trace =
            else
              let window w d =
                if w >= n_windows then Reftrace.Window.references merged d
-               else
-                 Reftrace.Window.references (Reftrace.Trace.window trace w) d
+               else Reftrace.Window.references (Problem.window problem w) d
              in
              let c = Int.compare (window first.(b) b) (window first.(a) a) in
              if c <> 0 then c else Int.compare a b)
   in
   List.iter
     (fun data ->
-      let window =
-        if first.(data) >= n_windows then merged
-        else Reftrace.Trace.window trace first.(data)
+      let candidates =
+        if first.(data) >= n_windows then
+          Problem.merged_candidates problem ~data
+        else Problem.candidates problem ~window:first.(data) ~data
       in
-      let candidates = Processor_list.for_data mesh window ~data in
       initial.(data) <- Processor_list.assign init_memory candidates)
     init_order;
   (* Walk the windows. [current.(d)] is where datum [d] sits entering the
      window; referenced data are reassigned to (as close as possible to)
      their local optimal center. *)
   let current = Array.copy initial in
-  List.iteri
-    (fun w window ->
-      let memory = fresh_memory ?capacity mesh ~n_data in
-      Array.iter
-        (fun rank ->
-          let ok = Pim.Memory.allocate memory rank in
-          assert ok)
-        current;
-      List.iter
-        (fun data ->
-          Pim.Memory.release memory current.(data);
-          let candidates = Processor_list.for_data mesh window ~data in
-          current.(data) <- Processor_list.assign memory candidates)
-        (Ordering.by_window_references window);
-      Array.iteri
-        (fun data rank -> Schedule.set_center schedule ~window:w ~data rank)
-        current)
-    (Reftrace.Trace.windows trace);
+  for w = 0 to n_windows - 1 do
+    let window = Problem.window problem w in
+    let memory = Problem.fresh_memory problem in
+    Array.iter
+      (fun rank ->
+        let ok = Pim.Memory.allocate memory rank in
+        assert ok)
+      current;
+    List.iter
+      (fun data ->
+        Pim.Memory.release memory current.(data);
+        let candidates = Problem.candidates problem ~window:w ~data in
+        current.(data) <- Processor_list.assign memory candidates)
+      (Ordering.by_window_references window);
+    Array.iteri
+      (fun data rank -> Schedule.set_center schedule ~window:w ~data rank)
+      current
+  done;
   schedule
+
+let run ?capacity mesh trace =
+  schedule (Problem.of_capacity ?capacity mesh trace)

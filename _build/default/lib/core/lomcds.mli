@@ -11,9 +11,16 @@
     window that references it (placing it there from the start is free,
     since initial distribution is not charged to any method). *)
 
-(** [run ?capacity mesh trace] computes the LOMCDS schedule; with bounded
-    memory the processor-list fallback applies per window, heavier data
-    first. @raise Invalid_argument if capacity is infeasible. *)
+(** [schedule problem] computes the LOMCDS schedule on a shared
+    {!Problem.t}. The per-(datum, window) processor lists are filled on the
+    context's domain pool; the window walk and its bounded-memory
+    fallbacks run serially (heavier data first), so the result is
+    identical at every [jobs] setting.
+    @raise Invalid_argument if the capacity policy is infeasible. *)
+val schedule : Problem.t -> Schedule.t
+
+(** @deprecated [run ?capacity mesh trace] is the pre-{!Problem} shim over
+    {!schedule} (builds a serial one-shot context). *)
 val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
 
 (** [local_centers mesh trace ~data] is, per window, [Some rank] (the

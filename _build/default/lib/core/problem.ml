@@ -1,0 +1,213 @@
+type capacity_policy = Unbounded | Bounded of int
+
+type t = {
+  mesh : Pim.Mesh.t;
+  trace : Reftrace.Trace.t;
+  policy : capacity_policy;
+  jobs : int;
+  windows : Reftrace.Window.t array;
+  merged : Reftrace.Window.t;
+  dist : int array array;
+  (* Caches below are rows-per-datum so parallel fills have one writer per
+     row (see the .mli thread-safety contract). *)
+  vectors : int array option array array; (* vectors.(data).(window) *)
+  cands : int list option array array; (* cands.(data).(window) *)
+  merged_vectors : int array option array;
+  merged_cands : int list option array;
+  near : int list option array; (* near.(target): serial phases only *)
+  mutable order : int list option; (* serial phases only *)
+}
+
+let create ?(policy = Unbounded) ?(jobs = 1) mesh trace =
+  (match policy with
+  | Bounded c when c < 0 ->
+      invalid_arg "Problem.create: negative capacity"
+  | Bounded _ | Unbounded -> ());
+  if jobs < 1 then invalid_arg "Problem.create: jobs must be >= 1";
+  let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let n_windows = Array.length windows in
+  {
+    mesh;
+    trace;
+    policy;
+    jobs;
+    windows;
+    merged = Reftrace.Trace.merged trace;
+    dist = Pim.Mesh.distance_table mesh;
+    vectors = Array.init n_data (fun _ -> Array.make n_windows None);
+    cands = Array.init n_data (fun _ -> Array.make n_windows None);
+    merged_vectors = Array.make n_data None;
+    merged_cands = Array.make n_data None;
+    near = Array.make (Pim.Mesh.size mesh) None;
+    order = None;
+  }
+
+let of_capacity ?capacity ?jobs mesh trace =
+  let policy =
+    match capacity with None -> Unbounded | Some c -> Bounded c
+  in
+  create ~policy ?jobs mesh trace
+
+let mesh t = t.mesh
+let trace t = t.trace
+let policy t = t.policy
+let capacity t = match t.policy with Unbounded -> None | Bounded c -> Some c
+let jobs t = t.jobs
+
+let with_jobs t jobs =
+  if jobs < 1 then invalid_arg "Problem.with_jobs: jobs must be >= 1";
+  { t with jobs }
+
+let with_policy t policy =
+  (match policy with
+  | Bounded c when c < 0 ->
+      invalid_arg "Problem.with_policy: negative capacity"
+  | Bounded _ | Unbounded -> ());
+  { t with policy }
+
+let space t = Reftrace.Trace.space t.trace
+let n_data t = Reftrace.Data_space.size (space t)
+let n_windows t = Array.length t.windows
+
+let window t i =
+  if i < 0 || i >= Array.length t.windows then
+    invalid_arg (Printf.sprintf "Problem.window: index %d out of range" i);
+  t.windows.(i)
+
+let merged t = t.merged
+let distance t a b = t.dist.(a).(b)
+let distance_table t = t.dist
+
+(* Same integers as [Cost.cost_vector], with distances read off the table
+   and the profile walked once per center. *)
+let compute_vector t w ~data =
+  let m = Array.length t.dist in
+  let v = Array.make m 0 in
+  let profile = Reftrace.Window.profile w data in
+  for center = 0 to m - 1 do
+    let row = t.dist.(center) in
+    v.(center) <-
+      List.fold_left
+        (fun acc (proc, count) -> acc + (count * row.(proc)))
+        0 profile
+  done;
+  v
+
+let cost_vector t ~window ~data =
+  match t.vectors.(data).(window) with
+  | Some v -> v
+  | None ->
+      let v = compute_vector t t.windows.(window) ~data in
+      t.vectors.(data).(window) <- Some v;
+      v
+
+let merged_vector t ~data =
+  match t.merged_vectors.(data) with
+  | Some v -> v
+  | None ->
+      let v = compute_vector t t.merged ~data in
+      t.merged_vectors.(data) <- Some v;
+      v
+
+let candidates t ~window ~data =
+  match t.cands.(data).(window) with
+  | Some l -> l
+  | None ->
+      let l = Processor_list.of_cost_vector (cost_vector t ~window ~data) in
+      t.cands.(data).(window) <- Some l;
+      l
+
+let merged_candidates t ~data =
+  match t.merged_cands.(data) with
+  | Some l -> l
+  | None ->
+      let l = Processor_list.of_cost_vector (merged_vector t ~data) in
+      t.merged_cands.(data) <- Some l;
+      l
+
+let ranks_near t ~target =
+  match t.near.(target) with
+  | Some l -> l
+  | None ->
+      let row = t.dist.(target) in
+      let l =
+        List.init (Array.length row) Fun.id
+        |> List.sort (fun a b ->
+               let c = Int.compare row.(a) row.(b) in
+               if c <> 0 then c else Int.compare a b)
+      in
+      t.near.(target) <- Some l;
+      l
+
+let by_total_references t =
+  match t.order with
+  | Some l -> l
+  | None ->
+      (* Ordering.by_total_references against the cached merged window *)
+      let sp = space t in
+      let l =
+        List.init (n_data t) Fun.id
+        |> List.sort (fun a b ->
+               let weight d =
+                 Reftrace.Data_space.volume_of sp d
+                 * Reftrace.Window.references t.merged d
+               in
+               let c = Int.compare (weight b) (weight a) in
+               if c <> 0 then c else Int.compare a b)
+      in
+      t.order <- Some l;
+      l
+
+let prefetch_data t ~data =
+  for w = 0 to n_windows t - 1 do
+    ignore (cost_vector t ~window:w ~data)
+  done
+
+let prefetch_all t =
+  Engine.iter ~jobs:t.jobs (n_data t) (fun data -> prefetch_data t ~data)
+
+let prefetch_referenced t =
+  Engine.iter ~jobs:t.jobs (n_data t) (fun data ->
+      let referenced = ref false in
+      Array.iteri
+        (fun w window ->
+          if Reftrace.Window.references window data > 0 then begin
+            referenced := true;
+            ignore (candidates t ~window:w ~data)
+          end)
+        t.windows;
+      if not !referenced then ignore (merged_candidates t ~data))
+
+let prefetch_merged t =
+  Engine.iter ~jobs:t.jobs (n_data t) (fun data ->
+      ignore (merged_candidates t ~data))
+
+let check_feasible t ~who =
+  match t.policy with
+  | Unbounded -> ()
+  | Bounded c ->
+      let n = n_data t in
+      if c * Pim.Mesh.size t.mesh < n then
+        invalid_arg
+          (Printf.sprintf
+             "%s: %d data cannot fit in %d processors of capacity %d" who n
+             (Pim.Mesh.size t.mesh) c)
+
+let fresh_memory t =
+  match t.policy with
+  | Unbounded -> Pim.Memory.unbounded t.mesh
+  | Bounded c -> Pim.Memory.create t.mesh ~capacity:c
+
+let layer_vectors t ~data =
+  Array.init (n_windows t) (fun w -> cost_vector t ~window:w ~data)
+
+let layered t ~data =
+  let vectors = layer_vectors t ~data in
+  let dist = t.dist in
+  {
+    Pathgraph.Layered.n_layers = Array.length vectors;
+    width = Pim.Mesh.size t.mesh;
+    enter_cost = (fun j -> vectors.(0).(j));
+    step_cost = (fun ~layer j k -> dist.(j).(k) + vectors.(layer).(k));
+  }

@@ -1,0 +1,139 @@
+(** The scheduling problem context shared by every algorithm.
+
+    A [Problem.t] bundles what used to be threaded through every signature
+    separately — the mesh, the trace and a [?capacity:int] optional — and
+    adds the shared state that makes running several schedulers on one
+    instance cheap:
+
+    - the mesh distance table ({!Pim.Mesh.distance_table}), so distance
+      probes are array reads;
+    - per-(datum, window) cost vectors and capacity-fallback candidate
+      lists, filled lazily and kept for every later algorithm, sweep or
+      refinement pass on the same instance;
+    - a [jobs] knob sizing the {!Engine} domain pool used to fill those
+      caches and to fan independent per-datum work out across cores.
+
+    Results are deterministic by construction: parallel phases only compute
+    pure per-datum values merged by index, and every capacity-allocation
+    loop still runs serially in the algorithm's documented order — a
+    [Problem.t] at [jobs = 8] yields byte-identical schedules to [jobs = 1].
+
+    Thread-safety contract for the caches: a cache row belongs to one datum.
+    Parallel phases must partition data across domains (as {!Engine.map}
+    does) so each row has a single writer; everything else in [t] is
+    immutable after {!create}. *)
+
+(** How much data each processor's local memory holds. [Unbounded] models
+    infinite memories; [Bounded c] gives every processor [c] slots (the
+    paper's experiments use twice the minimum — see
+    {!Pim.Memory.capacity_for}). *)
+type capacity_policy = Unbounded | Bounded of int
+
+type t
+
+(** [create ?policy ?jobs mesh trace] builds the context. [policy] defaults
+    to [Unbounded]; [jobs] (default [1]) sizes the domain pool, and
+    {!Engine.default_jobs} picks a machine-fitted value.
+    @raise Invalid_argument if [Bounded c] with [c < 0], or [jobs < 1]. *)
+val create :
+  ?policy:capacity_policy -> ?jobs:int -> Pim.Mesh.t -> Reftrace.Trace.t -> t
+
+(** [of_capacity ?capacity ?jobs mesh trace] is the bridge from the old
+    optional-argument convention: [None] ↦ [Unbounded], [Some c] ↦
+    [Bounded c]. Deprecated shims go through this. *)
+val of_capacity : ?capacity:int -> ?jobs:int -> Pim.Mesh.t -> Reftrace.Trace.t -> t
+
+val mesh : t -> Pim.Mesh.t
+val trace : t -> Reftrace.Trace.t
+val policy : t -> capacity_policy
+
+(** [capacity t] is [Some c] iff the policy is [Bounded c]. *)
+val capacity : t -> int option
+
+val jobs : t -> int
+
+(** [with_jobs t jobs] / [with_policy t policy] are [t] with one field
+    replaced; all caches are shared with [t] (cost vectors do not depend on
+    either field). *)
+val with_jobs : t -> int -> t
+
+val with_policy : t -> capacity_policy -> t
+
+val space : t -> Reftrace.Data_space.t
+val n_data : t -> int
+val n_windows : t -> int
+
+(** [window t i] is the [i]-th execution window (array-backed, O(1)). *)
+val window : t -> int -> Reftrace.Window.t
+
+(** [merged t] is the whole-execution window, computed once per context. *)
+val merged : t -> Reftrace.Window.t
+
+(** [distance t a b] is [Pim.Mesh.distance] served from the cached table. *)
+val distance : t -> int -> int -> int
+
+(** [distance_table t] exposes the table itself for inner loops. *)
+val distance_table : t -> int array array
+
+(** [cost_vector t ~window ~data] is {!Cost.cost_vector} for the pair,
+    cached: the first call computes, every later one — from any algorithm
+    run on this context — is an array read. *)
+val cost_vector : t -> window:int -> data:int -> int array
+
+(** [merged_vector t ~data] is the cost vector against {!merged}. *)
+val merged_vector : t -> data:int -> int array
+
+(** [candidates t ~window ~data] is the paper's processor list for the
+    pair: ranks sorted by cost vector entry, ties by rank ({!Processor_list.of_cost_vector}), cached. *)
+val candidates : t -> window:int -> data:int -> int list
+
+(** [merged_candidates t ~data] is the processor list against {!merged}. *)
+val merged_candidates : t -> data:int -> int list
+
+(** [ranks_near t ~target] is every rank sorted by distance from [target]
+    (ties by rank), cached — the grouping repair's fallback order. Serial
+    phases only: the cache row is not per-datum. *)
+val ranks_near : t -> target:int -> int list
+
+(** [by_total_references t] is {!Ordering.by_total_references} served from
+    the cached merged window — the canonical heaviest-first assignment
+    order. Serial phases only. *)
+val by_total_references : t -> int list
+
+(** [layer_vectors t ~data] is the datum's cost vector for every window,
+    one row per window — the dense form {!Pathgraph.Layered.solve_dense}
+    consumes. Forces (and caches) the datum's full vector row. *)
+val layer_vectors : t -> data:int -> int array array
+
+(** [layered t ~data] is the GOMCDS cost-graph DP for one datum
+    ({!Gomcds.cost_problem}) reading cached cost vectors and the distance
+    table. Forces the datum's full vector row. *)
+val layered : t -> data:int -> Pathgraph.Layered.problem
+
+(** [prefetch_data t ~data] forces every window's cost vector for one
+    datum — the unit of work a pool domain claims. *)
+val prefetch_data : t -> data:int -> unit
+
+(** [prefetch_all t] fills every (datum, window) cost vector on the domain
+    pool. Bounded-memory algorithms call this so their serial allocation
+    loop only reads. *)
+val prefetch_all : t -> unit
+
+(** [prefetch_referenced t] fills, in parallel, cost vectors {e and}
+    candidate lists for every (datum, window) pair where the window
+    references the datum, plus the merged row for data never referenced —
+    exactly what LOMCDS's serial loop reads. *)
+val prefetch_referenced : t -> unit
+
+(** [prefetch_merged t] fills every datum's merged vector and candidate
+    list on the pool (SCDS's working set). *)
+val prefetch_merged : t -> unit
+
+(** [check_feasible t ~who] raises the algorithms' historical
+    [Invalid_argument] ("[who]: %d data cannot fit in %d processors of
+    capacity %d") when a bounded policy cannot hold the data space. *)
+val check_feasible : t -> who:string -> unit
+
+(** [fresh_memory t] is a new occupancy tracker matching the policy
+    (unbounded or [Bounded c]); feasibility is {e not} checked here. *)
+val fresh_memory : t -> Pim.Memory.t

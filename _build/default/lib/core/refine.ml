@@ -1,19 +1,24 @@
 type stats = { sweeps : int; improved : int; saved : int }
 
-let trajectory_cost (p : Pathgraph.Layered.problem) traj =
-  let cost = ref (p.enter_cost traj.(0)) in
-  for layer = 1 to p.n_layers - 1 do
-    cost := !cost + p.step_cost ~layer traj.(layer - 1) traj.(layer)
+let trajectory_cost ~dist ~vectors traj =
+  let cost = ref vectors.(0).(traj.(0)) in
+  for layer = 1 to Array.length vectors - 1 do
+    cost :=
+      !cost
+      + dist.(traj.(layer - 1)).(traj.(layer))
+      + vectors.(layer).(traj.(layer))
   done;
   !cost
 
-let run ?capacity ?(max_sweeps = 8) mesh trace schedule =
-  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
-  let n_windows = Reftrace.Trace.n_windows trace in
+let refine ?(max_sweeps = 8) problem schedule =
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
+  let trace = Problem.trace problem in
   if
     Schedule.n_data schedule <> n_data
     || Schedule.n_windows schedule <> n_windows
   then invalid_arg "Refine.run: schedule and trace shapes disagree";
+  let capacity = Problem.capacity problem in
   (match capacity with
   | Some c -> (
       match Schedule.check_capacity schedule ~capacity:c with
@@ -25,8 +30,11 @@ let run ?capacity ?(max_sweeps = 8) mesh trace schedule =
                w rank load c)
       | None -> ())
   | None -> ());
+  (* every sweep re-reads the same per-datum cost vectors: fill them on the
+     pool once, up front *)
+  Problem.prefetch_all problem;
   let sched = Schedule.copy schedule in
-  let m = Pim.Mesh.size mesh in
+  let m = Pim.Mesh.size (Problem.mesh problem) in
   let loads = Array.make_matrix n_windows m 0 in
   for w = 0 to n_windows - 1 do
     for d = 0 to n_data - 1 do
@@ -41,21 +49,22 @@ let run ?capacity ?(max_sweeps = 8) mesh trace schedule =
   in
   let sweeps = ref 0 and improved = ref 0 and saved = ref 0 in
   let space = Reftrace.Trace.space trace in
-  let order = Ordering.by_total_references trace in
+  let order = Problem.by_total_references problem in
   let progress = ref true in
   while !progress && !sweeps < max_sweeps do
     incr sweeps;
     progress := false;
     List.iter
       (fun data ->
-        let problem = Gomcds.cost_problem mesh trace ~data in
+        let dist = Problem.distance_table problem in
+        let vectors = Problem.layer_vectors problem ~data in
         let traj = Schedule.centers_of_data sched ~data in
         Array.iteri
           (fun w r -> loads.(w).(r) <- loads.(w).(r) - 1)
           traj;
-        let current = trajectory_cost problem traj in
+        let current = trajectory_cost ~dist ~vectors traj in
         let adopted =
-          match Pathgraph.Layered.solve_filtered problem ~allowed with
+          match Pathgraph.Layered.solve_dense_filtered ~dist ~vectors ~allowed with
           | Some (cost, centers) when cost < current ->
               Array.iteri
                 (fun w rank ->
@@ -77,20 +86,27 @@ let run ?capacity ?(max_sweeps = 8) mesh trace schedule =
   done;
   (sched, { sweeps = !sweeps; improved = !improved; saved = !saved })
 
-let gomcds_refined ?capacity mesh trace =
-  let base = Gomcds.run ?capacity mesh trace in
-  fst (run ?capacity mesh trace base)
+let run ?capacity ?max_sweeps mesh trace schedule =
+  refine ?max_sweeps (Problem.of_capacity ?capacity mesh trace) schedule
 
-let best ?capacity mesh trace =
+let refined problem = fst (refine problem (Gomcds.schedule problem))
+
+let gomcds_refined ?capacity mesh trace =
+  refined (Problem.of_capacity ?capacity mesh trace)
+
+let best_schedule problem =
+  (* all four seeds and their refinements share the context's cost-vector
+     cache — the vectors are computed exactly once for the whole portfolio *)
+  let trace = Problem.trace problem in
   let seeds =
     [
-      Gomcds.run ?capacity mesh trace;
-      Lomcds.run ?capacity mesh trace;
-      Grouping.run ?capacity ~centers:`Local mesh trace;
-      Grouping.run ?capacity ~centers:`Global mesh trace;
+      Gomcds.schedule problem;
+      Lomcds.schedule problem;
+      Grouping.schedule ~centers:`Local problem;
+      Grouping.schedule ~centers:`Global problem;
     ]
   in
-  let refined = List.map (fun s -> fst (run ?capacity mesh trace s)) seeds in
+  let refined = List.map (fun s -> fst (refine problem s)) seeds in
   match refined with
   | [] -> assert false
   | first :: rest ->
@@ -100,3 +116,6 @@ let best ?capacity mesh trace =
             s
           else acc)
         first rest
+
+let best ?capacity mesh trace =
+  best_schedule (Problem.of_capacity ?capacity mesh trace)

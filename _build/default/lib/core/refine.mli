@@ -10,7 +10,7 @@
     the schedule cost, so the loop terminates; a full sweep with no
     improvement is a fixed point.
 
-    With no capacity given the pass is still valid (it just re-runs the
+    With an unbounded policy the pass is still valid (it just re-runs the
     unconstrained DP per datum) and leaves any GOMCDS schedule unchanged. *)
 
 type stats = {
@@ -19,11 +19,19 @@ type stats = {
   saved : int;  (** total cost removed *)
 }
 
-(** [run ?capacity ?max_sweeps mesh trace schedule] refines a copy of
-    [schedule] (the input is not mutated) and reports what changed.
-    [max_sweeps] defaults to 8 — in practice a fixed point is reached in 2–3.
-    @raise Invalid_argument if [schedule] violates [capacity] to begin with,
-    or if shapes disagree with [trace]. *)
+(** [refine ?max_sweeps problem schedule] refines a copy of [schedule] (the
+    input is not mutated) against [problem]'s capacity policy and reports
+    what changed. Every sweep re-reads the context's cached cost vectors,
+    so refining several seeds on one context prices each vector once.
+    [max_sweeps] defaults to 8 — in practice a fixed point is reached in
+    2–3.
+    @raise Invalid_argument if [schedule] violates the capacity policy to
+    begin with, or if shapes disagree with the trace. *)
+val refine :
+  ?max_sweeps:int -> Problem.t -> Schedule.t -> Schedule.t * stats
+
+(** @deprecated [run ?capacity ?max_sweeps mesh trace schedule] is the
+    pre-{!Problem} shim over {!refine}. *)
 val run :
   ?capacity:int ->
   ?max_sweeps:int ->
@@ -32,15 +40,23 @@ val run :
   Schedule.t ->
   Schedule.t * stats
 
-(** [gomcds_refined ?capacity mesh trace] is GOMCDS followed by {!run} to a
-    fixed point. *)
+(** [refined problem] is GOMCDS followed by {!refine} to a fixed point. *)
+val refined : Problem.t -> Schedule.t
+
+(** @deprecated [gomcds_refined ?capacity mesh trace] is the pre-{!Problem}
+    shim over {!refined}. *)
 val gomcds_refined :
   ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
 
-(** [best ?capacity mesh trace] is the portfolio flagship: it refines each
-    of GOMCDS, LOMCDS and both grouping variants to a fixed point and
-    returns the cheapest result. Under capacity the four constructions fall
-    into different local optima (each is per-datum optimal given the
-    others' placements), so refining several seeds is markedly stronger
-    than refining any single one — see bench ablation A4. *)
+(** [best_schedule problem] is the portfolio flagship: it refines each of
+    GOMCDS, LOMCDS and both grouping variants to a fixed point and returns
+    the cheapest result. Under capacity the four constructions fall into
+    different local optima (each is per-datum optimal given the others'
+    placements), so refining several seeds is markedly stronger than
+    refining any single one — see bench ablation A4. All four seeds share
+    the context's cost-vector cache. *)
+val best_schedule : Problem.t -> Schedule.t
+
+(** @deprecated [best ?capacity mesh trace] is the pre-{!Problem} shim over
+    {!best_schedule}. *)
 val best : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t

@@ -1,34 +1,24 @@
-let check_feasible ?capacity mesh ~n_data =
-  match capacity with
-  | None -> ()
-  | Some c ->
-      if c * Pim.Mesh.size mesh < n_data then
-        invalid_arg
-          (Printf.sprintf
-             "Scds.run: %d data cannot fit in %d processors of capacity %d"
-             n_data (Pim.Mesh.size mesh) c)
-
-let placement ?capacity mesh trace =
-  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
-  check_feasible ?capacity mesh ~n_data;
-  let merged = Reftrace.Trace.merged trace in
-  let memory =
-    match capacity with
-    | None -> Pim.Memory.unbounded mesh
-    | Some c -> Pim.Memory.create mesh ~capacity:c
-  in
-  let placement = Array.make n_data 0 in
+let placement problem =
+  Problem.check_feasible problem ~who:"Scds.run";
+  (* parallel phase: merged-window processor lists, one row per datum *)
+  Problem.prefetch_merged problem;
+  (* serial phase: heaviest-first allocation, identical at any jobs count *)
+  let memory = Problem.fresh_memory problem in
+  let result = Array.make (Problem.n_data problem) 0 in
   List.iter
     (fun data ->
-      let candidates = Processor_list.for_data mesh merged ~data in
-      placement.(data) <- Processor_list.assign memory candidates)
-    (Ordering.by_total_references trace);
-  placement
+      result.(data) <-
+        Processor_list.assign memory (Problem.merged_candidates problem ~data))
+    (Problem.by_total_references problem);
+  result
+
+let schedule problem =
+  Schedule.constant (Problem.mesh problem)
+    ~n_windows:(Problem.n_windows problem)
+    (placement problem)
 
 let run ?capacity mesh trace =
-  Schedule.constant mesh
-    ~n_windows:(Reftrace.Trace.n_windows trace)
-    (placement ?capacity mesh trace)
+  schedule (Problem.of_capacity ?capacity mesh trace)
 
 let center_of ?capacity mesh trace ~data =
-  (placement ?capacity mesh trace).(data)
+  (placement (Problem.of_capacity ?capacity mesh trace)).(data)

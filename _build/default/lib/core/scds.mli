@@ -5,10 +5,21 @@
     execution and never moves. With bounded memory, the per-datum processor
     list supplies the first available fallback. *)
 
-(** [run ?capacity mesh trace] computes the SCDS schedule. When [capacity]
-    is given, each processor holds at most that many data (the schedule is
-    static, so one window's constraint is every window's constraint).
-    @raise Invalid_argument if [capacity * size mesh < n_data] (infeasible). *)
+(** [schedule problem] computes the SCDS schedule on a shared {!Problem.t}
+    context. Candidate processor lists are filled on the context's domain
+    pool; the capacity-respecting allocation itself runs serially, heaviest
+    datum first, so the result is identical at every [jobs] setting.
+    @raise Invalid_argument if the capacity policy is infeasible
+    ([capacity * size mesh < n_data]). *)
+val schedule : Problem.t -> Schedule.t
+
+(** [placement problem] is the underlying static placement array
+    ([placement.(data) = rank]). *)
+val placement : Problem.t -> int array
+
+(** @deprecated [run ?capacity mesh trace] is the pre-{!Problem} entry
+    point, kept as a thin shim over {!schedule} (builds a serial one-shot
+    context). *)
 val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
 
 (** [center_of ?capacity mesh trace ~data] is just the chosen center of one

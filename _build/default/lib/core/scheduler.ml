@@ -42,7 +42,10 @@ let name = function
   | Gomcds_refined -> "gomcds-refined"
   | Best_refined -> "best-refined"
 
-let of_name = function
+let valid_names = List.map name all
+
+let of_name s =
+  match String.lowercase_ascii (String.trim s) with
   | "row-wise" -> Row_wise
   | "column-wise" -> Column_wise
   | "block-2d" -> Block_2d
@@ -55,10 +58,16 @@ let of_name = function
   | "gomcds-grouped" -> Gomcds_grouped
   | "gomcds-refined" -> Gomcds_refined
   | "best-refined" -> Best_refined
-  | s -> invalid_arg (Printf.sprintf "Scheduler.of_name: unknown %S" s)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Scheduler.of_name: unknown %S (expected one of: %s)"
+           s
+           (String.concat ", " valid_names))
 
-let run ?capacity algorithm mesh trace =
-  let space = Reftrace.Trace.space trace in
+let solve problem algorithm =
+  let mesh = Problem.mesh problem in
+  let trace = Problem.trace problem in
+  let space = Problem.space problem in
   let static placement = Baseline.schedule placement mesh trace in
   match algorithm with
   | Row_wise -> static (Baseline.row_wise mesh space)
@@ -66,17 +75,23 @@ let run ?capacity algorithm mesh trace =
   | Block_2d -> static (Baseline.block_2d mesh space)
   | Cyclic -> static (Baseline.cyclic mesh space)
   | Random seed -> static (Baseline.random ~seed mesh space)
-  | Scds -> Scds.run ?capacity mesh trace
-  | Lomcds -> Lomcds.run ?capacity mesh trace
-  | Gomcds -> Gomcds.run ?capacity mesh trace
-  | Lomcds_grouped -> Grouping.run ?capacity ~centers:`Local mesh trace
-  | Gomcds_grouped -> Grouping.run ?capacity ~centers:`Global mesh trace
-  | Gomcds_refined -> Refine.gomcds_refined ?capacity mesh trace
-  | Best_refined -> Refine.best ?capacity mesh trace
+  | Scds -> Scds.schedule problem
+  | Lomcds -> Lomcds.schedule problem
+  | Gomcds -> Gomcds.schedule problem
+  | Lomcds_grouped -> Grouping.schedule ~centers:`Local problem
+  | Gomcds_grouped -> Grouping.schedule ~centers:`Global problem
+  | Gomcds_refined -> Refine.refined problem
+  | Best_refined -> Refine.best_schedule problem
 
-let evaluate ?capacity algorithm mesh trace =
-  let schedule = run ?capacity algorithm mesh trace in
-  (schedule, Schedule.cost schedule trace)
+let evaluate_in problem algorithm =
+  let schedule = solve problem algorithm in
+  (schedule, Schedule.cost schedule (Problem.trace problem))
+
+let run ?capacity ?jobs algorithm mesh trace =
+  solve (Problem.of_capacity ?capacity ?jobs mesh trace) algorithm
+
+let evaluate ?capacity ?jobs algorithm mesh trace =
+  evaluate_in (Problem.of_capacity ?capacity ?jobs mesh trace) algorithm
 
 let improvement ~baseline ~cost =
   if baseline = 0 then 0.

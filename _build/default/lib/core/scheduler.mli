@@ -1,4 +1,11 @@
-(** Unified front-end over every scheduling algorithm in the library. *)
+(** Unified front-end over every scheduling algorithm in the library.
+
+    The preferred entry point is {!solve}: build one {!Problem.t} for the
+    instance (mesh + trace + capacity policy + domain-pool size) and
+    dispatch any number of algorithms against it — they share the context's
+    cost-vector cache and distance table, and their per-datum work fans out
+    across the pool. The [mesh]-and-[trace] signatures remain as thin
+    shims. *)
 
 type algorithm =
   | Row_wise  (** the paper's straight-forward baseline *)
@@ -23,19 +30,39 @@ val all : algorithm list
 
 val name : algorithm -> string
 
+(** Every {!name}, in presentation order — the CLI spellings. *)
+val valid_names : string list
+
 (** [of_name s] parses the CLI spelling produced by {!name}.
-    @raise Invalid_argument on unknown names. *)
+    Case-insensitive; surrounding whitespace is ignored.
+    @raise Invalid_argument on unknown names, listing the valid ones. *)
 val of_name : string -> algorithm
 
-(** [run ?capacity algorithm mesh trace] dispatches to the implementation.
-    Static baselines ignore [capacity] (their placements respect the
-    paper's 2× headroom rule by construction; see {!Baseline.max_load}). *)
-val run :
-  ?capacity:int -> algorithm -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
+(** [solve problem algorithm] dispatches to the implementation. Static
+    baselines ignore the capacity policy (their placements respect the
+    paper's 2× headroom rule by construction; see {!Baseline.max_load}).
+    Every algorithm is deterministic in the instance alone: any [jobs]
+    setting yields the identical schedule. *)
+val solve : Problem.t -> algorithm -> Schedule.t
 
-(** [evaluate ?capacity algorithm mesh trace] runs and prices the schedule. *)
+(** [evaluate_in problem algorithm] runs and prices the schedule. *)
+val evaluate_in : Problem.t -> algorithm -> Schedule.t * Schedule.cost_breakdown
+
+(** [run ?capacity ?jobs algorithm mesh trace] is {!solve} on a one-shot
+    context — kept for existing call sites; [jobs] defaults to serial. *)
+val run :
+  ?capacity:int ->
+  ?jobs:int ->
+  algorithm ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  Schedule.t
+
+(** [evaluate ?capacity ?jobs algorithm mesh trace] runs and prices the
+    schedule on a one-shot context. *)
 val evaluate :
   ?capacity:int ->
+  ?jobs:int ->
   algorithm ->
   Pim.Mesh.t ->
   Reftrace.Trace.t ->

@@ -57,6 +57,75 @@ let solve p =
 
 let solve_filtered p ~allowed = solve_general p ~allowed
 
+(* Dense specialization of [solve_general] for the ubiquitous cost shape
+   enter = vectors.(0), step = dist + vectors.(layer): straight table
+   reads in the inner loop instead of two closure calls per edge. The
+   candidate scan visits (k, j) in the same order with the same strict
+   comparison as [solve_general], so predecessors and final centers break
+   ties identically. *)
+let solve_dense_general ~dist ~vectors ~allowed =
+  let n_layers = Array.length vectors in
+  if n_layers <= 0 then invalid_arg "Layered: n_layers must be positive";
+  let width = Array.length vectors.(0) in
+  if width <= 0 then invalid_arg "Layered: width must be positive";
+  let inf = max_int in
+  let cur = Array.make width inf in
+  let choice = Array.make_matrix n_layers width (-1) in
+  let v0 = vectors.(0) in
+  for j = 0 to width - 1 do
+    if allowed ~layer:0 j then cur.(j) <- v0.(j)
+  done;
+  let best = Array.make width inf in
+  let from = Array.make width (-1) in
+  for layer = 1 to n_layers - 1 do
+    Array.fill best 0 width inf;
+    for j = 0 to width - 1 do
+      let dj = cur.(j) in
+      if dj <> inf then begin
+        let row = dist.(j) in
+        for k = 0 to width - 1 do
+          let c = dj + row.(k) in
+          if c < best.(k) then begin
+            best.(k) <- c;
+            from.(k) <- j
+          end
+        done
+      end
+    done;
+    let v = vectors.(layer) in
+    let ch = choice.(layer) in
+    for k = 0 to width - 1 do
+      if best.(k) <> inf && allowed ~layer k then begin
+        cur.(k) <- best.(k) + v.(k);
+        ch.(k) <- from.(k)
+      end
+      else cur.(k) <- inf
+    done
+  done;
+  let best_node = ref (-1) in
+  for j = 0 to width - 1 do
+    if cur.(j) <> inf && (!best_node = -1 || cur.(j) < cur.(!best_node))
+    then best_node := j
+  done;
+  if !best_node = -1 then None
+  else begin
+    let centers = Array.make n_layers (-1) in
+    centers.(n_layers - 1) <- !best_node;
+    for layer = n_layers - 1 downto 1 do
+      centers.(layer - 1) <- choice.(layer).(centers.(layer))
+    done;
+    Some (cur.(!best_node), centers)
+  end
+
+let solve_dense ~dist ~vectors =
+  match solve_dense_general ~dist ~vectors ~allowed:(fun ~layer:_ _ -> true)
+  with
+  | Some r -> r
+  | None -> assert false (* unrestricted problem is always feasible *)
+
+let solve_dense_filtered ~dist ~vectors ~allowed =
+  solve_dense_general ~dist ~vectors ~allowed
+
 let to_digraph p =
   validate p;
   let node_id ~layer j = 2 + (layer * p.width) + j in

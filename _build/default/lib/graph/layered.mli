@@ -29,6 +29,22 @@ val solve : problem -> int * int array
 val solve_filtered :
   problem -> allowed:(layer:int -> int -> bool) -> (int * int array) option
 
+(** [solve_dense ~dist ~vectors] is {!solve} specialized to the cost shape
+    every scheduler here uses — [enter_cost j = vectors.(0).(j)] and
+    [step_cost ~layer j k = dist.(j).(k) + vectors.(layer).(k)] — with the
+    tables read directly in the inner loop (no closure per edge).
+    [vectors] has one row per layer; [dist] is [width] × [width]. Results,
+    including tie-breaking, are identical to the callback form. *)
+val solve_dense : dist:int array array -> vectors:int array array -> int * int array
+
+(** [solve_dense_filtered ~dist ~vectors ~allowed] is {!solve_filtered} on
+    the same dense representation. *)
+val solve_dense_filtered :
+  dist:int array array ->
+  vectors:int array array ->
+  allowed:(layer:int -> int -> bool) ->
+  (int * int array) option
+
 (** [to_digraph p] materializes the cost-graph exactly as the paper describes
     (pseudo source node, pseudo destination node, zero-weight edges into the
     sink) and returns [(graph, source, sink, node_id)] where

@@ -1,1 +1,1 @@
-lib/pim/mesh.ml: Coord Format Fun Int List Printf
+lib/pim/mesh.ml: Array Coord Format Fun Int List Printf

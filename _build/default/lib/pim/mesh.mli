@@ -45,6 +45,13 @@ val coord_of_rank : t -> int -> Coord.t
     processors of rank [a] and [b]. *)
 val distance : t -> int -> int -> int
 
+(** [distance_table m] materializes the full rank-to-rank distance matrix:
+    [(distance_table m).(a).(b) = distance m a b]. Scheduling hot paths
+    probe distances O(n·m²) times per datum; the table turns each probe
+    into an array read. Costs [size m]² words — build once per problem
+    (see {!Sched.Problem}) and share. *)
+val distance_table : t -> int array array
+
 (** [xy_route m ~src ~dst] is the dimension-ordered (x first, then y) route
     from [src] to [dst] as the list of ranks visited, {e including} both
     endpoints. Its length is [distance m src dst + 1]; a route from a

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Atomic Gen List Pim Printf Reftrace Sched Workloads

@@ -1,1 +1,1 @@
-test/test_scheduler.ml: Alcotest Gen List QCheck Sched
+test/test_scheduler.ml: Alcotest Gen List QCheck Sched String

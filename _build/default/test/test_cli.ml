@@ -100,6 +100,23 @@ let test_bad_arguments_fail () =
   let code, _ = run_cli "schedule -a wizardry" in
   Alcotest.(check bool) "rejects unknown algorithm" true (code <> 0)
 
+(* --jobs must not change any reported number: capture each command's
+   output serial and at 4 domains and compare byte-for-byte. *)
+let test_jobs_flag_deterministic () =
+  List.iter
+    (fun (name, args) ->
+      let code1, serial = run_cli (args ^ " --jobs 1") in
+      let code4, parallel = run_cli (args ^ " -j 4") in
+      Alcotest.(check int) (name ^ ": jobs=1 exit") 0 code1;
+      Alcotest.(check int) (name ^ ": jobs=4 exit") 0 code4;
+      Alcotest.(check string) (name ^ ": identical output") serial parallel)
+    [
+      ("schedule", "schedule -b 1 -n 8 -a best-refined");
+      ("compare", "compare -b 3 -n 8");
+      ("table", "table --which 2 --sizes 8");
+      ("sweep", "sweep --sizes 8");
+    ]
+
 let suite =
   [
     Gen.case "binary exists" test_binary_exists;
@@ -115,4 +132,5 @@ let suite =
     Gen.case "torus flag" test_torus_flag;
     Gen.case "stats" test_stats;
     Gen.case "bad arguments fail" test_bad_arguments_fail;
+    Gen.case "--jobs is output-invariant" test_jobs_flag_deterministic;
   ]

@@ -1,0 +1,180 @@
+(* The Engine domain pool and the Problem context: parallel runs must be
+   byte-identical to serial ones, and the caches must agree with the
+   uncached reference implementations. *)
+
+let mesh8 = Pim.Mesh.square 8
+
+(* -- Engine ------------------------------------------------------------- *)
+
+let test_map_matches_serial () =
+  let f i = (i * 7919) mod 257 in
+  let serial = Array.init 100 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        serial
+        (Sched.Engine.map ~jobs 100 f))
+    [ 1; 2; 4; 16 ]
+
+let test_map_empty_and_tiny () =
+  Alcotest.(check (array int)) "empty" [||] (Sched.Engine.map ~jobs:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "single" [| 0 |] (Sched.Engine.map ~jobs:4 1 (fun i -> i))
+
+let test_iter_covers_every_index_once () =
+  let n = 64 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Sched.Engine.iter ~jobs:4 n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check int) (Printf.sprintf "index %d" i) 1 (Atomic.get a))
+    hits
+
+let test_exceptions_propagate () =
+  List.iter
+    (fun jobs ->
+      match Sched.Engine.map ~jobs 32 (fun i -> if i = 17 then failwith "boom" else i) with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+    [ 1; 4 ]
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "positive" true (Sched.Engine.default_jobs () >= 1)
+
+(* -- Problem caches vs. reference implementations ----------------------- *)
+
+let bench_instances =
+  List.map
+    (fun b ->
+      ( Workloads.Benchmarks.label b,
+        Workloads.Benchmarks.trace b ~n:8 mesh8,
+        Workloads.Benchmarks.capacity b ~n:8 mesh8 ))
+    Workloads.Benchmarks.all
+
+let test_cost_vectors_match_cost_module () =
+  List.iter
+    (fun (label, trace, _) ->
+      let problem = Sched.Problem.create mesh8 trace in
+      let n_data = Sched.Problem.n_data problem in
+      List.iteri
+        (fun w window ->
+          for data = 0 to n_data - 1 do
+            Alcotest.(check (array int))
+              (Printf.sprintf "B%s w%d d%d" label w data)
+              (Sched.Cost.cost_vector mesh8 window ~data)
+              (Sched.Problem.cost_vector problem ~window:w ~data)
+          done)
+        (Reftrace.Trace.windows trace))
+    bench_instances
+
+let test_distance_matches_mesh () =
+  let problem =
+    let _, trace, _ = List.hd bench_instances in
+    Sched.Problem.create mesh8 trace
+  in
+  let n = Pim.Mesh.size mesh8 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "%d-%d" a b)
+        (Pim.Mesh.distance mesh8 a b)
+        (Sched.Problem.distance problem a b)
+    done
+  done
+
+let test_bounds_agree () =
+  List.iter
+    (fun (label, trace, _) ->
+      let problem = Sched.Problem.create ~jobs:4 mesh8 trace in
+      Alcotest.(check int)
+        ("lower bound B" ^ label)
+        (Sched.Bounds.lower_bound mesh8 trace)
+        (Sched.Bounds.lower_bound_in problem);
+      Alcotest.(check int)
+        ("static lower bound B" ^ label)
+        (Sched.Bounds.static_lower_bound mesh8 trace)
+        (Sched.Bounds.static_lower_bound_in problem))
+    bench_instances
+
+(* -- Serial/parallel equivalence ---------------------------------------- *)
+
+(* The issue's acceptance bar: every algorithm on benchmarks 1-5, capacity
+   per the paper's rule, must produce the identical schedule and cost
+   breakdown at jobs = 1 and jobs = 4. *)
+let test_parallel_equals_serial () =
+  List.iter
+    (fun (label, trace, capacity) ->
+      let serial =
+        Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) ~jobs:1
+          mesh8 trace
+      in
+      let parallel = Sched.Problem.with_jobs serial 4 in
+      List.iter
+        (fun a ->
+          let id = Printf.sprintf "B%s %s" label (Sched.Scheduler.name a) in
+          let s1, c1 = Sched.Scheduler.evaluate_in serial a in
+          let s4, c4 = Sched.Scheduler.evaluate_in parallel a in
+          Alcotest.(check bool) (id ^ " schedule") true (Sched.Schedule.equal s1 s4);
+          Alcotest.(check int) (id ^ " total") c1.Sched.Schedule.total c4.Sched.Schedule.total;
+          Alcotest.(check int)
+            (id ^ " reference") c1.Sched.Schedule.reference c4.Sched.Schedule.reference;
+          Alcotest.(check int)
+            (id ^ " movement") c1.Sched.Schedule.movement c4.Sched.Schedule.movement)
+        Sched.Scheduler.all)
+    bench_instances
+
+let test_unbounded_parallel_equals_serial () =
+  List.iter
+    (fun (label, trace, _) ->
+      let serial = Sched.Problem.create ~jobs:1 mesh8 trace in
+      let parallel = Sched.Problem.with_jobs serial 4 in
+      List.iter
+        (fun a ->
+          let id = Printf.sprintf "B%s %s unbounded" label (Sched.Scheduler.name a) in
+          Alcotest.(check bool)
+            id true
+            (Sched.Schedule.equal
+               (Sched.Scheduler.solve serial a)
+               (Sched.Scheduler.solve parallel a)))
+        Sched.Scheduler.all)
+    bench_instances
+
+(* -- Problem policy plumbing -------------------------------------------- *)
+
+let test_policy_accessors () =
+  let _, trace, _ = List.hd bench_instances in
+  let p = Sched.Problem.create mesh8 trace in
+  Alcotest.(check (option int)) "unbounded" None (Sched.Problem.capacity p);
+  let b = Sched.Problem.with_policy p (Sched.Problem.Bounded 3) in
+  Alcotest.(check (option int)) "bounded" (Some 3) (Sched.Problem.capacity b);
+  Alcotest.(check int) "jobs default" 1 (Sched.Problem.jobs p);
+  Alcotest.(check int) "with_jobs" 4 (Sched.Problem.jobs (Sched.Problem.with_jobs p 4))
+
+let test_create_rejects_bad_arguments () =
+  let _, trace, _ = List.hd bench_instances in
+  Alcotest.(check bool) "jobs = 0" true
+    (match Sched.Problem.create ~jobs:0 mesh8 trace with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative capacity" true
+    (match
+       Sched.Problem.create ~policy:(Sched.Problem.Bounded (-1)) mesh8 trace
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Gen.case "Engine.map matches serial" test_map_matches_serial;
+    Gen.case "Engine.map edge sizes" test_map_empty_and_tiny;
+    Gen.case "Engine.iter covers indices once" test_iter_covers_every_index_once;
+    Gen.case "Engine exceptions propagate" test_exceptions_propagate;
+    Gen.case "Engine.default_jobs positive" test_default_jobs_positive;
+    Gen.case "cached cost vectors match Cost" test_cost_vectors_match_cost_module;
+    Gen.case "cached distances match Mesh" test_distance_matches_mesh;
+    Gen.case "bounds agree with legacy entry points" test_bounds_agree;
+    Gen.case "jobs=4 equals jobs=1 (paper capacity)" test_parallel_equals_serial;
+    Gen.case "jobs=4 equals jobs=1 (unbounded)" test_unbounded_parallel_equals_serial;
+    Gen.case "policy accessors" test_policy_accessors;
+    Gen.case "create rejects bad arguments" test_create_rejects_bad_arguments;
+  ]

@@ -11,9 +11,37 @@ let test_name_roundtrip () =
     Sched.Scheduler.all
 
 let test_of_name_rejects_unknown () =
-  Alcotest.check_raises "unknown"
-    (Invalid_argument "Scheduler.of_name: unknown \"fancy\"") (fun () ->
-      ignore (Sched.Scheduler.of_name "fancy"))
+  match Sched.Scheduler.of_name "fancy" with
+  | _ -> Alcotest.fail "of_name accepted an unknown name"
+  | exception Invalid_argument msg ->
+      let contains needle =
+        let n = String.length needle and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the offender" true (contains "\"fancy\"");
+      (* the error should teach the valid spellings *)
+      List.iter
+        (fun valid ->
+          Alcotest.(check bool) ("lists " ^ valid) true (contains valid))
+        Sched.Scheduler.valid_names
+
+let test_of_name_case_insensitive () =
+  List.iter
+    (fun a ->
+      let n = Sched.Scheduler.name a in
+      Alcotest.(check bool)
+        (n ^ " uppercase") true
+        (Sched.Scheduler.of_name (String.uppercase_ascii n) = a);
+      Alcotest.(check bool)
+        (n ^ " padded") true
+        (Sched.Scheduler.of_name ("  " ^ n ^ "\t") = a))
+    Sched.Scheduler.all
+
+let prop_of_name_inverts_name =
+  let arb = QCheck.oneofl ~print:Sched.Scheduler.name Sched.Scheduler.all in
+  QCheck.Test.make ~name:"of_name (name a) = a for every algorithm" ~count:100
+    arb (fun a -> Sched.Scheduler.of_name (Sched.Scheduler.name a) = a)
 
 let test_improvement () =
   Alcotest.(check (float 1e-9))
@@ -69,6 +97,8 @@ let suite =
   [
     Gen.case "name roundtrip" test_name_roundtrip;
     Gen.case "of_name rejects unknown" test_of_name_rejects_unknown;
+    Gen.case "of_name is case-insensitive" test_of_name_case_insensitive;
+    Gen.to_alcotest prop_of_name_inverts_name;
     Gen.case "improvement" test_improvement;
     Gen.case "dispatch all" test_dispatch_all;
     Gen.to_alcotest prop_scheduler_hierarchy_unbounded;

@@ -39,7 +39,8 @@ let () =
   List.iter
     (fun pull ->
       let t = trace_with_pull pull in
-      let run a = Sched.Scheduler.run a mesh t in
+      let problem = Sched.Problem.create mesh t in
+      let run a = Sched.Scheduler.solve problem a in
       let total a = Sched.Schedule.total_cost (run a) t in
       let g = run Sched.Scheduler.Gomcds in
       let where =

@@ -39,11 +39,14 @@ let () =
   in
   Format.printf "trace: %a@.@." Reftrace.Trace.pp trace;
 
-  (* 4. Schedule it. Every algorithm returns a Schedule.t mapping each datum
-     to a processor per window. *)
+  (* 4. Build the problem context — mesh + trace + capacity policy — then
+     schedule it. All algorithms run against the same context share its
+     cached cost vectors; every algorithm returns a Schedule.t mapping
+     each datum to a processor per window. *)
+  let problem = Sched.Problem.create mesh trace in
   List.iter
     (fun algo ->
-      let schedule = Sched.Scheduler.run algo mesh trace in
+      let schedule = Sched.Scheduler.solve problem algo in
       let cost = Sched.Schedule.cost schedule trace in
       Printf.printf "%-10s total=%3d (reference %3d + movement %3d)\n"
         (Sched.Scheduler.name algo)
@@ -52,7 +55,7 @@ let () =
     Sched.Scheduler.[ Row_wise; Scds; Lomcds; Gomcds ];
 
   (* 5. Inspect where the drifting datum lives under GOMCDS. *)
-  let gomcds = Sched.Scheduler.run Sched.Scheduler.Gomcds mesh trace in
+  let gomcds = Sched.Scheduler.solve problem Sched.Scheduler.Gomcds in
   print_string "\nGOMCDS trajectory of datum v(0,0):";
   Array.iter
     (fun r ->

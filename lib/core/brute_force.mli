@@ -12,10 +12,20 @@
     (refusing to melt the machine). *)
 val optimal_cost : Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> int * int array
 
+(** [optimal_cost_in problem ~data] is {!optimal_cost} reading the
+    context's cached cost vectors and distance table. *)
+val optimal_cost_in : Problem.t -> data:int -> int * int array
+
 (** [optimal_static_cost mesh trace ~data] is the cheapest cost achievable
     without movement — the best single center. *)
 val optimal_static_cost : Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> int * int
 
-(** [total_optimal_cost mesh trace] sums {!optimal_cost} over all data: the
-    true capacity-free optimum of the whole instance. *)
+(** [total_optimal_cost_in problem] sums {!optimal_cost_in} over all data —
+    the true capacity-free optimum of the whole instance — enumerating data
+    concurrently on the context's domain pool (the sum is merged by datum
+    index, so it is deterministic). *)
+val total_optimal_cost_in : Problem.t -> int
+
+(** @deprecated [total_optimal_cost mesh trace] is
+    {!total_optimal_cost_in} on a throwaway serial context. *)
 val total_optimal_cost : Pim.Mesh.t -> Reftrace.Trace.t -> int

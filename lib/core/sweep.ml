@@ -9,27 +9,28 @@ type row = {
   gap : float;
 }
 
-let run ?(headroom = 2) mesh instances algorithms =
+let run ?(headroom = 2) ?(jobs = 1) mesh instances algorithms =
   List.concat_map
     (fun (workload, trace) ->
-      let capacity =
-        if headroom = 0 then None
+      let policy =
+        if headroom = 0 then Problem.Unbounded
         else
-          Some
+          Problem.Bounded
             (Pim.Memory.capacity_for
                ~data_count:
                  (Reftrace.Data_space.size (Reftrace.Trace.space trace))
                ~mesh ~headroom)
       in
-      let bound = Bounds.lower_bound mesh trace in
+      (* one context per instance: the lower bound, the baseline and every
+         algorithm share its cost-vector cache *)
+      let problem = Problem.create ~policy ~jobs mesh trace in
+      let bound = Bounds.lower_bound_in problem in
       let baseline =
-        Schedule.total_cost
-          (Scheduler.run ?capacity Scheduler.Row_wise mesh trace)
-          trace
+        Schedule.total_cost (Scheduler.solve problem Scheduler.Row_wise) trace
       in
       List.map
         (fun algorithm ->
-          let schedule = Scheduler.run ?capacity algorithm mesh trace in
+          let schedule = Scheduler.solve problem algorithm in
           let cost = Schedule.cost schedule trace in
           {
             workload;

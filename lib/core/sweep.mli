@@ -18,12 +18,15 @@ type row = {
   gap : float;  (** % over the per-datum lower bound *)
 }
 
-(** [run ?headroom mesh instances algorithms] evaluates every pair.
+(** [run ?headroom ?jobs mesh instances algorithms] evaluates every pair.
     [headroom] (default [2], the paper's rule) sets capacity to
-    [headroom × minimum]; [0] means unbounded. Lower bounds are computed
-    once per instance. *)
+    [headroom × minimum]; [0] means unbounded. One {!Problem.t} is built
+    per instance, so the lower bound, the baseline and every algorithm
+    share its cost-vector cache; [jobs] (default serial) sizes its domain
+    pool. *)
 val run :
   ?headroom:int ->
+  ?jobs:int ->
   Pim.Mesh.t ->
   (string * Reftrace.Trace.t) list ->
   Scheduler.algorithm list ->
