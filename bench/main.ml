@@ -10,6 +10,12 @@
 let mesh = Pim.Mesh.square 4
 let sizes = [ 8; 16; 32 ]
 
+(* Quick mode (--quick or BENCH_QUICK=1): the worked example plus the
+   machine-readable snapshot only — the CI smoke path. *)
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv
+  || Sys.getenv_opt "BENCH_QUICK" <> None
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -576,24 +582,149 @@ let engine_scaling () =
     "(speedup vs. the legacy path: the shared context computes each\n\
     \ (datum, window) cost vector once for all algorithms and the bound)"
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable snapshot (BENCH_<rev>.json)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON snapshot per bench run, keyed workload x scheduler x jobs:
+   wall times (obs off, best of [reps]), speedup vs jobs=1, total cost,
+   and the scheduler counters from one instrumented run. This is the
+   regression trail future perf PRs diff against. *)
+
+let git_rev () =
+  match Sys.getenv_opt "BENCH_REV" with
+  | Some r -> r
+  | None -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "local"
+      with _ -> "local")
+
+let json_snapshot () =
+  section "Machine-readable snapshot";
+  let n = if quick then 8 else 16 in
+  let reps = if quick then 1 else 3 in
+  let workloads =
+    [
+      (Printf.sprintf "lu-%dx%d" n n, Workloads.Lu.trace ~n mesh);
+      (Printf.sprintf "code-%dx%d" n n, Workloads.Code_kernel.trace ~n mesh);
+    ]
+  in
+  let algos =
+    Sched.Scheduler.[ Scds; Lomcds; Gomcds; Lomcds_grouped; Gomcds_grouped ]
+  in
+  let jobs_list = [ 1; 4 ] in
+  let entries = ref [] in
+  List.iter
+    (fun (wl, trace) ->
+      let capacity =
+        Pim.Memory.capacity_for
+          ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+          ~mesh ~headroom:2
+      in
+      let policy = Sched.Problem.Bounded capacity in
+      List.iter
+        (fun algo ->
+          let walls =
+            List.map
+              (fun jobs ->
+                (* fresh context per run so cache fills are timed too *)
+                let run () =
+                  let problem =
+                    Sched.Problem.create ~policy ~jobs mesh trace
+                  in
+                  Sched.Schedule.total_cost
+                    (Sched.Scheduler.solve problem algo)
+                    trace
+                in
+                let best = ref infinity in
+                let cost = ref 0 in
+                for _ = 1 to reps do
+                  let t0 = Unix.gettimeofday () in
+                  cost := run ();
+                  best := Float.min !best (Unix.gettimeofday () -. t0)
+                done;
+                (jobs, !best, !cost))
+              jobs_list
+          in
+          let _, wall1, _ =
+            List.find (fun (jobs, _, _) -> jobs = 1) walls
+          in
+          List.iter
+            (fun (jobs, wall, cost) ->
+              let counters =
+                Obs.with_enabled (fun () ->
+                    Obs.reset ();
+                    let problem =
+                      Sched.Problem.create ~policy ~jobs mesh trace
+                    in
+                    ignore (Sched.Scheduler.solve problem algo);
+                    let snap = Obs.Metrics.snapshot () in
+                    Obs.reset ();
+                    snap.Obs.Metrics.counters)
+              in
+              entries :=
+                Obs.Json.Obj
+                  [
+                    ("workload", Obs.Json.String wl);
+                    ( "scheduler",
+                      Obs.Json.String (Sched.Scheduler.name algo) );
+                    ("jobs", Obs.Json.Int jobs);
+                    ("wall_ms", Obs.Json.Float (wall *. 1e3));
+                    ("speedup_vs_jobs1", Obs.Json.Float (wall1 /. wall));
+                    ("total_cost", Obs.Json.Int cost);
+                    ( "counters",
+                      Obs.Json.Obj
+                        (List.map
+                           (fun (k, v) -> (k, Obs.Json.Int v))
+                           counters) );
+                  ]
+                :: !entries)
+            walls)
+        algos)
+    workloads;
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  Obs.Json.write_file path
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String "pim-sched-bench/1");
+         ("rev", Obs.Json.String rev);
+         ("quick", Obs.Json.Bool quick);
+         ("mesh", Obs.Json.String "4x4");
+         ("entries", Obs.Json.List (List.rev !entries));
+       ]);
+  Printf.printf "wrote %d entries to %s\n" (List.length !entries) path
+
 let () =
   print_endline
     "Reproduction benches: Tian, Sha, Chantrapornchai, Kogge -- \"Optimizing\n\
      Data Scheduling on Processor-In-Memory Arrays\" (IPPS 1998)";
-  figure1 ();
-  tables ();
-  characterization ();
-  ablation_window_size ();
-  ablation_headroom ();
-  ablation_mesh_size ();
-  ablation_topology ();
-  ablation_refinement ();
-  ablation_adaptation ();
-  ablation_replication ();
-  ablation_annealing ();
-  ablation_online ();
-  ablation_partition ();
-  congestion ();
-  timing ();
-  engine_scaling ();
-  print_endline "\nAll benches complete."
+  if quick then begin
+    figure1 ();
+    json_snapshot ();
+    print_endline "\nQuick benches complete."
+  end
+  else begin
+    figure1 ();
+    tables ();
+    characterization ();
+    ablation_window_size ();
+    ablation_headroom ();
+    ablation_mesh_size ();
+    ablation_topology ();
+    ablation_refinement ();
+    ablation_adaptation ();
+    ablation_replication ();
+    ablation_annealing ();
+    ablation_online ();
+    ablation_partition ();
+    congestion ();
+    timing ();
+    engine_scaling ();
+    json_snapshot ();
+    print_endline "\nAll benches complete."
+  end

@@ -163,6 +163,40 @@ let simulate_arg =
           "Also execute the schedule on the message-level simulator and \
            report measured traffic.")
 
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:
+          "Enable the observability layer and write a JSON metrics snapshot \
+           here when the command finishes.")
+
+(* ---------------------------------------------------------------- *)
+(* Observability plumbing                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Flip the switch before any Problem is built so cache fills count. *)
+let obs_begin metrics_json =
+  if metrics_json <> None then begin
+    Obs.enabled := true;
+    Obs.reset ()
+  end
+
+let obs_finish ~command ~jobs metrics_json =
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+      Obs.Json.write_file path
+        (Obs.Export.metrics_json
+           ~extra:
+             [
+               ("command", Obs.Json.String command);
+               ("jobs", Obs.Json.Int jobs);
+             ]
+           (Obs.Metrics.snapshot ()));
+      Printf.printf "metrics written to %s\n" path
+
 (* ---------------------------------------------------------------- *)
 (* Instance construction                                             *)
 (* ---------------------------------------------------------------- *)
@@ -212,7 +246,8 @@ let describe_instance ?trace_file workload mesh trace capacity =
 (* ---------------------------------------------------------------- *)
 
 let run_schedule workload size mesh_shape torus partition unbounded
-    trace_file algorithm jobs simulate plan_out =
+    trace_file algorithm jobs simulate plan_out metrics_json =
+  obs_begin metrics_json;
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
@@ -235,10 +270,12 @@ let run_schedule workload size mesh_shape torus partition unbounded
       Pim.Simulator.run mesh (Sched.Schedule.to_rounds schedule trace)
     in
     Format.printf "%a@." Pim.Simulator.pp_report report
-  end
+  end;
+  obs_finish ~command:"schedule" ~jobs metrics_json
 
 let run_compare workload size mesh_shape torus partition unbounded trace_file
-    jobs =
+    jobs metrics_json =
+  obs_begin metrics_json;
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
@@ -263,7 +300,8 @@ let run_compare workload size mesh_shape torus partition unbounded trace_file
         (Sched.Bounds.gap ~bound ~cost:total))
     Sched.Scheduler.all;
   Printf.printf "%-16s total=%6d  (sum of per-datum optima)\n" "lower-bound"
-    bound
+    bound;
+  obs_finish ~command:"compare" ~jobs metrics_json
 
 let run_table which mesh_shape sizes jobs =
   let mesh = build_mesh mesh_shape false in
@@ -354,6 +392,56 @@ let run_show workload size mesh_shape torus partition unbounded trace_file
         (Sched.Viz.trajectory mesh schedule ~data:d)
   | None -> ()
 
+let run_profile algorithm workload size mesh_shape torus partition unbounded
+    trace_file jobs simulate chrome_out metrics_json =
+  Obs.enabled := true;
+  Obs.reset ();
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  let t0 = Obs.now_us () in
+  let problem = Sched.Problem.of_capacity ?capacity ~jobs mesh trace in
+  let schedule = Sched.Scheduler.solve problem algorithm in
+  let breakdown = Sched.Schedule.cost schedule trace in
+  if simulate then begin
+    let rounds = Sched.Schedule.to_rounds schedule trace in
+    ignore (Pim.Simulator.run mesh rounds);
+    ignore (Pim.Timed_simulator.run mesh rounds)
+  end;
+  let wall_us = Obs.now_us () -. t0 in
+  Printf.printf "%-16s total=%6d  reference=%6d  movement=%6d  moves=%d\n"
+    (Sched.Scheduler.name algorithm)
+    breakdown.Sched.Schedule.total breakdown.Sched.Schedule.reference
+    breakdown.Sched.Schedule.movement
+    (Sched.Schedule.moves schedule);
+  Printf.printf "\nspan tree (wall %.1f ms, jobs=%d):\n" (wall_us /. 1e3) jobs;
+  print_string (Obs.Export.flame_summary (Obs.Span.spans ()));
+  print_newline ();
+  print_string (Obs.Export.metrics_table (Obs.Metrics.snapshot ()));
+  (match chrome_out with
+  | Some path ->
+      Obs.Json.write_file path (Obs.Export.chrome_trace (Obs.Span.spans ()));
+      Printf.printf "chrome trace written to %s (load in chrome://tracing)\n"
+        path
+  | None -> ());
+  match metrics_json with
+  | Some path ->
+      Obs.Json.write_file path
+        (Obs.Export.metrics_json
+           ~extra:
+             [
+               ("command", Obs.Json.String "profile");
+               ("workload", Obs.Json.String (workload_to_string workload));
+               ( "algorithm",
+                 Obs.Json.String (Sched.Scheduler.name algorithm) );
+               ("jobs", Obs.Json.Int jobs);
+               ("wall_ms", Obs.Json.Float (wall_us /. 1e3));
+             ]
+           (Obs.Metrics.snapshot ()));
+      Printf.printf "metrics written to %s\n" path
+  | None -> ()
+
 let run_export workload size mesh_shape torus partition output =
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh None in
@@ -391,14 +479,42 @@ let schedule_cmd =
     Term.(
       const run_schedule $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ algorithm_arg
-      $ jobs_arg $ simulate_arg $ plan_out_arg)
+      $ jobs_arg $ simulate_arg $ plan_out_arg $ metrics_json_arg)
 
 let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every algorithm on one instance")
     Term.(
       const run_compare $ workload_arg $ size_arg $ mesh_arg $ torus_arg
-      $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg)
+      $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg
+      $ metrics_json_arg)
+
+let profile_cmd =
+  let algorithm_pos_arg =
+    Arg.(
+      value
+      & pos 0 algorithm_conv Sched.Scheduler.Gomcds
+      & info [] ~docv:"ALGORITHM"
+          ~doc:"Scheduler to profile (same names as --algorithm).")
+  in
+  let chrome_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"PATH"
+          ~doc:
+            "Write the span log as Chrome trace_event JSON (load in \
+             chrome://tracing or Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one scheduler with the observability layer on; print the \
+          span tree and metrics table")
+    Term.(
+      const run_profile $ algorithm_pos_arg $ workload_arg $ size_arg
+      $ mesh_arg $ torus_arg $ partition_arg $ unbounded_arg $ trace_file_arg
+      $ jobs_arg $ simulate_arg $ chrome_out_arg $ metrics_json_arg)
 
 let table_cmd =
   let which_arg =
@@ -502,7 +618,8 @@ let stats_cmd =
       const run_stats $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ trace_file_arg)
 
-let run_sweep sizes mesh_shape torus output headroom jobs =
+let run_sweep sizes mesh_shape torus output headroom jobs metrics_json =
+  obs_begin metrics_json;
   let mesh = build_mesh mesh_shape torus in
   let instances =
     List.concat_map
@@ -516,14 +633,15 @@ let run_sweep sizes mesh_shape torus output headroom jobs =
   in
   let rows = Sched.Sweep.run ~headroom ~jobs mesh instances Sched.Scheduler.all in
   let csv = Sched.Sweep.to_csv rows in
-  match output with
+  (match output with
   | Some path ->
       let oc = open_out path in
       Fun.protect
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc csv);
       Printf.printf "wrote %d rows to %s\n" (List.length rows) path
-  | None -> print_string csv
+  | None -> print_string csv);
+  obs_finish ~command:"sweep" ~jobs metrics_json
 
 let sweep_cmd =
   let sizes_arg =
@@ -549,7 +667,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Run all algorithms over the benchmarks, emit CSV")
     Term.(
       const run_sweep $ sizes_arg $ mesh_arg $ torus_arg $ output_arg
-      $ headroom_arg $ jobs_arg)
+      $ headroom_arg $ jobs_arg $ metrics_json_arg)
 
 let main =
   Cmd.group
@@ -558,6 +676,7 @@ let main =
     [
       schedule_cmd;
       compare_cmd;
+      profile_cmd;
       table_cmd;
       example_cmd;
       show_cmd;

@@ -36,16 +36,34 @@ let pool_handles : unit Domain.t list ref = ref []
 let pool_stop = ref false
 
 let run_job job =
+  (* Instrumentation is read once per job: the per-claim loop pays one
+     local increment, timing only when the switch is on. Claim counts
+     and timings are inherently jobs-dependent (queue imbalance lives
+     here), unlike the algorithmic counters recorded by the bodies. *)
+  let instrument = !Obs.enabled in
+  let claimed = ref 0 in
+  let t_begin = if instrument then Obs.now_us () else 0. in
   let rec go () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
+      incr claimed;
+      let t0 = if instrument then Obs.now_us () else 0. in
       (try job.body i
        with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+      if instrument then
+        Obs.Metrics.observe "engine.task_us"
+          (int_of_float (Obs.now_us () -. t0));
       Atomic.incr job.completed;
       go ()
     end
   in
-  go ()
+  go ();
+  if instrument then begin
+    Obs.Metrics.add "engine.tasks_claimed" !claimed;
+    Obs.Metrics.observe "engine.tasks_per_worker" !claimed;
+    Obs.Metrics.add "engine.worker_busy_us"
+      (int_of_float (Obs.now_us () -. t_begin))
+  end
 
 let worker () =
   let rec loop seen =
@@ -96,6 +114,10 @@ let run_pool ~jobs n body =
       body i
     done
   else begin
+    if !Obs.enabled then begin
+      Obs.Metrics.incr "engine.batches";
+      Obs.Metrics.add "engine.tasks" n
+    end;
     let job =
       {
         n;

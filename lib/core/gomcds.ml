@@ -47,6 +47,7 @@ let schedule problem =
       (* Occupancy evolves datum by datum, so routing is serial — but the
          cost vectors it reads are filled in parallel first. *)
       Problem.prefetch_all problem;
+      Obs.Span.with_ ~name:"gomcds.place" @@ fun () ->
       let mems =
         Array.init n_windows (fun _ ->
             Pim.Memory.create (Problem.mesh problem) ~capacity:c)

@@ -42,6 +42,7 @@ let greedy_ranges ~dist ~vectors ~n =
     last_center := Some c;
     finalized := (!start, stop, Array.copy !sumvec, c) :: !finalized
   in
+  let accepted = ref 0 in
   for j = 1 to n - 1 do
     let cur_center = argmin !sumvec in
     let cur_ref = !sumvec.(cur_center) in
@@ -62,7 +63,10 @@ let greedy_ranges ~dist ~vectors ~n =
       !fin_cost + link_from_last cand_center + candidate.(cand_center)
       + next_link
     in
-    if new_total <= prev_total then sumvec := candidate
+    if new_total <= prev_total then begin
+      incr accepted;
+      sumvec := candidate
+    end
     else begin
       finalize (j - 1);
       start := j;
@@ -70,6 +74,12 @@ let greedy_ranges ~dist ~vectors ~n =
     end
   done;
   finalize (n - 1);
+  if !Obs.enabled then begin
+    (* every window past the first is one attempted merge into the
+       running group (Algorithm 3's extension test) *)
+    Obs.Metrics.add "grouping.merge_attempts" (n - 1);
+    Obs.Metrics.add "grouping.merges_accepted" !accepted
+  end;
   List.rev !finalized
 
 (* Re-optimize group centers with the shortest-path DP (GOMCDS over merged
@@ -240,6 +250,7 @@ let run_with_partitions problem ~partition_of =
   (* parallel phase: each datum's partition (and the cost vectors it pulls
      in) is independent of every other datum's *)
   let desired =
+    Obs.Span.with_ ~name:"grouping.partitions" @@ fun () ->
     Engine.map ~jobs:(Problem.jobs problem) n_data (fun data ->
         match desired_trajectory ~n_windows (partition_of ~data) with
         | Some traj -> traj

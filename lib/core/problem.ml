@@ -94,34 +94,51 @@ let compute_vector t w ~data =
   done;
   v
 
+(* Cache accounting (merged-window lookups fold into the same names):
+   totals are per-(datum, window) and each row has a single writer, so
+   hit/miss sums do not depend on the [jobs] setting. *)
+let hit name = if !Obs.enabled then Obs.Metrics.incr name
+
 let cost_vector t ~window ~data =
   match t.vectors.(data).(window) with
-  | Some v -> v
+  | Some v ->
+      hit "problem.vector_hit";
+      v
   | None ->
+      hit "problem.vector_miss";
       let v = compute_vector t t.windows.(window) ~data in
       t.vectors.(data).(window) <- Some v;
       v
 
 let merged_vector t ~data =
   match t.merged_vectors.(data) with
-  | Some v -> v
+  | Some v ->
+      hit "problem.vector_hit";
+      v
   | None ->
+      hit "problem.vector_miss";
       let v = compute_vector t t.merged ~data in
       t.merged_vectors.(data) <- Some v;
       v
 
 let candidates t ~window ~data =
   match t.cands.(data).(window) with
-  | Some l -> l
+  | Some l ->
+      hit "problem.candidates_hit";
+      l
   | None ->
+      hit "problem.candidates_miss";
       let l = Processor_list.of_cost_vector (cost_vector t ~window ~data) in
       t.cands.(data).(window) <- Some l;
       l
 
 let merged_candidates t ~data =
   match t.merged_cands.(data) with
-  | Some l -> l
+  | Some l ->
+      hit "problem.candidates_hit";
+      l
   | None ->
+      hit "problem.candidates_miss";
       let l = Processor_list.of_cost_vector (merged_vector t ~data) in
       t.merged_cands.(data) <- Some l;
       l
@@ -165,9 +182,11 @@ let prefetch_data t ~data =
   done
 
 let prefetch_all t =
+  Obs.Span.with_ ~name:"problem.prefetch_all" @@ fun () ->
   Engine.iter ~jobs:t.jobs (n_data t) (fun data -> prefetch_data t ~data)
 
 let prefetch_referenced t =
+  Obs.Span.with_ ~name:"problem.prefetch_referenced" @@ fun () ->
   Engine.iter ~jobs:t.jobs (n_data t) (fun data ->
       let referenced = ref false in
       Array.iteri
@@ -180,6 +199,7 @@ let prefetch_referenced t =
       if not !referenced then ignore (merged_candidates t ~data))
 
 let prefetch_merged t =
+  Obs.Span.with_ ~name:"problem.prefetch_merged" @@ fun () ->
   Engine.iter ~jobs:t.jobs (n_data t) (fun data ->
       ignore (merged_candidates t ~data))
 

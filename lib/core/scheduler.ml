@@ -65,6 +65,7 @@ let of_name s =
            (String.concat ", " valid_names))
 
 let solve problem algorithm =
+  Obs.Span.with_ ~name:("scheduler." ^ name algorithm) @@ fun () ->
   let mesh = Problem.mesh problem in
   let trace = Problem.trace problem in
   let space = Problem.space problem in

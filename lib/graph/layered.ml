@@ -9,20 +9,38 @@ let validate p =
   if p.n_layers <= 0 then invalid_arg "Layered: n_layers must be positive";
   if p.width <= 0 then invalid_arg "Layered: width must be positive"
 
+(* DP work counters, reported once per solve (see DESIGN.md
+   "Observability"): a node is expanded when its out-edges are relaxed,
+   so per layer [nodes] = sources with a finite cost and [edges] =
+   nodes x reachable targets. Totals are per-datum and therefore
+   independent of how solves are fanned out across domains. *)
+let report_solve ~nodes ~edges =
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "layered.solves";
+    Obs.Metrics.add "layered.nodes_expanded" nodes;
+    Obs.Metrics.add "layered.edges_relaxed" edges
+  end
+
 (* Forward DP over layers. [dist.(j)] is the best cost of reaching node [j]
    of the current layer; [choice.(layer).(j)] records the predecessor. *)
 let solve_general p ~allowed =
   validate p;
+  Obs.Span.with_ ~name:"layered.solve" @@ fun () ->
   let inf = max_int in
   let dist = Array.make p.width inf in
   let choice = Array.make_matrix p.n_layers p.width (-1) in
   for j = 0 to p.width - 1 do
     if allowed ~layer:0 j then dist.(j) <- p.enter_cost j
   done;
+  let nodes = ref 0 and edges = ref 0 in
   for layer = 1 to p.n_layers - 1 do
+    let finite = ref 0 in
+    Array.iter (fun d -> if d <> inf then incr finite) dist;
     let next = Array.make p.width inf in
+    let allowed_k = ref 0 in
     for k = 0 to p.width - 1 do
-      if allowed ~layer k then
+      if allowed ~layer k then begin
+        incr allowed_k;
         for j = 0 to p.width - 1 do
           if dist.(j) <> inf then begin
             let c = dist.(j) + p.step_cost ~layer j k in
@@ -32,9 +50,13 @@ let solve_general p ~allowed =
             end
           end
         done
+      end
     done;
+    nodes := !nodes + !finite;
+    edges := !edges + (!finite * !allowed_k);
     Array.blit next 0 dist 0 p.width
   done;
+  report_solve ~nodes:!nodes ~edges:!edges;
   let best = ref (-1) in
   for j = 0 to p.width - 1 do
     if dist.(j) <> inf && (!best = -1 || dist.(j) < dist.(!best)) then
@@ -68,6 +90,7 @@ let solve_dense_general ~dist ~vectors ~allowed =
   if n_layers <= 0 then invalid_arg "Layered: n_layers must be positive";
   let width = Array.length vectors.(0) in
   if width <= 0 then invalid_arg "Layered: width must be positive";
+  Obs.Span.with_ ~name:"layered.solve" @@ fun () ->
   let inf = max_int in
   let cur = Array.make width inf in
   let choice = Array.make_matrix n_layers width (-1) in
@@ -77,11 +100,13 @@ let solve_dense_general ~dist ~vectors ~allowed =
   done;
   let best = Array.make width inf in
   let from = Array.make width (-1) in
+  let nodes = ref 0 in
   for layer = 1 to n_layers - 1 do
     Array.fill best 0 width inf;
     for j = 0 to width - 1 do
       let dj = cur.(j) in
       if dj <> inf then begin
+        incr nodes;
         let row = dist.(j) in
         for k = 0 to width - 1 do
           let c = dj + row.(k) in
@@ -102,6 +127,7 @@ let solve_dense_general ~dist ~vectors ~allowed =
       else cur.(k) <- inf
     done
   done;
+  report_solve ~nodes:!nodes ~edges:(!nodes * width);
   let best_node = ref (-1) in
   for j = 0 to width - 1 do
     if cur.(j) <> inf && (!best_node = -1 || cur.(j) < cur.(!best_node))

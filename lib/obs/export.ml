@@ -1,0 +1,152 @@
+(* Snapshot/export: stable JSON and human-readable renderings of the
+   metrics registry and the span log. The JSON shapes carry a "schema"
+   tag so downstream tooling can detect format changes. *)
+
+let metrics_json ?(extra = []) (snap : Metrics.snapshot) =
+  let hist (h : Metrics.hist_snapshot) =
+    Jsonx.Obj
+      [
+        ("bounds", Jsonx.List (Array.to_list h.bounds |> List.map (fun b -> Jsonx.Int b)));
+        ("counts", Jsonx.List (Array.to_list h.counts |> List.map (fun c -> Jsonx.Int c)));
+        ("sum", Jsonx.Int h.sum);
+        ("count", Jsonx.Int h.count);
+      ]
+  in
+  Jsonx.Obj
+    (("schema", Jsonx.String "pim-sched-metrics/1")
+     :: extra
+    @ [
+        ("counters", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) snap.counters));
+        ("gauges", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) snap.gauges));
+        ("histograms", Jsonx.Obj (List.map (fun (k, h) -> (k, hist h)) snap.histograms));
+      ])
+
+(* Chrome trace_event format: one complete ("X") event per span, with
+   timestamps re-based to the earliest span so the numbers stay small.
+   Load the file at chrome://tracing or https://ui.perfetto.dev. *)
+let chrome_trace spans =
+  let t0 =
+    List.fold_left
+      (fun acc (s : Span.completed) -> Float.min acc s.start_us)
+      infinity spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  Jsonx.Obj
+    [
+      ( "traceEvents",
+        Jsonx.List
+          (List.map
+             (fun (s : Span.completed) ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String s.name);
+                   ("ph", Jsonx.String "X");
+                   ("ts", Jsonx.Float (s.start_us -. t0));
+                   ("dur", Jsonx.Float s.dur_us);
+                   ("pid", Jsonx.Int 0);
+                   ("tid", Jsonx.Int s.domain);
+                   ( "args",
+                     Jsonx.Obj
+                       [ ("id", Jsonx.Int s.id); ("parent", Jsonx.Int s.parent) ]
+                   );
+                 ])
+             spans) );
+      ("displayTimeUnit", Jsonx.String "ms");
+    ]
+
+let pretty_us us =
+  if us >= 1e6 then Printf.sprintf "%.2f s" (us /. 1e6)
+  else if us >= 1e3 then Printf.sprintf "%.2f ms" (us /. 1e3)
+  else Printf.sprintf "%.0f us" us
+
+(* Plain-text flame summary: siblings aggregated by name (total time,
+   call count), children nested below, heaviest first. Spans recorded on
+   worker domains have no parent there, so they surface as extra roots. *)
+let flame_summary spans =
+  let buf = Buffer.create 512 in
+  let known = Hashtbl.create 64 in
+  List.iter (fun (s : Span.completed) -> Hashtbl.replace known s.id ()) spans;
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Span.completed) ->
+      let key = if Hashtbl.mem known s.parent then s.parent else -1 in
+      Hashtbl.replace children key
+        (s :: (Option.value ~default:[] (Hashtbl.find_opt children key))))
+    spans;
+  let children_of id =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt children id))
+  in
+  let rec render depth group =
+    (* aggregate this sibling level by name, keeping first-seen order *)
+    let order = ref [] in
+    let agg = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Span.completed) ->
+        match Hashtbl.find_opt agg s.name with
+        | Some (total, count, ids) ->
+            Hashtbl.replace agg s.name (total +. s.dur_us, count + 1, s.id :: ids)
+        | None ->
+            order := s.name :: !order;
+            Hashtbl.replace agg s.name (s.dur_us, 1, [ s.id ]))
+      group;
+    let rows =
+      List.rev_map (fun name -> (name, Hashtbl.find agg name)) !order
+      |> List.sort (fun (_, (a, _, _)) (_, (b, _, _)) -> Float.compare b a)
+    in
+    List.iter
+      (fun (name, (total, count, ids)) ->
+        let indent = String.make (2 * depth) ' ' in
+        let label = indent ^ name in
+        Buffer.add_string buf
+          (Printf.sprintf "%-44s %10s  x%d\n" label (pretty_us total) count);
+        let kids = List.concat_map children_of (List.rev ids) in
+        if kids <> [] then render (depth + 1) kids)
+      rows
+  in
+  render 0 (children_of (-1));
+  Buffer.contents buf
+
+let metrics_table (snap : Metrics.snapshot) =
+  let buf = Buffer.create 512 in
+  if snap.counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-40s %12d\n" name v))
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-40s %12d\n" name v))
+      snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (name, (h : Metrics.hist_snapshot)) ->
+        let mean =
+          if h.count = 0 then 0.
+          else float_of_int h.sum /. float_of_int h.count
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s count=%d sum=%d mean=%.1f\n" name h.count
+             h.sum mean);
+        let parts = ref [] in
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              let label =
+                if i < Array.length h.bounds then
+                  Printf.sprintf "le%d:%d" h.bounds.(i) c
+                else Printf.sprintf "inf:%d" c
+              in
+              parts := label :: !parts)
+          h.counts;
+        if !parts <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-40s %s\n" "" (String.concat " " (List.rev !parts))))
+      snap.histograms
+  end;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Stable exports of metrics snapshots and span logs. *)
+
+(** JSON object tagged ["schema": "pim-sched-metrics/1"]; [extra]
+    fields (e.g. instance description, wall time) are spliced in after
+    the schema tag. *)
+val metrics_json : ?extra:(string * Jsonx.t) list -> Metrics.snapshot -> Jsonx.t
+
+(** Chrome [trace_event] JSON (complete "X" events, timestamps re-based
+    to the earliest span). Loadable in chrome://tracing / Perfetto. *)
+val chrome_trace : Span.completed list -> Jsonx.t
+
+(** Plain-text span tree: siblings aggregated by name with total time
+    and call count, heaviest first. *)
+val flame_summary : Span.completed list -> string
+
+(** Aligned plain-text rendering of a metrics snapshot. *)
+val metrics_table : Metrics.snapshot -> string

@@ -1,0 +1,19 @@
+(** Minimal JSON tree and printer — hand-rolled, no dependencies.
+
+    Strings are escaped per RFC 8259; non-finite floats print as [null]
+    (JSON has no spelling for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+(** [write_file path v] writes [v] followed by a newline to [path]. *)
+val write_file : string -> t -> unit

@@ -1,0 +1,168 @@
+(* Sharded metrics registry.
+
+   Each domain records into its own shard (Domain-local storage), so
+   Engine workers never contend on a lock or an atomic in their hot
+   loops; [snapshot] merges the shards. Counters merge by sum, gauges by
+   max, histograms pointwise — all order-independent, so merged totals
+   are identical whether the work ran on one domain or many.
+
+   Every entry point is a no-op (one ref read + branch) while
+   [Switch.enabled] is false. Recording is safe from any domain;
+   [snapshot] and [reset] read other domains' shards without
+   synchronizing against in-flight writers, so call them at quiescence
+   (between Engine batches) for exact totals. *)
+
+let default_bounds =
+  [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384; 65536;
+     262144; 1048576 |]
+
+type hist = {
+  bounds : int array; (* increasing inclusive upper bounds *)
+  counts : int array; (* length bounds + 1; last bucket = overflow *)
+  mutable sum : int;
+  mutable count : int;
+}
+
+type shard = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let registry_mutex = Mutex.create ()
+let shards : shard list ref = ref []
+
+let new_shard () =
+  let s =
+    {
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 8;
+      hists = Hashtbl.create 8;
+    }
+  in
+  Mutex.lock registry_mutex;
+  shards := s :: !shards;
+  Mutex.unlock registry_mutex;
+  s
+
+let shard_key : shard Domain.DLS.key = Domain.DLS.new_key new_shard
+let my_shard () = Domain.DLS.get shard_key
+
+let add name v =
+  if !Switch.enabled then begin
+    let s = my_shard () in
+    match Hashtbl.find_opt s.counters name with
+    | Some r -> r := !r + v
+    | None -> Hashtbl.add s.counters name (ref v)
+  end
+
+let incr name = add name 1
+
+let gauge name v =
+  if !Switch.enabled then begin
+    let s = my_shard () in
+    match Hashtbl.find_opt s.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add s.gauges name (ref v)
+  end
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?(bounds = default_bounds) name v =
+  if !Switch.enabled then begin
+    let s = my_shard () in
+    let h =
+      match Hashtbl.find_opt s.hists name with
+      | Some h -> h
+      | None ->
+          let h =
+            { bounds; counts = Array.make (Array.length bounds + 1) 0;
+              sum = 0; count = 0 }
+          in
+          Hashtbl.add s.hists name h;
+          h
+    in
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum + v;
+    h.count <- h.count + 1
+  end
+
+(* ---------------- snapshot ---------------- *)
+
+type hist_snapshot = {
+  bounds : int array;
+  counts : int array;
+  sum : int;
+  count : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let ss = !shards in
+  Mutex.unlock registry_mutex;
+  let counters = Hashtbl.create 64 in
+  let gauges = Hashtbl.create 16 in
+  let hists : (string, hist_snapshot) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : shard) ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt counters name with
+          | Some acc -> Hashtbl.replace counters name (acc + !r)
+          | None -> Hashtbl.add counters name !r)
+        s.counters;
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt gauges name with
+          | Some acc -> if !r > acc then Hashtbl.replace gauges name !r
+          | None -> Hashtbl.add gauges name !r)
+        s.gauges;
+      Hashtbl.iter
+        (fun name (h : hist) ->
+          match Hashtbl.find_opt hists name with
+          | Some acc when Array.length acc.counts = Array.length h.counts ->
+              Hashtbl.replace hists name
+                {
+                  acc with
+                  counts = Array.mapi (fun i c -> c + h.counts.(i)) acc.counts;
+                  sum = acc.sum + h.sum;
+                  count = acc.count + h.count;
+                }
+          | Some _ -> () (* mismatched bounds for one name: first wins *)
+          | None ->
+              Hashtbl.add hists name
+                { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
+                  sum = h.sum; count = h.count })
+        s.hists)
+    ss;
+  let to_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  {
+    counters = List.sort by_name (to_list counters);
+    gauges = List.sort by_name (to_list gauges);
+    histograms = List.sort by_name (to_list hists);
+  }
+
+let counter snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun (s : shard) ->
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.gauges;
+      Hashtbl.reset s.hists)
+    !shards;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,45 @@
+(** Named counters, gauges and fixed-bucket histograms.
+
+    Recording goes to a per-domain shard (no cross-domain contention);
+    {!snapshot} merges shards order-independently: counters by sum,
+    gauges by max, histogram buckets pointwise. All entry points are
+    no-ops while {!Obs.enabled} is false. [snapshot] / [reset] should be
+    called at quiescence (no Engine batch in flight) for exact totals. *)
+
+(** Increment a counter by 1. *)
+val incr : string -> unit
+
+(** Add [v] (may be any int) to a counter. *)
+val add : string -> int -> unit
+
+(** Set a gauge. Merge across domains takes the maximum. *)
+val gauge : string -> int -> unit
+
+(** Power-of-two-ish bucket upper bounds used when [?bounds] is omitted. *)
+val default_bounds : int array
+
+(** [observe ?bounds name v] adds [v] to histogram [name]. Buckets are
+    inclusive upper bounds; values above the last bound land in an
+    overflow bucket. The first observation of a name fixes its bounds. *)
+val observe : ?bounds:int array -> string -> int -> unit
+
+type hist_snapshot = {
+  bounds : int array;
+  counts : int array;  (** length = [Array.length bounds + 1] (overflow last) *)
+  sum : int;
+  count : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+
+(** Counter value in a snapshot, 0 when absent. *)
+val counter : snapshot -> string -> int
+
+(** Clear every shard. *)
+val reset : unit -> unit

@@ -1,0 +1,20 @@
+(* Umbrella module: the stable entry point for instrumented libraries
+   ([Obs.enabled], [Obs.Metrics], [Obs.Span]) and consumers of the
+   collected data ([Obs.Export], [Obs.Json]). *)
+
+module Json = Jsonx
+module Metrics = Metrics
+module Span = Span
+module Export = Export
+
+let enabled = Switch.enabled
+let now_us = Span.now_us
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()
+
+let with_enabled f =
+  let prev = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

@@ -1,0 +1,23 @@
+(** Observability: metrics registry, span tracing, stable exports.
+
+    Everything is off until [enabled] is set; instrumented hot paths
+    then pay only a ref read and a branch. Metric names are a stable
+    API — the catalog lives in DESIGN.md ("Observability"). *)
+
+module Json = Jsonx
+module Metrics = Metrics
+module Span = Span
+module Export = Export
+
+(** Global switch. Default [false]: every recording call is a no-op. *)
+val enabled : bool ref
+
+(** Wall clock in microseconds (for instrumentation timing). *)
+val now_us : unit -> float
+
+(** Clear metrics shards and the span log. *)
+val reset : unit -> unit
+
+(** Run [f] with [enabled] set, restoring the previous value after
+    (also on exception). Does not reset. *)
+val with_enabled : (unit -> 'a) -> 'a

@@ -1,0 +1,71 @@
+(* Span-based tracing.
+
+   Each domain keeps its own stack of open frames (Domain-local
+   storage), so nesting is tracked per domain: a span opened inside an
+   Engine worker roots a fresh tree on that worker. Completed spans are
+   appended to one global list under a mutex — spans close orders of
+   magnitude less often than metrics record, so the lock is cold.
+
+   [with_] unwinds via [Fun.protect]: a body that raises still closes
+   its span and pops the stack before the exception propagates. *)
+
+type completed = {
+  id : int;
+  parent : int; (* -1 = root *)
+  name : string;
+  domain : int;
+  start_us : float;
+  dur_us : float;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let next_id = Atomic.make 1
+let completed_mutex = Mutex.create ()
+let completed : completed list ref = ref [] (* reverse completion order *)
+
+type frame = { fid : int; fstart : float }
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let with_ ~name f =
+  if not !Switch.enabled then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> -1 | top :: _ -> top.fid in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let start = now_us () in
+    stack := { fid = id; fstart = start } :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let stop = now_us () in
+        (match !stack with
+        | top :: rest when top.fid = id -> stack := rest
+        | _ -> stack := List.filter (fun fr -> fr.fid <> id) !stack);
+        let c =
+          {
+            id;
+            parent;
+            name;
+            domain = (Domain.self () :> int);
+            start_us = start;
+            dur_us = stop -. start;
+          }
+        in
+        Mutex.lock completed_mutex;
+        completed := c :: !completed;
+        Mutex.unlock completed_mutex)
+      f
+  end
+
+let spans () =
+  Mutex.lock completed_mutex;
+  let l = List.rev !completed in
+  Mutex.unlock completed_mutex;
+  l
+
+let reset () =
+  Mutex.lock completed_mutex;
+  completed := [];
+  Mutex.unlock completed_mutex

@@ -1,0 +1,27 @@
+(** Span-based tracing: timed, named, nested regions.
+
+    Nesting is per domain — a span opened on an Engine worker roots its
+    own tree there. A body that raises still closes its span (the
+    exception propagates). When {!Obs.enabled} is false, [with_] is the
+    identity apart from one branch. *)
+
+type completed = {
+  id : int;
+  parent : int;  (** [-1] for a root span *)
+  name : string;
+  domain : int;  (** id of the recording domain *)
+  start_us : float;  (** wall clock, microseconds *)
+  dur_us : float;
+}
+
+(** [with_ ~name f] times [f ()] as a span nested under the innermost
+    open span of the calling domain. *)
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+(** Completed spans in completion order. *)
+val spans : unit -> completed list
+
+(** Monotonic-enough wall clock in microseconds (gettimeofday). *)
+val now_us : unit -> float
+
+val reset : unit -> unit

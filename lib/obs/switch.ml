@@ -1,0 +1,6 @@
+(* The single global observability switch. Lives below every other obs
+   module so both the recording primitives and the instrumented libraries
+   can read it without a dependency cycle. Disabled is the default: every
+   recording entry point reduces to one ref read and a branch. *)
+
+let enabled = ref false

@@ -1,0 +1,3 @@
+(** Global observability switch (see {!Obs.enabled}). *)
+
+val enabled : bool ref

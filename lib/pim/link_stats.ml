@@ -18,6 +18,12 @@ let record t ~src ~dst ~volume =
     | Some r -> r := !r + volume
     | None -> Hashtbl.add t.table (src, dst) (ref volume)
   end;
+  (* flit-level view of the same traffic, folded into the registry so
+     simulator runs show up next to the scheduler counters *)
+  if !Obs.enabled then begin
+    Obs.Metrics.add "link.flits" volume;
+    Obs.Metrics.incr "link.records"
+  end;
   t.total <- t.total + volume
 
 let traffic t ~src ~dst =

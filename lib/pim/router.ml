@@ -15,6 +15,11 @@ let route mesh stats msg =
     | [ _ ] | [] -> hops
   in
   let hops = walk 0 path in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "router.messages";
+    Obs.Metrics.observe "router.hops" hops;
+    Obs.Metrics.add "router.volume_hops" (hops * msg.volume)
+  end;
   hops * msg.volume
 
 let route_all mesh stats msgs =

@@ -23,6 +23,7 @@ let non_local msgs =
   List.filter (fun (m : Router.message) -> m.src <> m.dst && m.volume > 0) msgs
 
 let run mesh rounds =
+  Obs.Span.with_ ~name:"sim.run" @@ fun () ->
   let cumulative = Link_stats.create mesh in
   let run_round idx { migrations; references } =
     let per_round = Link_stats.create mesh in

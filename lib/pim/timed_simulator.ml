@@ -39,6 +39,10 @@ let simulate mesh (msgs : Router.message list) =
         { id; links; volume = m.volume; hop = 0; remaining = m.volume })
       live
   in
+  if !Obs.enabled then
+    List.iter
+      (fun p -> Obs.Metrics.observe "sim.packet_hops" (Array.length p.links))
+      packets;
   (* per-link state: the packet currently transmitting plus a FIFO queue *)
   let owner : (int * int, packet option ref) Hashtbl.t = Hashtbl.create 64 in
   let queue : (int * int, packet Queue.t) Hashtbl.t = Hashtbl.create 64 in
@@ -121,12 +125,18 @@ let round_makespan mesh msgs =
   cycles
 
 let run mesh rounds =
+  Obs.Span.with_ ~name:"sim.timed_run" @@ fun () ->
   let reports =
     List.mapi
       (fun idx { Simulator.migrations; references } ->
         let cycles, messages, volume_hops, live_links =
           simulate mesh (migrations @ references)
         in
+        if !Obs.enabled then begin
+          Obs.Metrics.add "sim.cycles" cycles;
+          Obs.Metrics.add "sim.messages" messages;
+          Obs.Metrics.add "sim.volume_hops" volume_hops
+        end;
         let utilization =
           if cycles = 0 || live_links = 0 then 0.
           else

@@ -94,6 +94,60 @@ let test_torus_flag () =
 let test_stats () =
   check_ok "stats" "stats -b 5 -n 8" [ "drift="; "entropy" ]
 
+let test_profile () =
+  check_ok "profile" "profile gomcds -b 1 -n 8"
+    [
+      "scheduler.gomcds";
+      "layered.solve";
+      "layered.nodes_expanded";
+      "problem.vector_hit";
+      "counters:";
+    ]
+
+let test_metrics_json () =
+  let path = Filename.temp_file "pimsched_cli" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "schedule metrics"
+        (Printf.sprintf "schedule -b 1 -n 8 -a gomcds --metrics-json %s" path)
+        [ "gomcds" ];
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      List.iter
+        (fun needle ->
+          if not (contains text needle) then
+            Alcotest.failf "metrics json missing %S in:\n%s" needle text)
+        [
+          {|"schema":"pim-sched-metrics/1"|};
+          {|"command":"schedule"|};
+          {|"layered.nodes_expanded"|};
+        ])
+
+let test_profile_chrome_trace () =
+  let path = Filename.temp_file "pimsched_cli" ".trace.json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "profile chrome"
+        (Printf.sprintf "profile gomcds -b 1 -n 8 --chrome-out %s" path)
+        [ "scheduler.gomcds" ];
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      List.iter
+        (fun needle ->
+          if not (contains text needle) then
+            Alcotest.failf "chrome trace missing %S in:\n%s" needle text)
+        [ {|"traceEvents"|}; {|"ph":"X"|}; {|"name":"layered.solve"|} ])
+
 let test_bad_arguments_fail () =
   let code, _ = run_cli "schedule -b 9" in
   Alcotest.(check bool) "rejects unknown benchmark" true (code <> 0);
@@ -131,6 +185,9 @@ let suite =
     Gen.case "plan roundtrip" test_plan_roundtrip;
     Gen.case "torus flag" test_torus_flag;
     Gen.case "stats" test_stats;
+    Gen.case "profile" test_profile;
+    Gen.case "schedule --metrics-json" test_metrics_json;
+    Gen.case "profile --chrome-out" test_profile_chrome_trace;
     Gen.case "bad arguments fail" test_bad_arguments_fail;
     Gen.case "--jobs is output-invariant" test_jobs_flag_deterministic;
   ]

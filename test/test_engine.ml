@@ -139,6 +139,41 @@ let test_unbounded_parallel_equals_serial () =
         Sched.Scheduler.all)
     bench_instances
 
+(* -- Metrics determinism across the domain pool ------------------------- *)
+
+(* Algorithmic counters (DP nodes expanded, cache hits, merges accepted)
+   count work, not scheduling: after merging the per-domain shards the
+   totals must be identical at jobs = 1 and jobs = 4. Counters under
+   "engine." describe the pool itself (task claims, busy time) and are
+   legitimately jobs-dependent, so they are excluded. *)
+let test_metrics_merge_jobs_invariant () =
+  let label, trace, capacity = List.hd bench_instances in
+  let algorithmic_counters jobs =
+    Obs.with_enabled (fun () ->
+        Obs.reset ();
+        let problem =
+          Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) ~jobs
+            mesh8 trace
+        in
+        List.iter
+          (fun a -> ignore (Sched.Scheduler.solve problem a))
+          Sched.Scheduler.[ Gomcds; Gomcds_grouped ];
+        let snap = Obs.Metrics.snapshot () in
+        Obs.reset ();
+        List.filter
+          (fun (name, _) ->
+            not (String.length name >= 7 && String.sub name 0 7 = "engine."))
+          snap.Obs.Metrics.counters)
+  in
+  let serial = algorithmic_counters 1 in
+  let parallel = algorithmic_counters 4 in
+  Alcotest.(check (list (pair string int)))
+    ("B" ^ label ^ " merged counters jobs=4 = jobs=1")
+    serial parallel;
+  Alcotest.(check bool)
+    "instrumented something" true
+    (List.exists (fun (n, v) -> n = "layered.nodes_expanded" && v > 0) serial)
+
 (* -- Problem policy plumbing -------------------------------------------- *)
 
 let test_policy_accessors () =
@@ -175,6 +210,7 @@ let suite =
     Gen.case "bounds agree with legacy entry points" test_bounds_agree;
     Gen.case "jobs=4 equals jobs=1 (paper capacity)" test_parallel_equals_serial;
     Gen.case "jobs=4 equals jobs=1 (unbounded)" test_unbounded_parallel_equals_serial;
+    Gen.case "merged metrics jobs-invariant" test_metrics_merge_jobs_invariant;
     Gen.case "policy accessors" test_policy_accessors;
     Gen.case "create rejects bad arguments" test_create_rejects_bad_arguments;
   ]

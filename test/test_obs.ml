@@ -1,0 +1,197 @@
+(* The lib/obs observability subsystem: metric semantics, histogram
+   bucketing, span nesting (including unwinding on exceptions), JSON
+   printing, and the Chrome trace export golden. Every case starts from
+   a clean registry via [scoped]. *)
+
+let scoped f =
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      Fun.protect ~finally:Obs.reset f)
+
+(* -- switch -------------------------------------------------------------- *)
+
+let test_disabled_is_noop () =
+  Obs.enabled := false;
+  Obs.reset ();
+  Obs.Metrics.incr "noop.counter";
+  Obs.Metrics.gauge "noop.gauge" 42;
+  Obs.Metrics.observe "noop.hist" 3;
+  let r = Obs.Span.with_ ~name:"noop.span" (fun () -> 17) in
+  Alcotest.(check int) "body still runs" 17 r;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "no counters" 0 (List.length snap.Obs.Metrics.counters);
+  Alcotest.(check int) "no gauges" 0 (List.length snap.Obs.Metrics.gauges);
+  Alcotest.(check int) "no histograms" 0
+    (List.length snap.Obs.Metrics.histograms);
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.Span.spans ()))
+
+let test_with_enabled_restores () =
+  Obs.enabled := false;
+  (try Obs.with_enabled (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" false !Obs.enabled
+
+(* -- counters and gauges ------------------------------------------------- *)
+
+let test_counter_accumulates () =
+  scoped (fun () ->
+      Obs.Metrics.incr "c";
+      Obs.Metrics.incr "c";
+      Obs.Metrics.add "c" 5;
+      let snap = Obs.Metrics.snapshot () in
+      Alcotest.(check int) "sum" 7 (Obs.Metrics.counter snap "c");
+      Alcotest.(check int) "absent reads zero" 0
+        (Obs.Metrics.counter snap "missing"))
+
+let test_gauge_last_write_wins_in_shard () =
+  scoped (fun () ->
+      Obs.Metrics.gauge "g" 3;
+      Obs.Metrics.gauge "g" 7;
+      Obs.Metrics.gauge "g" 5;
+      let snap = Obs.Metrics.snapshot () in
+      Alcotest.(check (list (pair string int)))
+        "last write" [ ("g", 5) ] snap.Obs.Metrics.gauges)
+
+let test_registry_reset_between_cases () =
+  scoped (fun () ->
+      Obs.Metrics.incr "leftover";
+      Obs.Span.with_ ~name:"leftover" ignore);
+  (* [scoped] resets on the way out: a fresh scope must see nothing *)
+  scoped (fun () ->
+      let snap = Obs.Metrics.snapshot () in
+      Alcotest.(check int) "counters cleared" 0
+        (Obs.Metrics.counter snap "leftover");
+      Alcotest.(check int) "spans cleared" 0 (List.length (Obs.Span.spans ())))
+
+(* -- histograms ---------------------------------------------------------- *)
+
+let test_histogram_bucket_boundaries () =
+  scoped (fun () ->
+      let bounds = [| 1; 2; 4 |] in
+      List.iter (Obs.Metrics.observe ~bounds "h") [ 0; 1; 2; 3; 4; 5 ];
+      let snap = Obs.Metrics.snapshot () in
+      let h = List.assoc "h" snap.Obs.Metrics.histograms in
+      (* bounds are inclusive upper bounds: 0,1 -> le1; 2 -> le2;
+         3,4 -> le4; 5 -> overflow *)
+      Alcotest.(check (array int)) "counts" [| 2; 1; 2; 1 |] h.Obs.Metrics.counts;
+      Alcotest.(check (array int)) "bounds kept" bounds h.Obs.Metrics.bounds;
+      Alcotest.(check int) "sum" 15 h.Obs.Metrics.sum;
+      Alcotest.(check int) "count" 6 h.Obs.Metrics.count)
+
+let test_histogram_default_bounds () =
+  scoped (fun () ->
+      Obs.Metrics.observe "d" 3;
+      let snap = Obs.Metrics.snapshot () in
+      let h = List.assoc "d" snap.Obs.Metrics.histograms in
+      Alcotest.(check int) "overflow slot present"
+        (Array.length Obs.Metrics.default_bounds + 1)
+        (Array.length h.Obs.Metrics.counts))
+
+(* -- spans --------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  scoped (fun () ->
+      Obs.Span.with_ ~name:"outer" (fun () ->
+          Obs.Span.with_ ~name:"inner" ignore);
+      match Obs.Span.spans () with
+      | [ inner; outer ] ->
+          (* completion order: inner closes first *)
+          Alcotest.(check string) "inner name" "inner" inner.Obs.Span.name;
+          Alcotest.(check string) "outer name" "outer" outer.Obs.Span.name;
+          Alcotest.(check int) "outer is root" (-1) outer.Obs.Span.parent;
+          Alcotest.(check int) "inner nests under outer" outer.Obs.Span.id
+            inner.Obs.Span.parent;
+          Alcotest.(check bool) "durations non-negative" true
+            (inner.Obs.Span.dur_us >= 0. && outer.Obs.Span.dur_us >= 0.)
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let test_span_unwinds_on_exception () =
+  scoped (fun () ->
+      (try
+         Obs.Span.with_ ~name:"raises" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      (* the raising span was still recorded... *)
+      (match Obs.Span.spans () with
+      | [ s ] -> Alcotest.(check string) "recorded" "raises" s.Obs.Span.name
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans));
+      (* ...and the stack unwound: a following span is a fresh root *)
+      Obs.Span.with_ ~name:"after" ignore;
+      match Obs.Span.spans () with
+      | [ _; after ] ->
+          Alcotest.(check int) "not nested under the dead span" (-1)
+            after.Obs.Span.parent
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+(* -- JSON printer -------------------------------------------------------- *)
+
+let test_json_escaping () =
+  let open Obs.Json in
+  Alcotest.(check string)
+    "escapes" {|"a\"b\\c\nd\te"|}
+    (to_string (String "a\"b\\c\nd\te"));
+  Alcotest.(check string)
+    "control chars" {|"\u0001"|}
+    (to_string (String "\001"));
+  Alcotest.(check string) "null" "null" (to_string Null);
+  Alcotest.(check string) "nan is null" "null" (to_string (Float Float.nan));
+  Alcotest.(check string) "integer float" "100" (to_string (Float 100.));
+  Alcotest.(check string)
+    "nested" {|{"a":[1,true,"x"],"b":{}}|}
+    (to_string (Obj [ ("a", List [ Int 1; Bool true; String "x" ]); ("b", Obj []) ]))
+
+(* -- exports ------------------------------------------------------------- *)
+
+let golden_spans =
+  Obs.Span.
+    [
+      { id = 1; parent = -1; name = "root"; domain = 0; start_us = 1000.; dur_us = 500. };
+      { id = 2; parent = 1; name = "child"; domain = 0; start_us = 1100.; dur_us = 50. };
+    ]
+
+let test_chrome_trace_golden () =
+  Alcotest.(check string) "golden"
+    ({|{"traceEvents":[|}
+    ^ {|{"name":"root","ph":"X","ts":0,"dur":500,"pid":0,"tid":0,"args":{"id":1,"parent":-1}},|}
+    ^ {|{"name":"child","ph":"X","ts":100,"dur":50,"pid":0,"tid":0,"args":{"id":2,"parent":1}}|}
+    ^ {|],"displayTimeUnit":"ms"}|})
+    (Obs.Json.to_string (Obs.Export.chrome_trace golden_spans))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_flame_summary_nests () =
+  let text = Obs.Export.flame_summary golden_spans in
+  Alcotest.(check bool) "root listed" true (contains text "root");
+  Alcotest.(check bool) "child indented" true (contains text "  child")
+
+let test_metrics_json_shape () =
+  scoped (fun () ->
+      Obs.Metrics.add "x" 3;
+      let j =
+        Obs.Export.metrics_json
+          ~extra:[ ("note", Obs.Json.String "t") ]
+          (Obs.Metrics.snapshot ())
+      in
+      let s = Obs.Json.to_string j in
+      Alcotest.(check bool) "schema tag" true
+        (contains s {|"schema":"pim-sched-metrics/1"|});
+      Alcotest.(check bool) "extra spliced" true (contains s {|"note":"t"|});
+      Alcotest.(check bool) "counter present" true (contains s {|"x":3|}))
+
+let suite =
+  [
+    Gen.case "disabled is a no-op" test_disabled_is_noop;
+    Gen.case "with_enabled restores on raise" test_with_enabled_restores;
+    Gen.case "counters accumulate" test_counter_accumulates;
+    Gen.case "gauge keeps last write" test_gauge_last_write_wins_in_shard;
+    Gen.case "reset clears registry and spans" test_registry_reset_between_cases;
+    Gen.case "histogram bucket boundaries" test_histogram_bucket_boundaries;
+    Gen.case "histogram default bounds" test_histogram_default_bounds;
+    Gen.case "span nesting" test_span_nesting;
+    Gen.case "span unwinds on exception" test_span_unwinds_on_exception;
+    Gen.case "JSON escaping" test_json_escaping;
+    Gen.case "chrome trace golden" test_chrome_trace_golden;
+    Gen.case "flame summary nests children" test_flame_summary_nests;
+    Gen.case "metrics json shape" test_metrics_json_shape;
+  ]
