@@ -583,6 +583,115 @@ let engine_scaling () =
     \ (datum, window) cost vector once for all algorithms and the bound)"
 
 (* ------------------------------------------------------------------ *)
+(* Kernel dimension: separable vs naive cost-vector construction       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two comparisons of the separable kernel against the naive oracle on the
+   LU 16x16 workload mapped onto a 16x16 array -- the mesh size where the
+   naive O(P x refs) walk actually hurts (the separable kernel is
+   O(refs + rows + cols + P) per vector, so its edge grows with the
+   reference density and with P):
+
+   - cost-vector construction: every referenced (window, datum) vector
+     built directly through [Cost.Naive.cost_vector] (the pre-refactor
+     profile-fold, one coordinate decode per (center, reference) term)
+     vs [Cost.cost_vector] (marginals + per-axis prefix sums). This is
+     the gated metric.
+   - end-to-end [Problem.prefetch_all] (jobs=1, fresh context per rep):
+     the same fill through the context layer, where the naive path reads
+     the precomputed distance table and both kernels share the O(P)
+     output fill and cache bookkeeping -- a smaller, honest ratio.
+
+   Runs in quick mode too: this is the CI perf gate -- the process exits
+   nonzero if separable construction is slower than naive. *)
+let kernel_bench () =
+  section
+    "Kernel: separable vs naive cost-vector construction (LU 16x16 on 16x16)";
+  let kmesh = Pim.Mesh.square 16 in
+  let trace = Workloads.Lu.trace ~n:16 kmesh in
+  let windows = Reftrace.Trace.windows trace in
+  let reps = if quick then 3 else 5 in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let n_vectors = ref 0 in
+  let build vector_of () =
+    n_vectors := 0;
+    List.iter
+      (fun w ->
+        List.iter
+          (fun data ->
+            incr n_vectors;
+            ignore (vector_of w ~data : int array))
+          (Reftrace.Window.referenced_data w))
+      windows
+  in
+  let naive =
+    time (build (fun w ~data -> Sched.Cost.Naive.cost_vector kmesh w ~data))
+  in
+  let separable =
+    time (build (fun w ~data -> Sched.Cost.cost_vector kmesh w ~data))
+  in
+  let speedup = naive /. separable in
+  let prefetch kernel =
+    let capacity =
+      Pim.Memory.capacity_for
+        ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+        ~mesh:kmesh ~headroom:2
+    in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      (* context creation (incl. the naive kernel's eager distance table)
+         stays outside the timer *)
+      let problem =
+        Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity)
+          ~jobs:1 ~kernel kmesh trace
+      in
+      let t0 = Unix.gettimeofday () in
+      Sched.Problem.prefetch_all problem;
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let pf_naive = prefetch `Naive in
+  let pf_separable = prefetch `Separable in
+  Printf.printf "%d cost vectors (%d windows, 256 data, 256 processors)\n"
+    !n_vectors (List.length windows);
+  Printf.printf "%-34s %10.3f ms\n%-34s %10.3f ms\n%-34s %9.1fx\n"
+    "construction, naive" (naive *. 1e3) "construction, separable"
+    (separable *. 1e3) "construction speedup" speedup;
+  Printf.printf "%-34s %10.3f ms\n%-34s %10.3f ms\n%-34s %9.1fx\n"
+    "prefetch_all, naive (table)" (pf_naive *. 1e3)
+    "prefetch_all, separable" (pf_separable *. 1e3) "prefetch_all speedup"
+    (pf_naive /. pf_separable);
+  if separable > naive then begin
+    Printf.eprintf
+      "FAIL: separable kernel slower than naive on LU 16x16 (%.3f ms vs \
+       %.3f ms)\n"
+      (separable *. 1e3) (naive *. 1e3);
+    exit 1
+  end;
+  Obs.Json.Obj
+    [
+      ("workload", Obs.Json.String "lu-16x16");
+      ("mesh", Obs.Json.String "16x16");
+      ("metric", Obs.Json.String "cost_vector_build_wall");
+      ("vectors", Obs.Json.Int !n_vectors);
+      ("naive_ms", Obs.Json.Float (naive *. 1e3));
+      ("separable_ms", Obs.Json.Float (separable *. 1e3));
+      ("speedup", Obs.Json.Float speedup);
+      ("prefetch_naive_ms", Obs.Json.Float (pf_naive *. 1e3));
+      ("prefetch_separable_ms", Obs.Json.Float (pf_separable *. 1e3));
+      ("prefetch_speedup", Obs.Json.Float (pf_naive /. pf_separable));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (BENCH_<rev>.json)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -603,7 +712,7 @@ let git_rev () =
         | _ -> "local"
       with _ -> "local")
 
-let json_snapshot () =
+let json_snapshot ~kernel () =
   section "Machine-readable snapshot";
   let n = if quick then 8 else 16 in
   let reps = if quick then 1 else 3 in
@@ -672,6 +781,7 @@ let json_snapshot () =
                     ("workload", Obs.Json.String wl);
                     ( "scheduler",
                       Obs.Json.String (Sched.Scheduler.name algo) );
+                    ("kernel", Obs.Json.String "separable");
                     ("jobs", Obs.Json.Int jobs);
                     ("wall_ms", Obs.Json.Float (wall *. 1e3));
                     ("speedup_vs_jobs1", Obs.Json.Float (wall1 /. wall));
@@ -695,6 +805,7 @@ let json_snapshot () =
          ("rev", Obs.Json.String rev);
          ("quick", Obs.Json.Bool quick);
          ("mesh", Obs.Json.String "4x4");
+         ("kernel_bench", kernel);
          ("entries", Obs.Json.List (List.rev !entries));
        ]);
   Printf.printf "wrote %d entries to %s\n" (List.length !entries) path
@@ -705,7 +816,8 @@ let () =
      Data Scheduling on Processor-In-Memory Arrays\" (IPPS 1998)";
   if quick then begin
     figure1 ();
-    json_snapshot ();
+    let kernel = kernel_bench () in
+    json_snapshot ~kernel ();
     print_endline "\nQuick benches complete."
   end
   else begin
@@ -725,6 +837,7 @@ let () =
     congestion ();
     timing ();
     engine_scaling ();
-    json_snapshot ();
+    let kernel = kernel_bench () in
+    json_snapshot ~kernel ();
     print_endline "\nAll benches complete."
   end

@@ -155,6 +155,33 @@ let jobs_arg =
            Schedules are identical at any setting; the default fits the \
            machine.")
 
+let kernel_arg =
+  let kernel_conv =
+    let parse = function
+      | "separable" -> Ok `Separable
+      | "naive" -> Ok `Naive
+      | s ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown kernel %S (expected separable or naive)" s))
+    in
+    let print fmt k =
+      Format.pp_print_string fmt
+        (match k with `Separable -> "separable" | `Naive -> "naive")
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt kernel_conv `Separable
+    & info [ "kernel" ] ~docv:"NAME"
+        ~doc:
+          "Cost kernel filling the vector caches: $(b,separable) (per-axis \
+           marginals + prefix sums, the default) or $(b,naive) (direct \
+           distance-table walk, the cross-check oracle). Both produce \
+           identical schedules.")
+
 let simulate_arg =
   Arg.(
     value & flag
@@ -246,13 +273,15 @@ let describe_instance ?trace_file workload mesh trace capacity =
 (* ---------------------------------------------------------------- *)
 
 let run_schedule workload size mesh_shape torus partition unbounded
-    trace_file algorithm jobs simulate plan_out metrics_json =
+    trace_file algorithm jobs kernel simulate plan_out metrics_json =
   obs_begin metrics_json;
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
   describe_instance ?trace_file workload mesh trace capacity;
-  let problem = Sched.Problem.of_capacity ?capacity ~jobs mesh trace in
+  let problem =
+    Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+  in
   let schedule = Sched.Scheduler.solve problem algorithm in
   (match plan_out with
   | Some path ->
@@ -274,14 +303,16 @@ let run_schedule workload size mesh_shape torus partition unbounded
   obs_finish ~command:"schedule" ~jobs metrics_json
 
 let run_compare workload size mesh_shape torus partition unbounded trace_file
-    jobs metrics_json =
+    jobs kernel metrics_json =
   obs_begin metrics_json;
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
   describe_instance ?trace_file workload mesh trace capacity;
   (* one context: the bound and all twelve algorithms share its caches *)
-  let problem = Sched.Problem.of_capacity ?capacity ~jobs mesh trace in
+  let problem =
+    Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+  in
   let bound = Sched.Bounds.lower_bound_in problem in
   let baseline =
     Sched.Schedule.total_cost
@@ -393,7 +424,7 @@ let run_show workload size mesh_shape torus partition unbounded trace_file
   | None -> ()
 
 let run_profile algorithm workload size mesh_shape torus partition unbounded
-    trace_file jobs simulate chrome_out metrics_json =
+    trace_file jobs kernel simulate chrome_out metrics_json =
   Obs.enabled := true;
   Obs.reset ();
   let mesh = build_mesh mesh_shape torus in
@@ -401,7 +432,9 @@ let run_profile algorithm workload size mesh_shape torus partition unbounded
   let capacity = capacity_of trace mesh unbounded in
   describe_instance ?trace_file workload mesh trace capacity;
   let t0 = Obs.now_us () in
-  let problem = Sched.Problem.of_capacity ?capacity ~jobs mesh trace in
+  let problem =
+    Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+  in
   let schedule = Sched.Scheduler.solve problem algorithm in
   let breakdown = Sched.Schedule.cost schedule trace in
   if simulate then begin
@@ -479,7 +512,8 @@ let schedule_cmd =
     Term.(
       const run_schedule $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ algorithm_arg
-      $ jobs_arg $ simulate_arg $ plan_out_arg $ metrics_json_arg)
+      $ jobs_arg $ kernel_arg $ simulate_arg $ plan_out_arg
+      $ metrics_json_arg)
 
 let compare_cmd =
   Cmd.v
@@ -487,7 +521,7 @@ let compare_cmd =
     Term.(
       const run_compare $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg
-      $ metrics_json_arg)
+      $ kernel_arg $ metrics_json_arg)
 
 let profile_cmd =
   let algorithm_pos_arg =
@@ -514,7 +548,8 @@ let profile_cmd =
     Term.(
       const run_profile $ algorithm_pos_arg $ workload_arg $ size_arg
       $ mesh_arg $ torus_arg $ partition_arg $ unbounded_arg $ trace_file_arg
-      $ jobs_arg $ simulate_arg $ chrome_out_arg $ metrics_json_arg)
+      $ jobs_arg $ kernel_arg $ simulate_arg $ chrome_out_arg
+      $ metrics_json_arg)
 
 let table_cmd =
   let which_arg =

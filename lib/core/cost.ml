@@ -1,30 +1,190 @@
-let reference_cost mesh window ~data ~center =
-  List.fold_left
-    (fun acc (proc, count) ->
-      acc + (count * Pim.Mesh.distance mesh center proc))
-    0
-    (Reftrace.Window.profile window data)
+(* The paper's cost model, answered two ways.
 
-let cost_vector mesh window ~data =
-  let m = Pim.Mesh.size mesh in
-  let v = Array.make m 0 in
-  let profile = Reftrace.Window.profile window data in
-  for center = 0 to m - 1 do
-    v.(center) <-
-      List.fold_left
-        (fun acc (proc, count) ->
-          acc + (count * Pim.Mesh.distance mesh center proc))
-        0 profile
+   [Naive] walks the full profile once per candidate center — O(P · refs)
+   per cost vector — and is kept as the executable specification every
+   kernel change is cross-checked against (test/test_kernel.ml).
+
+   The top-level functions are the separable kernel: x-y routing distance
+   decomposes per axis, dist(c, p) = dx(cx, px) + dy(cy, py), so
+
+     cost(c) = Σ_p w(p)·dist(c, p)
+             = Σ_x mx(x)·dx(cx, x) + Σ_y my(y)·dy(cy, y)
+
+   where mx / my are the window's per-axis weight marginals
+   ({!Reftrace.Window.marginals}). Each axis cost array is built in O(E)
+   from prefix sums (circular prefix sums on a torus), so a whole cost
+   vector costs O(P + refs) instead of O(P · refs), and the minimum —
+   the paper's Definition 4 — splits into two independent axis minima. *)
+
+let build_counter = function
+  | `Separable -> "cost.separable_builds"
+  | `Naive -> "cost.naive_builds"
+
+let count_build kernel = if !Obs.enabled then Obs.Metrics.incr (build_counter kernel)
+
+module Naive = struct
+  let reference_cost mesh window ~data ~center =
+    List.fold_left
+      (fun acc (proc, count) ->
+        acc + (count * Pim.Mesh.distance mesh center proc))
+      0
+      (Reftrace.Window.profile window data)
+
+  let cost_vector mesh window ~data =
+    count_build `Naive;
+    let m = Pim.Mesh.size mesh in
+    let v = Array.make m 0 in
+    let profile = Reftrace.Window.profile window data in
+    for center = 0 to m - 1 do
+      v.(center) <-
+        List.fold_left
+          (fun acc (proc, count) ->
+            acc + (count * Pim.Mesh.distance mesh center proc))
+          0 profile
+    done;
+    v
+
+  let local_optimal_center mesh window ~data =
+    let v = cost_vector mesh window ~data in
+    let best = ref 0 in
+    for center = 1 to Array.length v - 1 do
+      if v.(center) < v.(!best) then best := center
+    done;
+    !best
+
+  let movement_cost mesh ~from_ ~to_ = Pim.Mesh.distance mesh from_ to_
+
+  let path_cost mesh pairs ~data =
+    if pairs = [] then invalid_arg "Cost.path_cost: empty window list";
+    let rec go prev acc = function
+      | [] -> acc
+      | (window, center) :: rest ->
+          let refc = reference_cost mesh window ~data ~center in
+          let move =
+            match prev with
+            | None -> 0
+            | Some p -> movement_cost mesh ~from_:p ~to_:center
+          in
+          go (Some center) (acc + refc + move) rest
+    in
+    go None 0 pairs
+end
+
+(* ------------------------------------------------------------------ *)
+(* Separable kernel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let axis_dist ~wrap ~extent a b =
+  let direct = abs (a - b) in
+  if wrap then min direct (extent - direct) else direct
+
+(* Linear axis: cost(0) = Σ j·m(j); stepping the center right by one adds
+   one hop for every unit of weight at or left of the old center and
+   removes one for every unit strictly right of it. *)
+let axis_cost_line m =
+  let e = Array.length m in
+  let cost = Array.make e 0 in
+  let total = ref 0 and c0 = ref 0 in
+  for j = 0 to e - 1 do
+    total := !total + m.(j);
+    c0 := !c0 + (j * m.(j))
+  done;
+  cost.(0) <- !c0;
+  let left = ref 0 in
+  for c = 0 to e - 2 do
+    left := !left + m.(c);
+    cost.(c + 1) <- cost.(c) + (2 * !left) - !total
+  done;
+  cost
+
+(* Circular axis: every point sits either on the forward arc (offsets
+   1 .. ⌊E/2⌋ from the center) or the backward arc (offsets
+   1 .. ⌈E/2⌉-1); an antipodal point on an even ring is charged once, on
+   the forward side, matching min(o, E-o). Prefix sums over the doubled
+   ring make both arc sums O(1) per center:
+     forward(c)  = Σ_{i=c+1..c+hf} (i-c)·m(i mod E)
+     backward(c) = Σ_{i=c+E-hb..c+E-1} (c+E-i)·m(i mod E) *)
+let axis_cost_circle m =
+  let e = Array.length m in
+  if e = 1 then [| 0 |]
+  else begin
+    let hf = e / 2 and hb = (e - 1) / 2 in
+    let p = Array.make ((2 * e) + 1) 0 in
+    let q = Array.make ((2 * e) + 1) 0 in
+    for i = 0 to (2 * e) - 1 do
+      let w = m.(i mod e) in
+      p.(i + 1) <- p.(i) + w;
+      q.(i + 1) <- q.(i) + (i * w)
+    done;
+    Array.init e (fun c ->
+        let fwd =
+          q.(c + hf + 1) - q.(c + 1) - (c * (p.(c + hf + 1) - p.(c + 1)))
+        in
+        let bwd =
+          ((c + e) * (p.(c + e) - p.(c + e - hb)))
+          - (q.(c + e) - q.(c + e - hb))
+        in
+        fwd + bwd)
+  end
+
+let axis_cost ~wrap m = if wrap then axis_cost_circle m else axis_cost_line m
+
+let vector_of_marginals ~wrap ~cols ~rows (mx, my) =
+  let cx = axis_cost ~wrap mx and cy = axis_cost ~wrap my in
+  let v = Array.make (cols * rows) 0 in
+  let r = ref 0 in
+  for y = 0 to rows - 1 do
+    let base = cy.(y) in
+    for x = 0 to cols - 1 do
+      v.(!r) <- base + cx.(x);
+      incr r
+    done
   done;
   v
 
-let local_optimal_center mesh window ~data =
-  let v = cost_vector mesh window ~data in
+let marginals_of mesh window ~data =
+  Reftrace.Window.marginals window ~data ~cols:(Pim.Mesh.cols mesh)
+    ~rows:(Pim.Mesh.rows mesh)
+
+(* O(refs), allocation-free: one axis decomposition per referencing
+   processor instead of a materialized profile list. *)
+let reference_cost mesh window ~data ~center =
+  let cols = Pim.Mesh.cols mesh and rows = Pim.Mesh.rows mesh in
+  let wrap = Pim.Mesh.wraps mesh in
+  let cx = Pim.Mesh.x_of_rank mesh center
+  and cy = Pim.Mesh.y_of_rank mesh center in
+  let acc = ref 0 in
+  Reftrace.Window.iter_profile window data (fun ~proc ~count ->
+      let px = Pim.Mesh.x_of_rank mesh proc
+      and py = Pim.Mesh.y_of_rank mesh proc in
+      acc :=
+        !acc
+        + count
+          * (axis_dist ~wrap ~extent:cols cx px
+            + axis_dist ~wrap ~extent:rows cy py));
+  !acc
+
+let cost_vector mesh window ~data =
+  count_build `Separable;
+  vector_of_marginals ~wrap:(Pim.Mesh.wraps mesh) ~cols:(Pim.Mesh.cols mesh)
+    ~rows:(Pim.Mesh.rows mesh)
+    (marginals_of mesh window ~data)
+
+let argmin_axis a =
   let best = ref 0 in
-  for center = 1 to Array.length v - 1 do
-    if v.(center) < v.(!best) then best := center
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
   done;
   !best
+
+(* The minimizers of cx(x) + cy(y) are exactly (argmin cx) × (argmin cy);
+   taking the lowest index on each axis picks the lowest row-major rank,
+   the same tie order as [Naive]'s ascending scan. *)
+let local_optimal_center mesh window ~data =
+  let wrap = Pim.Mesh.wraps mesh and cols = Pim.Mesh.cols mesh in
+  let mx, my = marginals_of mesh window ~data in
+  let cx = axis_cost ~wrap mx and cy = axis_cost ~wrap my in
+  (argmin_axis cy * cols) + argmin_axis cx
 
 let movement_cost mesh ~from_ ~to_ = Pim.Mesh.distance mesh from_ to_
 

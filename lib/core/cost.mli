@@ -5,7 +5,16 @@
     datum in a window is Σ count(p) · dist(center, p) over the window's
     processor reference string. Moving a datum between two consecutive
     windows' centers costs their distance (unit data volume — the paper
-    keeps one copy of each datum and charges one time unit per hop). *)
+    keeps one copy of each datum and charges one time unit per hop).
+
+    Two interchangeable kernels answer the model. The top-level functions
+    are the {e separable} kernel: x-y routing distance decomposes per axis,
+    so a whole cost vector follows from the window's per-axis weight
+    marginals ({!Reftrace.Window.marginals}) in O(P + refs) via prefix sums
+    (circular prefix sums on a torus). {!Naive} retains the direct
+    O(P · refs) per-vector evaluation as the executable specification; the
+    two agree byte-for-byte, including argmin tie order — enforced by the
+    property suite in [test/test_kernel.ml]. *)
 
 (** [reference_cost mesh window ~data ~center] is the total cost of serving
     every reference to [data] in [window] from [center]. *)
@@ -13,7 +22,8 @@ val reference_cost :
   Pim.Mesh.t -> Reftrace.Window.t -> data:int -> center:int -> int
 
 (** [cost_vector mesh window ~data] tabulates {!reference_cost} for every
-    candidate center; index = processor rank. *)
+    candidate center; index = processor rank. Built separably from axis
+    marginals in O(P + refs). *)
 val cost_vector : Pim.Mesh.t -> Reftrace.Window.t -> data:int -> int array
 
 (** [local_optimal_center mesh window ~data] is the paper's Definition 4:
@@ -33,3 +43,34 @@ val movement_cost : Pim.Mesh.t -> from_:int -> to_:int -> int
     @raise Invalid_argument on length mismatch or empty input. *)
 val path_cost :
   Pim.Mesh.t -> (Reftrace.Window.t * int) list -> data:int -> int
+
+(** [axis_cost ~wrap m] maps an axis weight marginal [m] (length [E]) to
+    the per-position axis cost array: [c.(i) = Σ_j m.(j) · d(i, j)] with
+    [d] the wrap-aware 1-D distance. O(E) via (circular) prefix sums. *)
+val axis_cost : wrap:bool -> int array -> int array
+
+(** [vector_of_marginals ~wrap ~cols ~rows (mx, my)] assembles a full cost
+    vector from per-axis marginals: [v.(y·cols + x) = cx.(x) + cy.(y)]. The
+    entry point for callers that already hold marginals (e.g. merged-window
+    pricing in {!Sched.Grouping}) and want to skip re-projection. *)
+val vector_of_marginals :
+  wrap:bool -> cols:int -> rows:int -> int array * int array -> int array
+
+(** The direct O(P · refs) evaluation of the same model — the oracle the
+    separable kernel is cross-checked against, and the implementation
+    behind [~kernel:`Naive] in {!Sched.Problem}. Semantics (including tie
+    order and error behaviour) are identical to the top-level functions. *)
+module Naive : sig
+  val reference_cost :
+    Pim.Mesh.t -> Reftrace.Window.t -> data:int -> center:int -> int
+
+  val cost_vector : Pim.Mesh.t -> Reftrace.Window.t -> data:int -> int array
+
+  val local_optimal_center :
+    Pim.Mesh.t -> Reftrace.Window.t -> data:int -> int
+
+  val movement_cost : Pim.Mesh.t -> from_:int -> to_:int -> int
+
+  val path_cost :
+    Pim.Mesh.t -> (Reftrace.Window.t * int) list -> data:int -> int
+end

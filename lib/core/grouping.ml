@@ -8,18 +8,54 @@ let argmin v =
   done;
   !best
 
-let sum_into acc v = Array.iteri (fun i x -> acc.(i) <- acc.(i) + x) v
+(* The greedy is generic in how a group's running cost state is represented:
+   full cost vectors (the [`Naive] kernel's currency) or per-axis marginal
+   pairs (the separable kernel's — summing two O(cols + rows) histograms
+   prices a candidate merge without materializing the merged window's
+   O(cols · rows) vector). [best] must return the {e lowest-rank} minimum
+   center so both representations make identical greedy decisions. *)
+type 'vec ops = {
+  copy : 'vec -> 'vec;
+  join : 'vec -> 'vec -> 'vec;  (* fresh sum; arguments untouched *)
+  best : 'vec -> int * int;  (* (lowest-rank argmin center, its cost) *)
+}
+
+let vector_ops =
+  {
+    copy = Array.copy;
+    join = (fun a b -> Array.init (Array.length a) (fun i -> a.(i) + b.(i)));
+    best =
+      (fun v ->
+        let c = argmin v in
+        (c, v.(c)));
+  }
+
+(* The minimizers of cx(x) + cy(y) form a product set, so the lowest
+   row-major rank among them is (lowest argmin cy, lowest argmin cx) —
+   the same tie order as [vector_ops.best]'s ascending scan. *)
+let marginal_ops ~wrap ~cols =
+  let sum a b = Array.init (Array.length a) (fun i -> a.(i) + b.(i)) in
+  {
+    copy = (fun (mx, my) -> (Array.copy mx, Array.copy my));
+    join = (fun (ax, ay) (bx, by) -> (sum ax bx, sum ay by));
+    best =
+      (fun (mx, my) ->
+        let cx = Cost.axis_cost ~wrap mx and cy = Cost.axis_cost ~wrap my in
+        let x = argmin cx and y = argmin cy in
+        ((y * cols) + x, cx.(x) + cy.(y)));
+  }
 
 (* Greedy partition of the referenced-window subsequence, following
    Algorithm 3: keep extending the current group while the total cost of the
    whole partition does not increase. Costs are evaluated with local-optimal
-   centers, exploiting linearity of the cost vectors.
+   centers, exploiting linearity of the cost model in reference profiles.
 
-   Returns the partition as index ranges into [ws] plus the summed cost
-   vector of each group. *)
-let greedy_ranges ~dist ~vectors ~n =
-  let centers = Array.map argmin vectors in
-  let refcosts = Array.mapi (fun i v -> v.(centers.(i))) vectors in
+   Returns the partition as index ranges into the subsequence plus the
+   summed cost state of each group. *)
+let greedy_ranges ~ops ~dist ~items ~n =
+  let bests = Array.map ops.best items in
+  let centers = Array.map fst bests in
+  let refcosts = Array.map snd bests in
   (* tail.(i) = cost of running windows i..n-1 as singletons, excluding the
      link into window i. *)
   let tail = Array.make (n + 1) 0 in
@@ -27,7 +63,6 @@ let greedy_ranges ~dist ~vectors ~n =
     let link = if i + 1 < n then dist centers.(i) centers.(i + 1) else 0 in
     tail.(i) <- refcosts.(i) + link + tail.(i + 1)
   done;
-  let m = Array.length vectors.(0) in
   let finalized = ref [] in
   let fin_cost = ref 0 in
   let last_center = ref None in
@@ -35,33 +70,29 @@ let greedy_ranges ~dist ~vectors ~n =
     match !last_center with None -> 0 | Some p -> dist p c
   in
   let start = ref 0 in
-  let sumvec = ref (Array.copy vectors.(0)) in
+  let sumvec = ref (ops.copy items.(0)) in
   let finalize stop =
-    let c = argmin !sumvec in
-    fin_cost := !fin_cost + link_from_last c + !sumvec.(c);
+    let c, cost = ops.best !sumvec in
+    fin_cost := !fin_cost + link_from_last c + cost;
     last_center := Some c;
-    finalized := (!start, stop, Array.copy !sumvec, c) :: !finalized
+    finalized := (!start, stop, ops.copy !sumvec, c) :: !finalized
   in
   let accepted = ref 0 in
   for j = 1 to n - 1 do
-    let cur_center = argmin !sumvec in
-    let cur_ref = !sumvec.(cur_center) in
+    let cur_center, cur_ref = ops.best !sumvec in
     let prev_total =
       !fin_cost + link_from_last cur_center + cur_ref
       + dist cur_center centers.(j)
       + tail.(j)
     in
-    let candidate = Array.make m 0 in
-    Array.blit !sumvec 0 candidate 0 m;
-    sum_into candidate vectors.(j);
-    let cand_center = argmin candidate in
+    let candidate = ops.join !sumvec items.(j) in
+    let cand_center, cand_ref = ops.best candidate in
     let next_link =
       if j + 1 < n then dist cand_center centers.(j + 1) + tail.(j + 1)
       else 0
     in
     let new_total =
-      !fin_cost + link_from_last cand_center + candidate.(cand_center)
-      + next_link
+      !fin_cost + link_from_last cand_center + cand_ref + next_link
     in
     if new_total <= prev_total then begin
       incr accepted;
@@ -70,7 +101,7 @@ let greedy_ranges ~dist ~vectors ~n =
     else begin
       finalize (j - 1);
       start := j;
-      sumvec := Array.copy vectors.(j)
+      sumvec := ops.copy items.(j)
     end
   done;
   finalize (n - 1);
@@ -84,11 +115,13 @@ let greedy_ranges ~dist ~vectors ~n =
 
 (* Re-optimize group centers with the shortest-path DP (GOMCDS over merged
    windows). *)
-let refine_centers ~dist groups =
+let refine_centers ~dist ~to_vector groups =
   match groups with
   | [] -> []
   | _ ->
-      let vecs = Array.of_list (List.map (fun (_, _, v, _) -> v) groups) in
+      let vecs =
+        Array.of_list (List.map (fun (_, _, v, _) -> to_vector v) groups)
+      in
       let problem =
         {
           Pathgraph.Layered.n_layers = Array.length vecs;
@@ -116,22 +149,65 @@ let referenced_vectors problem ~data =
   in
   (indices, vectors)
 
+(* Referenced-window subsequence as (cached) marginal pairs — the separable
+   kernel's pricing inputs. *)
+let referenced_marginals problem ~data =
+  let indices = ref [] in
+  for w = Problem.n_windows problem - 1 downto 0 do
+    if Reftrace.Window.references (Problem.window problem w) data > 0 then
+      indices := w :: !indices
+  done;
+  let indices = Array.of_list !indices in
+  let margs =
+    Array.map (fun w -> Problem.marginals problem ~window:w ~data) indices
+  in
+  (indices, margs)
+
+let to_groups indices ranges =
+  List.map
+    (fun (lo, hi, _, center) ->
+      { first = indices.(lo); last = indices.(hi); center })
+    ranges
+
 let groups problem ~data ~centers =
-  let indices, vectors = referenced_vectors problem ~data in
-  match Array.length vectors with
-  | 0 -> []
-  | n ->
-      let dist = Problem.distance problem in
-      let ranges = greedy_ranges ~dist ~vectors ~n in
-      let ranges =
-        match centers with
-        | `Local -> ranges
-        | `Global -> refine_centers ~dist ranges
-      in
-      List.map
-        (fun (lo, hi, _, center) ->
-          { first = indices.(lo); last = indices.(hi); center })
-        ranges
+  let dist = Problem.distance problem in
+  match Problem.kernel problem with
+  | `Naive -> (
+      let indices, vectors = referenced_vectors problem ~data in
+      match Array.length vectors with
+      | 0 -> []
+      | n ->
+          let ranges =
+            greedy_ranges ~ops:vector_ops ~dist ~items:vectors ~n
+          in
+          let ranges =
+            match centers with
+            | `Local -> ranges
+            | `Global -> refine_centers ~dist ~to_vector:Fun.id ranges
+          in
+          to_groups indices ranges)
+  | `Separable -> (
+      let mesh = Problem.mesh problem in
+      let wrap = Pim.Mesh.wraps mesh
+      and cols = Pim.Mesh.cols mesh
+      and rows = Pim.Mesh.rows mesh in
+      let indices, margs = referenced_marginals problem ~data in
+      match Array.length margs with
+      | 0 -> []
+      | n ->
+          let ranges =
+            greedy_ranges ~ops:(marginal_ops ~wrap ~cols) ~dist ~items:margs
+              ~n
+          in
+          let ranges =
+            match centers with
+            | `Local -> ranges
+            | `Global ->
+                refine_centers ~dist
+                  ~to_vector:(Cost.vector_of_marginals ~wrap ~cols ~rows)
+                  ranges
+          in
+          to_groups indices ranges)
 
 let partition mesh trace ~data ~centers =
   groups (Problem.create mesh trace) ~data ~centers

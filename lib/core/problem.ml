@@ -1,15 +1,26 @@
 type capacity_policy = Unbounded | Bounded of int
+type kernel = [ `Separable | `Naive ]
 
 type t = {
   mesh : Pim.Mesh.t;
   trace : Reftrace.Trace.t;
   policy : capacity_policy;
   jobs : int;
+  kernel : kernel;
   windows : Reftrace.Window.t array;
   merged : Reftrace.Window.t;
-  dist : int array array;
+  (* Per-axis distance tables: x-y routing distance is separable, so two
+     O(cols² + rows²) tables answer every probe the old O(size²) matrix
+     did. The full matrix is only materialized on demand (serial phases) —
+     except under the [`Naive] kernel, whose vector builds read it inside
+     parallel prefetches, so it is built eagerly at [create]. *)
+  xdist : int array array;
+  ydist : int array array;
+  mutable full_dist : int array array option;
   (* Caches below are rows-per-datum so parallel fills have one writer per
      row (see the .mli thread-safety contract). *)
+  margs : (int array * int array) option array array; (* margs.(data).(window) *)
+  merged_margs : (int array * int array) option array;
   vectors : int array option array array; (* vectors.(data).(window) *)
   cands : int list option array array; (* cands.(data).(window) *)
   merged_vectors : int array option array;
@@ -18,7 +29,8 @@ type t = {
   mutable order : int list option; (* serial phases only *)
 }
 
-let create ?(policy = Unbounded) ?(jobs = 1) mesh trace =
+let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable) mesh trace
+    =
   (match policy with
   | Bounded c when c < 0 ->
       invalid_arg "Problem.create: negative capacity"
@@ -32,9 +44,17 @@ let create ?(policy = Unbounded) ?(jobs = 1) mesh trace =
     trace;
     policy;
     jobs;
+    kernel;
     windows;
     merged = Reftrace.Trace.merged trace;
-    dist = Pim.Mesh.distance_table mesh;
+    xdist = Pim.Mesh.x_distance_table mesh;
+    ydist = Pim.Mesh.y_distance_table mesh;
+    full_dist =
+      (match kernel with
+      | `Naive -> Some (Pim.Mesh.distance_table mesh)
+      | `Separable -> None);
+    margs = Array.init n_data (fun _ -> Array.make n_windows None);
+    merged_margs = Array.make n_data None;
     vectors = Array.init n_data (fun _ -> Array.make n_windows None);
     cands = Array.init n_data (fun _ -> Array.make n_windows None);
     merged_vectors = Array.make n_data None;
@@ -43,17 +63,18 @@ let create ?(policy = Unbounded) ?(jobs = 1) mesh trace =
     order = None;
   }
 
-let of_capacity ?capacity ?jobs mesh trace =
+let of_capacity ?capacity ?jobs ?kernel mesh trace =
   let policy =
     match capacity with None -> Unbounded | Some c -> Bounded c
   in
-  create ~policy ?jobs mesh trace
+  create ~policy ?jobs ?kernel mesh trace
 
 let mesh t = t.mesh
 let trace t = t.trace
 let policy t = t.policy
 let capacity t = match t.policy with Unbounded -> None | Bounded c -> Some c
 let jobs t = t.jobs
+let kernel t = t.kernel
 
 let with_jobs t jobs =
   if jobs < 1 then invalid_arg "Problem.with_jobs: jobs must be >= 1";
@@ -66,6 +87,10 @@ let with_policy t policy =
   | Bounded _ | Unbounded -> ());
   { t with policy }
 
+let with_kernel t kernel =
+  if kernel = t.kernel then t
+  else create ~policy:t.policy ~jobs:t.jobs ~kernel t.mesh t.trace
+
 let space t = Reftrace.Trace.space t.trace
 let n_data t = Reftrace.Data_space.size (space t)
 let n_windows t = Array.length t.windows
@@ -76,17 +101,63 @@ let window t i =
   t.windows.(i)
 
 let merged t = t.merged
-let distance t a b = t.dist.(a).(b)
-let distance_table t = t.dist
 
-(* Same integers as [Cost.cost_vector], with distances read off the table
-   and the profile walked once per center. *)
-let compute_vector t w ~data =
-  let m = Array.length t.dist in
+let distance t a b =
+  let c = Pim.Mesh.cols t.mesh in
+  t.xdist.(a mod c).(b mod c) + t.ydist.(a / c).(b / c)
+
+let distance_table t =
+  match t.full_dist with
+  | Some d -> d
+  | None ->
+      let d = Pim.Mesh.distance_table t.mesh in
+      t.full_dist <- Some d;
+      d
+
+(* Cache accounting (merged-window lookups fold into the same names):
+   totals are per-(datum, window) and each row has a single writer, so
+   hit/miss sums do not depend on the [jobs] setting. *)
+let hit name = if !Obs.enabled then Obs.Metrics.incr name
+
+let compute_marginals t w ~data =
+  Reftrace.Window.marginals w ~data ~cols:(Pim.Mesh.cols t.mesh)
+    ~rows:(Pim.Mesh.rows t.mesh)
+
+let marginals t ~window ~data =
+  match t.margs.(data).(window) with
+  | Some m ->
+      hit "problem.marginals_hit";
+      m
+  | None ->
+      hit "problem.marginals_miss";
+      let m = compute_marginals t t.windows.(window) ~data in
+      t.margs.(data).(window) <- Some m;
+      m
+
+let merged_marginals t ~data =
+  match t.merged_margs.(data) with
+  | Some m ->
+      hit "problem.marginals_hit";
+      m
+  | None ->
+      hit "problem.marginals_miss";
+      let m = compute_marginals t t.merged ~data in
+      t.merged_margs.(data) <- Some m;
+      m
+
+(* Same integers as [Cost.Naive.cost_vector], with distances read off the
+   full table and the profile walked once per center. Only reachable under
+   [`Naive], which materialized the table at [create]. *)
+let compute_vector_naive t w ~data =
+  hit "cost.naive_builds";
+  let dist =
+    match t.full_dist with Some d -> d | None -> assert false
+  in
+  let m = Array.length dist in
   let v = Array.make m 0 in
   let profile = Reftrace.Window.profile w data in
   for center = 0 to m - 1 do
-    let row = t.dist.(center) in
+    let row = dist.(center) in
     v.(center) <-
       List.fold_left
         (fun acc (proc, count) -> acc + (count * row.(proc)))
@@ -94,10 +165,13 @@ let compute_vector t w ~data =
   done;
   v
 
-(* Cache accounting (merged-window lookups fold into the same names):
-   totals are per-(datum, window) and each row has a single writer, so
-   hit/miss sums do not depend on the [jobs] setting. *)
-let hit name = if !Obs.enabled then Obs.Metrics.incr name
+let vector_from_marginals t m =
+  hit "cost.separable_builds";
+  Cost.vector_of_marginals
+    ~wrap:(Pim.Mesh.wraps t.mesh)
+    ~cols:(Pim.Mesh.cols t.mesh)
+    ~rows:(Pim.Mesh.rows t.mesh)
+    m
 
 let cost_vector t ~window ~data =
   match t.vectors.(data).(window) with
@@ -106,7 +180,11 @@ let cost_vector t ~window ~data =
       v
   | None ->
       hit "problem.vector_miss";
-      let v = compute_vector t t.windows.(window) ~data in
+      let v =
+        match t.kernel with
+        | `Separable -> vector_from_marginals t (marginals t ~window ~data)
+        | `Naive -> compute_vector_naive t t.windows.(window) ~data
+      in
       t.vectors.(data).(window) <- Some v;
       v
 
@@ -117,7 +195,11 @@ let merged_vector t ~data =
       v
   | None ->
       hit "problem.vector_miss";
-      let v = compute_vector t t.merged ~data in
+      let v =
+        match t.kernel with
+        | `Separable -> vector_from_marginals t (merged_marginals t ~data)
+        | `Naive -> compute_vector_naive t t.merged ~data
+      in
       t.merged_vectors.(data) <- Some v;
       v
 
@@ -147,11 +229,12 @@ let ranks_near t ~target =
   match t.near.(target) with
   | Some l -> l
   | None ->
-      let row = t.dist.(target) in
       let l =
-        List.init (Array.length row) Fun.id
+        List.init (Pim.Mesh.size t.mesh) Fun.id
         |> List.sort (fun a b ->
-               let c = Int.compare row.(a) row.(b) in
+               let c =
+                 Int.compare (distance t target a) (distance t target b)
+               in
                if c <> 0 then c else Int.compare a b)
       in
       t.near.(target) <- Some l;
@@ -175,6 +258,35 @@ let by_total_references t =
       in
       t.order <- Some l;
       l
+
+let path_cost t ~data pairs =
+  if pairs = [] then invalid_arg "Problem.path_cost: empty window list";
+  let rec go prev acc = function
+    | [] -> acc
+    | (w, center) :: rest ->
+        let refc = (cost_vector t ~window:w ~data).(center) in
+        let move =
+          match prev with None -> 0 | Some p -> distance t p center
+        in
+        go (Some center) (acc + refc + move) rest
+  in
+  go None 0 pairs
+
+let trajectory_cost t ~data centers =
+  let n = n_windows t in
+  if Array.length centers <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Problem.trajectory_cost: %d centers for %d windows"
+         (Array.length centers) n);
+  let cost = ref (cost_vector t ~window:0 ~data).(centers.(0)) in
+  for w = 1 to n - 1 do
+    cost :=
+      !cost
+      + distance t centers.(w - 1) centers.(w)
+      + (cost_vector t ~window:w ~data).(centers.(w))
+  done;
+  !cost
 
 let prefetch_data t ~data =
   for w = 0 to n_windows t - 1 do
@@ -224,10 +336,15 @@ let layer_vectors t ~data =
 
 let layered t ~data =
   let vectors = layer_vectors t ~data in
-  let dist = t.dist in
+  let cols = Pim.Mesh.cols t.mesh in
+  let xd = t.xdist and yd = t.ydist in
   {
     Pathgraph.Layered.n_layers = Array.length vectors;
     width = Pim.Mesh.size t.mesh;
     enter_cost = (fun j -> vectors.(0).(j));
-    step_cost = (fun ~layer j k -> dist.(j).(k) + vectors.(layer).(k));
+    step_cost =
+      (fun ~layer j k ->
+        xd.(j mod cols).(k mod cols)
+        + yd.(j / cols).(k / cols)
+        + vectors.(layer).(k));
   }

@@ -5,11 +5,12 @@
     adds the shared state that makes running several schedulers on one
     instance cheap:
 
-    - the mesh distance table ({!Pim.Mesh.distance_table}), so distance
-      probes are array reads;
-    - per-(datum, window) cost vectors and capacity-fallback candidate
-      lists, filled lazily and kept for every later algorithm, sweep or
-      refinement pass on the same instance;
+    - per-axis mesh distance tables ({!Pim.Mesh.x_distance_table}), so
+      distance probes are two array reads; the full O(size²) matrix is
+      only materialized for consumers that index it directly;
+    - per-(datum, window) axis marginals, cost vectors and
+      capacity-fallback candidate lists, filled lazily and kept for every
+      later algorithm, sweep or refinement pass on the same instance;
     - a [jobs] knob sizing the {!Engine} domain pool used to fill those
       caches and to fan independent per-datum work out across cores.
 
@@ -20,8 +21,11 @@
 
     Thread-safety contract for the caches: a cache row belongs to one datum.
     Parallel phases must partition data across domains (as {!Engine.map}
-    does) so each row has a single writer; everything else in [t] is
-    immutable after {!create}. *)
+    does) so each row has a single writer; {!distance_table} (a lazy,
+    whole-context cell) must only be forced from serial phases — under the
+    [`Naive] kernel, whose parallel vector builds read it, it is built
+    eagerly at {!create}. Everything else in [t] is immutable after
+    {!create}. *)
 
 (** How much data each processor's local memory holds. [Unbounded] models
     infinite memories; [Bounded c] gives every processor [c] slots (the
@@ -29,19 +33,38 @@
     {!Pim.Memory.capacity_for}). *)
 type capacity_policy = Unbounded | Bounded of int
 
+(** Which cost-kernel fills the vector caches. [`Separable] (the default)
+    builds each vector in O(P + refs) from axis marginals via prefix sums
+    ({!Cost}); [`Naive] is the direct O(P · refs) table walk
+    ({!Cost.Naive}), kept as the cross-check oracle and benchmark
+    baseline. Both produce byte-identical vectors. *)
+type kernel = [ `Separable | `Naive ]
+
 type t
 
-(** [create ?policy ?jobs mesh trace] builds the context. [policy] defaults
-    to [Unbounded]; [jobs] (default [1]) sizes the domain pool, and
-    {!Engine.default_jobs} picks a machine-fitted value.
+(** [create ?policy ?jobs ?kernel mesh trace] builds the context. [policy]
+    defaults to [Unbounded]; [jobs] (default [1]) sizes the domain pool,
+    and {!Engine.default_jobs} picks a machine-fitted value; [kernel]
+    defaults to [`Separable].
     @raise Invalid_argument if [Bounded c] with [c < 0], or [jobs < 1]. *)
 val create :
-  ?policy:capacity_policy -> ?jobs:int -> Pim.Mesh.t -> Reftrace.Trace.t -> t
+  ?policy:capacity_policy ->
+  ?jobs:int ->
+  ?kernel:kernel ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  t
 
-(** [of_capacity ?capacity ?jobs mesh trace] is the bridge from the old
-    optional-argument convention: [None] ↦ [Unbounded], [Some c] ↦
+(** [of_capacity ?capacity ?jobs ?kernel mesh trace] is the bridge from the
+    old optional-argument convention: [None] ↦ [Unbounded], [Some c] ↦
     [Bounded c]. Deprecated shims go through this. *)
-val of_capacity : ?capacity:int -> ?jobs:int -> Pim.Mesh.t -> Reftrace.Trace.t -> t
+val of_capacity :
+  ?capacity:int ->
+  ?jobs:int ->
+  ?kernel:kernel ->
+  Pim.Mesh.t ->
+  Reftrace.Trace.t ->
+  t
 
 val mesh : t -> Pim.Mesh.t
 val trace : t -> Reftrace.Trace.t
@@ -51,6 +74,7 @@ val policy : t -> capacity_policy
 val capacity : t -> int option
 
 val jobs : t -> int
+val kernel : t -> kernel
 
 (** [with_jobs t jobs] / [with_policy t policy] are [t] with one field
     replaced; all caches are shared with [t] (cost vectors do not depend on
@@ -58,6 +82,13 @@ val jobs : t -> int
 val with_jobs : t -> int -> t
 
 val with_policy : t -> capacity_policy -> t
+
+(** [with_kernel t kernel] is [t] itself when the kernel is unchanged, and
+    otherwise a {e fresh} context (empty caches) over the same mesh, trace,
+    policy and jobs — the kernels produce identical vectors, but sharing
+    filled caches across kernels would defeat the point of switching
+    (benchmarking, cross-checking). *)
+val with_kernel : t -> kernel -> t
 
 val space : t -> Reftrace.Data_space.t
 val n_data : t -> int
@@ -69,15 +100,28 @@ val window : t -> int -> Reftrace.Window.t
 (** [merged t] is the whole-execution window, computed once per context. *)
 val merged : t -> Reftrace.Window.t
 
-(** [distance t a b] is [Pim.Mesh.distance] served from the cached table. *)
+(** [distance t a b] is [Pim.Mesh.distance] served from the cached per-axis
+    tables (two reads — safe in parallel phases). *)
 val distance : t -> int -> int -> int
 
-(** [distance_table t] exposes the table itself for inner loops. *)
+(** [distance_table t] materializes (lazily, once) the full rank-to-rank
+    matrix for inner loops that index it directly. Serial phases only —
+    force it before fanning work out (as {!Gomcds.schedule} does). *)
 val distance_table : t -> int array array
 
+(** [marginals t ~window ~data] is {!Reftrace.Window.marginals} for the
+    pair, cached — the separable kernel's input, also summed directly by
+    {!Grouping} to price candidate merges without materializing merged
+    windows. The returned arrays are shared: treat them as read-only. *)
+val marginals : t -> window:int -> data:int -> int array * int array
+
+(** [merged_marginals t ~data] is the marginal pair against {!merged}. *)
+val merged_marginals : t -> data:int -> int array * int array
+
 (** [cost_vector t ~window ~data] is {!Cost.cost_vector} for the pair,
-    cached: the first call computes, every later one — from any algorithm
-    run on this context — is an array read. *)
+    cached: the first call computes (via the context's {!kernel}), every
+    later one — from any algorithm run on this context — is an array
+    read. *)
 val cost_vector : t -> window:int -> data:int -> int array
 
 (** [merged_vector t ~data] is the cost vector against {!merged}. *)
@@ -100,14 +144,29 @@ val ranks_near : t -> target:int -> int list
     order. Serial phases only. *)
 val by_total_references : t -> int list
 
+(** [path_cost t ~data pairs] is {!Cost.path_cost} with window {e indices}
+    instead of window values, reading cached cost vectors and the distance
+    tables: Σ vector.(center) over the [(window, center)] pairs plus
+    movement between consecutive centers. The cheap way to reconstruct or
+    audit a per-datum schedule cost on a context that has already priced
+    the datum.
+    @raise Invalid_argument on the empty list. *)
+val path_cost : t -> data:int -> (int * int) list -> int
+
+(** [trajectory_cost t ~data centers] is {!path_cost} over {e all} windows
+    in order: [centers.(w)] is the datum's center in window [w]. The form
+    {!Refine}'s sweeps evaluate.
+    @raise Invalid_argument unless [Array.length centers = n_windows t]. *)
+val trajectory_cost : t -> data:int -> int array -> int
+
 (** [layer_vectors t ~data] is the datum's cost vector for every window,
     one row per window — the dense form {!Pathgraph.Layered.solve_dense}
     consumes. Forces (and caches) the datum's full vector row. *)
 val layer_vectors : t -> data:int -> int array array
 
 (** [layered t ~data] is the GOMCDS cost-graph DP for one datum
-    ({!Gomcds.cost_problem}) reading cached cost vectors and the distance
-    table. Forces the datum's full vector row. *)
+    ({!Gomcds.cost_problem}) reading cached cost vectors and the per-axis
+    distance tables. Forces the datum's full vector row. *)
 val layered : t -> data:int -> Pathgraph.Layered.problem
 
 (** [prefetch_data t ~data] forces every window's cost vector for one

@@ -1,15 +1,5 @@
 type stats = { sweeps : int; improved : int; saved : int }
 
-let trajectory_cost ~dist ~vectors traj =
-  let cost = ref vectors.(0).(traj.(0)) in
-  for layer = 1 to Array.length vectors - 1 do
-    cost :=
-      !cost
-      + dist.(traj.(layer - 1)).(traj.(layer))
-      + vectors.(layer).(traj.(layer))
-  done;
-  !cost
-
 let refine ?(max_sweeps = 8) problem schedule =
   let n_data = Problem.n_data problem in
   let n_windows = Problem.n_windows problem in
@@ -62,7 +52,7 @@ let refine ?(max_sweeps = 8) problem schedule =
         Array.iteri
           (fun w r -> loads.(w).(r) <- loads.(w).(r) - 1)
           traj;
-        let current = trajectory_cost ~dist ~vectors traj in
+        let current = Problem.trajectory_cost problem ~data traj in
         let adopted =
           match Pathgraph.Layered.solve_dense_filtered ~dist ~vectors ~allowed with
           | Some (cost, centers) when cost < current ->

@@ -33,6 +33,16 @@ let read_cost mesh set profile =
       acc + (count * Pim.Mesh.distance mesh (nearest mesh set proc) proc))
     0 profile
 
+(* One-shot variant of [read_cost] over a kind's profile, folded straight
+   off the window (iteration order does not matter for a sum). [run]'s
+   greedy keeps the list form: it re-prices the same profile per candidate
+   rank. *)
+let kind_cost mesh set ~kind window data =
+  let acc = ref 0 in
+  Reftrace.Window.iter_kind_profile ~kind window data (fun ~proc ~count ->
+      acc := !acc + (count * Pim.Mesh.distance mesh (nearest mesh set proc) proc));
+  !acc
+
 let run ?capacity ?(max_copies = 2) mesh trace =
   if max_copies < 1 then
     invalid_arg "Replicated.run: max_copies must be at least 1";
@@ -125,12 +135,12 @@ let cost t mesh trace =
           reads :=
             !reads
             + volume data
-              * read_cost mesh t.copies.(w).(data)
-                  (Reftrace.Window.read_profile window data)
+              * kind_cost mesh t.copies.(w).(data) ~kind:Reftrace.Window.Read
+                  window data
             + volume data
-              * read_cost mesh
+              * kind_cost mesh
                   [ primary_of t ~window:w ~data ]
-                  (Reftrace.Window.write_profile window data))
+                  ~kind:Reftrace.Window.Write window data)
         (Reftrace.Window.referenced_data window);
       for data = 0 to n_data t - 1 do
         if w > 0 then

@@ -42,11 +42,9 @@ let total_heatmap mesh window =
   let totals = Array.make (Pim.Mesh.size mesh) 0 in
   List.iter
     (fun data ->
-      List.iter
-        (fun (proc, count) ->
+      Reftrace.Window.iter_profile window data (fun ~proc ~count ->
           if proc < Array.length totals then
-            totals.(proc) <- totals.(proc) + count)
-        (Reftrace.Window.profile window data))
+            totals.(proc) <- totals.(proc) + count))
     (Reftrace.Window.referenced_data window);
   grid mesh (fun rank -> totals.(rank))
 

@@ -32,9 +32,30 @@ let coord_of_rank m r =
          r m.rows m.cols);
   Coord.make ~x:(r mod m.cols) ~y:(r / m.cols)
 
+let x_of_rank m r =
+  if r < 0 || r >= size m then
+    invalid_arg
+      (Printf.sprintf "Mesh.x_of_rank: rank %d out of bounds for %dx%d" r
+         m.rows m.cols);
+  r mod m.cols
+
+let y_of_rank m r =
+  if r < 0 || r >= size m then
+    invalid_arg
+      (Printf.sprintf "Mesh.y_of_rank: rank %d out of bounds for %dx%d" r
+         m.rows m.cols);
+  r / m.cols
+
 let axis_distance ~wrap ~extent a b =
   let direct = abs (a - b) in
   if wrap then min direct (extent - direct) else direct
+
+let axis_table ~wrap ~extent =
+  Array.init extent (fun a ->
+      Array.init extent (fun b -> axis_distance ~wrap ~extent a b))
+
+let x_distance_table m = axis_table ~wrap:m.wrap ~extent:m.cols
+let y_distance_table m = axis_table ~wrap:m.wrap ~extent:m.rows
 
 let distance m a b =
   let ca = coord_of_rank m a and cb = coord_of_rank m b in

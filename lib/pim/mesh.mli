@@ -41,9 +41,28 @@ val rank_of_coord : t -> Coord.t -> int
     @raise Invalid_argument if [r] is outside [0 .. size m - 1]. *)
 val coord_of_rank : t -> int -> Coord.t
 
+(** [x_of_rank m r] / [y_of_rank m r] decode one axis of a rank's
+    coordinate without allocating a {!Coord.t}: [x = r mod cols],
+    [y = r / cols]. The separable cost kernel leans on these.
+    @raise Invalid_argument if [r] is outside [0 .. size m - 1]. *)
+val x_of_rank : t -> int -> int
+
+val y_of_rank : t -> int -> int
+
 (** [distance m a b] is the x-y routing distance (Manhattan) between
     processors of rank [a] and [b]. *)
 val distance : t -> int -> int -> int
+
+(** [x_distance_table m] / [y_distance_table m] are the per-axis distance
+    tables: [cols]×[cols] (resp. [rows]×[rows]) matrices with
+    [(x_distance_table m).(a).(b)] the wrap-aware distance between columns
+    [a] and [b]. Because x-y routing distance is separable,
+    [distance m a b = xd.(xa).(xb) + yd.(ya).(yb)] — two tiny tables
+    (O(cols² + rows²) words) replace the O(size²) full matrix for
+    distance probes. *)
+val x_distance_table : t -> int array array
+
+val y_distance_table : t -> int array array
 
 (** [distance_table m] materializes the full rank-to-rank distance matrix:
     [(distance_table m).(a).(b) = distance m a b]. Scheduling hot paths

@@ -8,30 +8,26 @@ type profile = {
 }
 
 let centroid mesh window ~data =
-  match Window.profile window data with
-  | [] -> None
-  | refs ->
-      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 refs in
-      let sx = ref 0. and sy = ref 0. in
-      List.iter
-        (fun (proc, count) ->
-          let c = Pim.Mesh.coord_of_rank mesh proc in
-          let w = float_of_int count in
-          sx := !sx +. (w *. float_of_int c.Pim.Coord.x);
-          sy := !sy +. (w *. float_of_int c.Pim.Coord.y))
-        refs;
-      let n = float_of_int total in
-      Some (!sx /. n, !sy /. n)
+  let total = Window.references window data in
+  if total = 0 then None
+  else begin
+    let sx = ref 0. and sy = ref 0. in
+    Window.iter_profile window data (fun ~proc ~count ->
+        let c = Pim.Mesh.coord_of_rank mesh proc in
+        let w = float_of_int count in
+        sx := !sx +. (w *. float_of_int c.Pim.Coord.x);
+        sy := !sy +. (w *. float_of_int c.Pim.Coord.y));
+    let n = float_of_int total in
+    Some (!sx /. n, !sy /. n)
+  end
 
 let window_entropy mesh window =
   let m = Pim.Mesh.size mesh in
   let counts = Array.make m 0 in
   List.iter
     (fun data ->
-      List.iter
-        (fun (proc, count) ->
-          if proc < m then counts.(proc) <- counts.(proc) + count)
-        (Window.profile window data))
+      Window.iter_profile window data (fun ~proc ~count ->
+          if proc < m then counts.(proc) <- counts.(proc) + count))
     (Window.referenced_data window);
   let total = Array.fold_left ( + ) 0 counts in
   if total = 0 then 0.
@@ -70,28 +66,27 @@ let profile mesh trace =
     let seen_before = ref false in
     List.iter
       (fun w ->
-        match Window.profile w data with
-        | [] -> ()
-        | refs ->
-            incr uses;
-            if !seen_before then incr reused;
-            seen_before := true;
-            sharing_sum := !sharing_sum + List.length refs;
-            incr sharing_uses;
-            let c = Option.get (centroid mesh w ~data) in
-            (match !prev with
-            | Some (px, py) ->
-                let cx, cy = c in
-                let weight =
-                  float_of_int
-                    (List.fold_left (fun acc (_, k) -> acc + k) 0 refs)
-                in
-                drift_sum :=
-                  !drift_sum
-                  +. (weight *. (abs_float (cx -. px) +. abs_float (cy -. py)));
-                drift_weight := !drift_weight +. weight
-            | None -> ());
-            prev := Some c)
+        let refs = Window.references w data in
+        if refs > 0 then begin
+          incr uses;
+          if !seen_before then incr reused;
+          seen_before := true;
+          let sharers = ref 0 in
+          Window.iter_profile w data (fun ~proc:_ ~count:_ -> incr sharers);
+          sharing_sum := !sharing_sum + !sharers;
+          incr sharing_uses;
+          let c = Option.get (centroid mesh w ~data) in
+          (match !prev with
+          | Some (px, py) ->
+              let cx, cy = c in
+              let weight = float_of_int refs in
+              drift_sum :=
+                !drift_sum
+                +. (weight *. (abs_float (cx -. px) +. abs_float (cy -. py)));
+              drift_weight := !drift_weight +. weight
+          | None -> ());
+          prev := Some c
+        end)
       windows
   done;
   {

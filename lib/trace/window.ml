@@ -5,6 +5,13 @@ type t = {
   (* per datum, per kind: processor rank -> reference count *)
   reads : (int, int) Hashtbl.t array;
   writes_ : (int, int) Hashtbl.t array;
+  (* dense combined (reads + writes) counts, indexed by processor rank and
+     grown on demand; the source the separable cost kernel reads marginals
+     from. [combined.(data).(proc)] is maintained incrementally by [add]
+     (and therefore summed by [merge], which goes through [add]). *)
+  mutable combined : int array array;
+  (* per-datum combined reference totals, maintained by [add] *)
+  totals : int array;
 }
 
 let create ~n_data =
@@ -13,6 +20,8 @@ let create ~n_data =
     n_data;
     reads = Array.init n_data (fun _ -> Hashtbl.create 4);
     writes_ = Array.init n_data (fun _ -> Hashtbl.create 1);
+    combined = Array.make n_data [||];
+    totals = Array.make n_data 0;
   }
 
 let n_data t = t.n_data
@@ -24,15 +33,30 @@ let check_data t data =
 let table t kind data =
   match kind with Read -> t.reads.(data) | Write -> t.writes_.(data)
 
+let bump_combined t ~data ~proc ~count =
+  let row = t.combined.(data) in
+  let row =
+    if proc < Array.length row then row
+    else begin
+      let grown = Array.make (max (proc + 1) (2 * Array.length row)) 0 in
+      Array.blit row 0 grown 0 (Array.length row);
+      t.combined.(data) <- grown;
+      grown
+    end
+  in
+  row.(proc) <- row.(proc) + count;
+  t.totals.(data) <- t.totals.(data) + count
+
 let add ?(kind = Read) t ~data ~proc ~count =
   check_data t data;
   if proc < 0 then invalid_arg "Window.add: negative processor rank";
   if count < 0 then invalid_arg "Window.add: negative count";
   if count > 0 then begin
     let tbl = table t kind data in
-    match Hashtbl.find_opt tbl proc with
+    (match Hashtbl.find_opt tbl proc with
     | Some c -> Hashtbl.replace tbl proc (c + count)
-    | None -> Hashtbl.add tbl proc count
+    | None -> Hashtbl.add tbl proc count);
+    bump_combined t ~data ~proc ~count
   end
 
 let profile_of_table tbl =
@@ -49,41 +73,70 @@ let write_profile t data =
   check_data t data;
   profile_of_table t.writes_.(data)
 
+(* The dense row is naturally in ascending rank order, so the combined
+   profile needs no hashtable copy and no sort. *)
 let profile t data =
   check_data t data;
-  let combined = Hashtbl.copy t.reads.(data) in
+  let row = t.combined.(data) in
+  let acc = ref [] in
+  for proc = Array.length row - 1 downto 0 do
+    if row.(proc) > 0 then acc := (proc, row.(proc)) :: !acc
+  done;
+  !acc
+
+let iter_profile t data f =
+  check_data t data;
+  let row = t.combined.(data) in
+  for proc = 0 to Array.length row - 1 do
+    if row.(proc) > 0 then f ~proc ~count:row.(proc)
+  done
+
+let iter_kind_profile ~kind t data f =
+  check_data t data;
   Hashtbl.iter
-    (fun proc count ->
-      match Hashtbl.find_opt combined proc with
-      | Some c -> Hashtbl.replace combined proc (c + count)
-      | None -> Hashtbl.add combined proc count)
-    t.writes_.(data);
-  profile_of_table combined
+    (fun proc count -> if count > 0 then f ~proc ~count)
+    (table t kind data)
+
+let marginals t ~data ~cols ~rows =
+  check_data t data;
+  if cols <= 0 || rows <= 0 then
+    invalid_arg "Window.marginals: mesh extents must be positive";
+  let mx = Array.make cols 0 and my = Array.make rows 0 in
+  let row = t.combined.(data) in
+  for proc = 0 to Array.length row - 1 do
+    let count = row.(proc) in
+    if count > 0 then begin
+      if proc >= cols * rows then
+        invalid_arg
+          (Printf.sprintf
+             "Window.marginals: processor rank %d outside %dx%d mesh" proc
+             rows cols);
+      mx.(proc mod cols) <- mx.(proc mod cols) + count;
+      my.(proc / cols) <- my.(proc / cols) + count
+    end
+  done;
+  (mx, my)
 
 let count_table tbl = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
 
 let references t data =
   check_data t data;
-  count_table t.reads.(data) + count_table t.writes_.(data)
+  t.totals.(data)
 
 let writes t data =
   check_data t data;
   count_table t.writes_.(data)
 
-let total_references t =
-  let acc = ref 0 in
-  Array.iter (fun tbl -> acc := !acc + count_table tbl) t.reads;
-  Array.iter (fun tbl -> acc := !acc + count_table tbl) t.writes_;
-  !acc
+let total_references t = Array.fold_left ( + ) 0 t.totals
 
 let referenced_data t =
   let acc = ref [] in
   for data = t.n_data - 1 downto 0 do
-    if references t data > 0 then acc := data :: !acc
+    if t.totals.(data) > 0 then acc := data :: !acc
   done;
   !acc
 
-let is_empty t = referenced_data t = []
+let is_empty t = Array.for_all (fun c -> c = 0) t.totals
 
 let pour ~into src =
   Array.iteri
@@ -131,11 +184,12 @@ let equal a b =
 
 let max_proc t =
   let mx = ref (-1) in
-  let scan tbl =
-    Hashtbl.iter (fun proc count -> if count > 0 then mx := max !mx proc) tbl
-  in
-  Array.iter scan t.reads;
-  Array.iter scan t.writes_;
+  Array.iter
+    (fun row ->
+      for proc = Array.length row - 1 downto !mx + 1 do
+        if row.(proc) > 0 && proc > !mx then mx := proc
+      done)
+    t.combined;
   !mx
 
 let pp fmt t =

@@ -35,6 +35,29 @@ val add : ?kind:kind -> t -> data:int -> proc:int -> count:int -> unit
     paper's processor reference string. *)
 val profile : t -> int -> (int * int) list
 
+(** [iter_profile t data f] applies [f ~proc ~count] to every combined
+    (reads + writes) reference of [data] in ascending processor-rank order —
+    the same pairs as {!profile}, with no intermediate list. Windows keep a
+    dense per-datum weight row (maintained incrementally by {!add}, summed
+    by {!merge}) precisely so hot folds can run allocation-free. *)
+val iter_profile : t -> int -> (proc:int -> count:int -> unit) -> unit
+
+(** [iter_kind_profile ~kind t data f] folds one kind's profile without
+    materializing it. Iteration order is {e unspecified} (hashtable order) —
+    use only for commutative folds such as cost sums. *)
+val iter_kind_profile :
+  kind:kind -> t -> int -> (proc:int -> count:int -> unit) -> unit
+
+(** [marginals t ~data ~cols ~rows] projects the combined reference profile
+    of [data] onto the two mesh axes of a [rows]×[cols] row-major mesh:
+    a [cols]-long x-marginal and a [rows]-long y-marginal weight histogram
+    ([mx.(x) = Σ_{y} count (x, y)] and symmetrically). Because x-y routing
+    distance is separable per axis, these marginals determine the whole
+    cost vector (see {!Sched.Cost}); one O(P) pass over the dense row
+    builds both.
+    @raise Invalid_argument if a referenced rank falls outside the mesh. *)
+val marginals : t -> data:int -> cols:int -> rows:int -> int array * int array
+
 (** [read_profile t data] / [write_profile t data] are the per-kind
     views. *)
 val read_profile : t -> int -> (int * int) list

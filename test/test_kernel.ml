@@ -1,0 +1,291 @@
+(* Cross-checks of the separable cost kernel against the [Cost.Naive]
+   oracle: byte-identical cost vectors, local optima (including tie order)
+   and path costs on random meshes and tori, plus the Problem-level kernel
+   switch, cache-sharing and build-counter contracts. *)
+
+let check_int = Alcotest.(check int)
+
+(* Random instance: a mesh or torus of arbitrary small shape plus a trace
+   over it. Non-square shapes matter (they catch x/y transpositions);
+   extent 1 and 2 exercise the circular prefix sums' edge cases. *)
+let instance_gen =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun rows ->
+  int_range 1 4 >>= fun cols ->
+  bool >>= fun wrap ->
+  let mesh =
+    if wrap then Pim.Mesh.torus ~rows ~cols
+    else Pim.Mesh.create ~rows ~cols
+  in
+  Gen.trace_gen ~mesh ~max_data:4 ~max_windows:4 ~max_count:3 ()
+  >>= fun trace -> return (mesh, trace)
+
+let instance_print (mesh, trace) =
+  Format.asprintf "%a / %a" Pim.Mesh.pp mesh Reftrace.Trace.pp trace
+
+let instance_arbitrary = QCheck.make ~print:instance_print instance_gen
+
+let for_all_pairs (mesh, trace) f =
+  let n = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let ok = ref true in
+  List.iter
+    (fun w ->
+      for data = 0 to n - 1 do
+        if not (f mesh w ~data) then ok := false
+      done)
+    (Reftrace.Trace.windows trace);
+  !ok
+
+let prop_cost_vectors_equal =
+  QCheck.Test.make ~name:"separable cost_vector = Naive cost_vector"
+    ~count:200 instance_arbitrary (fun inst ->
+      for_all_pairs inst (fun mesh w ~data ->
+          Sched.Cost.cost_vector mesh w ~data
+          = Sched.Cost.Naive.cost_vector mesh w ~data))
+
+let prop_reference_cost_equals_vector_entry =
+  QCheck.Test.make
+    ~name:"separable reference_cost = its cost_vector entry, every center"
+    ~count:100 instance_arbitrary (fun inst ->
+      for_all_pairs inst (fun mesh w ~data ->
+          let v = Sched.Cost.Naive.cost_vector mesh w ~data in
+          let ok = ref true in
+          for center = 0 to Array.length v - 1 do
+            if Sched.Cost.reference_cost mesh w ~data ~center <> v.(center)
+            then ok := false
+          done;
+          !ok))
+
+let prop_local_optima_equal =
+  QCheck.Test.make
+    ~name:"separable local_optimal_center = Naive (same tie order)"
+    ~count:200 instance_arbitrary (fun inst ->
+      for_all_pairs inst (fun mesh w ~data ->
+          Sched.Cost.local_optimal_center mesh w ~data
+          = Sched.Cost.Naive.local_optimal_center mesh w ~data))
+
+let prop_path_costs_equal =
+  QCheck.Test.make ~name:"separable path_cost = Naive path_cost" ~count:100
+    instance_arbitrary (fun (mesh, trace) ->
+      let n = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+      let windows = Reftrace.Trace.windows trace in
+      let ok = ref true in
+      for data = 0 to n - 1 do
+        (* two trajectories: the per-window local optima, and all-zero *)
+        let optima =
+          List.map
+            (fun w -> (w, Sched.Cost.Naive.local_optimal_center mesh w ~data))
+            windows
+        in
+        let home = List.map (fun w -> (w, 0)) windows in
+        List.iter
+          (fun pairs ->
+            if
+              Sched.Cost.path_cost mesh pairs ~data
+              <> Sched.Cost.Naive.path_cost mesh pairs ~data
+            then ok := false)
+          [ optima; home ]
+      done;
+      !ok)
+
+let prop_marginals_conserve_mass =
+  QCheck.Test.make ~name:"Window.marginals sum to the reference total"
+    ~count:100 instance_arbitrary (fun inst ->
+      for_all_pairs inst (fun mesh w ~data ->
+          let mx, my =
+            Reftrace.Window.marginals w ~data ~cols:(Pim.Mesh.cols mesh)
+              ~rows:(Pim.Mesh.rows mesh)
+          in
+          let sum = Array.fold_left ( + ) 0 in
+          sum mx = Reftrace.Window.references w data && sum mx = sum my))
+
+(* The kernel switch must be invisible in results: identical cached vectors
+   and identical schedules from every algorithm that prices merges or
+   trajectories. *)
+let prop_problem_kernels_agree =
+  QCheck.Test.make ~name:"Problem kernel=naive and separable agree"
+    ~count:50 instance_arbitrary (fun (mesh, trace) ->
+      let sep = Sched.Problem.create ~kernel:`Separable mesh trace in
+      let nai = Sched.Problem.create ~kernel:`Naive mesh trace in
+      let n = Sched.Problem.n_data sep in
+      let vectors_ok = ref true in
+      for data = 0 to n - 1 do
+        for w = 0 to Sched.Problem.n_windows sep - 1 do
+          if
+            Sched.Problem.cost_vector sep ~window:w ~data
+            <> Sched.Problem.cost_vector nai ~window:w ~data
+          then vectors_ok := false
+        done;
+        if
+          Sched.Problem.merged_vector sep ~data
+          <> Sched.Problem.merged_vector nai ~data
+        then vectors_ok := false
+      done;
+      let schedules_ok =
+        List.for_all
+          (fun algo ->
+            Sched.Schedule.equal
+              (Sched.Scheduler.solve sep algo)
+              (Sched.Scheduler.solve nai algo))
+          Sched.Scheduler.
+            [ Scds; Lomcds; Gomcds; Lomcds_grouped; Gomcds_grouped ]
+      in
+      !vectors_ok && schedules_ok)
+
+let prop_problem_kernels_agree_bounded =
+  QCheck.Test.make
+    ~name:"Problem kernels agree under a bounded capacity policy" ~count:30
+    instance_arbitrary (fun (mesh, trace) ->
+      let n = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+      let capacity =
+        Pim.Memory.capacity_for ~data_count:n ~mesh ~headroom:2
+      in
+      let policy = Sched.Problem.Bounded capacity in
+      let sep = Sched.Problem.create ~policy ~kernel:`Separable mesh trace in
+      let nai = Sched.Problem.create ~policy ~kernel:`Naive mesh trace in
+      List.for_all
+        (fun algo ->
+          Sched.Schedule.equal
+            (Sched.Scheduler.solve sep algo)
+            (Sched.Scheduler.solve nai algo))
+        Sched.Scheduler.[ Gomcds; Lomcds_grouped; Gomcds_grouped ])
+
+let prop_problem_path_cost_matches_cost =
+  QCheck.Test.make
+    ~name:"Problem.path_cost / trajectory_cost = Cost.path_cost" ~count:100
+    instance_arbitrary (fun (mesh, trace) ->
+      let problem = Sched.Problem.create mesh trace in
+      let n = Sched.Problem.n_data problem in
+      let windows = Reftrace.Trace.windows trace in
+      let ok = ref true in
+      for data = 0 to n - 1 do
+        let centers =
+          List.mapi
+            (fun w window ->
+              (w, window, Sched.Cost.local_optimal_center mesh window ~data))
+            windows
+        in
+        let by_index = List.map (fun (w, _, c) -> (w, c)) centers in
+        let by_window = List.map (fun (_, win, c) -> (win, c)) centers in
+        if
+          Sched.Problem.path_cost problem ~data by_index
+          <> Sched.Cost.path_cost mesh by_window ~data
+        then ok := false;
+        let traj =
+          Array.of_list (List.map (fun (_, _, c) -> c) centers)
+        in
+        if
+          Sched.Problem.trajectory_cost problem ~data traj
+          <> Sched.Cost.path_cost mesh by_window ~data
+        then ok := false
+      done;
+      !ok)
+
+(* -------------------------------------------------------------- *)
+(* Axis-cost unit cases (hand-checked)                             *)
+(* -------------------------------------------------------------- *)
+
+let test_axis_cost_line () =
+  Alcotest.(check (array int))
+    "E=2" [| 3; 2 |]
+    (Sched.Cost.axis_cost ~wrap:false [| 2; 3 |]);
+  Alcotest.(check (array int))
+    "E=4" [| 11; 7; 7; 7 |]
+    (* m = [1;2;0;3]: cost(c) = Σ m(j)·|c-j| *)
+    (Sched.Cost.axis_cost ~wrap:false [| 1; 2; 0; 3 |])
+
+let test_axis_cost_circle () =
+  Alcotest.(check (array int))
+    "E=2 ring" [| 3; 2 |]
+    (Sched.Cost.axis_cost ~wrap:true [| 2; 3 |]);
+  Alcotest.(check (array int))
+    "E=4 ring" [| 1; 3; 3; 1 |]
+    (Sched.Cost.axis_cost ~wrap:true [| 1; 0; 0; 1 |]);
+  Alcotest.(check (array int))
+    "E=3 ring" [| 2; 2; 2 |]
+    (* m = [1;1;1]: every center sees the other two points at distance 1 *)
+    (Sched.Cost.axis_cost ~wrap:true [| 1; 1; 1 |])
+
+let test_vector_of_marginals_layout () =
+  (* 2x3 mesh (rows=2, cols=3), weight at (x=2, y=1) = rank 5 *)
+  let v =
+    Sched.Cost.vector_of_marginals ~wrap:false ~cols:3 ~rows:2
+      ([| 0; 0; 1 |], [| 0; 1 |])
+  in
+  Alcotest.(check (array int)) "row-major assembly" [| 3; 2; 1; 2; 1; 0 |] v
+
+(* -------------------------------------------------------------- *)
+(* Cache-sharing and counter regressions                           *)
+(* -------------------------------------------------------------- *)
+
+let shared_trace () =
+  Gen.trace Gen.mesh44 ~n_data:2
+    [ [ (0, 3, 2); (1, 7, 1) ]; [ (0, 12, 4) ]; [ (1, 0, 1) ] ]
+
+let test_with_policy_and_jobs_share_caches () =
+  let problem = Sched.Problem.create Gen.mesh44 (shared_trace ()) in
+  let v = Sched.Problem.cost_vector problem ~window:0 ~data:0 in
+  let bounded =
+    Sched.Problem.with_policy problem (Sched.Problem.Bounded 2)
+  in
+  let jobs2 = Sched.Problem.with_jobs problem 2 in
+  Alcotest.(check bool)
+    "with_policy serves the same cached array" true
+    (v == Sched.Problem.cost_vector bounded ~window:0 ~data:0);
+  Alcotest.(check bool)
+    "with_jobs serves the same cached array" true
+    (v == Sched.Problem.cost_vector jobs2 ~window:0 ~data:0)
+
+let test_with_kernel_rebuilds () =
+  let problem = Sched.Problem.create Gen.mesh44 (shared_trace ()) in
+  let v = Sched.Problem.cost_vector problem ~window:0 ~data:0 in
+  let nai = Sched.Problem.with_kernel problem `Naive in
+  let v' = Sched.Problem.cost_vector nai ~window:0 ~data:0 in
+  Alcotest.(check bool) "same kernel is a no-op" true
+    (problem == Sched.Problem.with_kernel problem `Separable);
+  Alcotest.(check bool) "fresh caches across kernels" true (not (v == v'));
+  Alcotest.(check (array int)) "identical values across kernels" v v'
+
+let metric name snapshot = Obs.Metrics.counter snapshot name
+
+let test_build_counters () =
+  Obs.enabled := true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.enabled := false)
+    (fun () ->
+      let trace = shared_trace () in
+      let sep = Sched.Problem.create Gen.mesh44 trace in
+      Sched.Problem.prefetch_all sep;
+      Sched.Problem.prefetch_all sep;
+      let snap = Obs.Metrics.snapshot () in
+      (* 2 data x 3 windows, built exactly once despite the second prefetch *)
+      check_int "separable builds" 6 (metric "cost.separable_builds" snap);
+      check_int "no naive builds" 0 (metric "cost.naive_builds" snap);
+      check_int "marginal misses" 6 (metric "problem.marginals_miss" snap);
+      Obs.reset ();
+      let nai = Sched.Problem.create ~kernel:`Naive Gen.mesh44 trace in
+      Sched.Problem.prefetch_all nai;
+      let snap = Obs.Metrics.snapshot () in
+      check_int "naive builds" 6 (metric "cost.naive_builds" snap);
+      check_int "no separable builds" 0
+        (metric "cost.separable_builds" snap))
+
+let suite =
+  [
+    Gen.case "axis cost, line" test_axis_cost_line;
+    Gen.case "axis cost, ring" test_axis_cost_circle;
+    Gen.case "vector assembly layout" test_vector_of_marginals_layout;
+    Gen.case "with_policy/with_jobs share caches"
+      test_with_policy_and_jobs_share_caches;
+    Gen.case "with_kernel rebuilds caches" test_with_kernel_rebuilds;
+    Gen.case "kernel build counters" test_build_counters;
+    Gen.to_alcotest prop_cost_vectors_equal;
+    Gen.to_alcotest prop_reference_cost_equals_vector_entry;
+    Gen.to_alcotest prop_local_optima_equal;
+    Gen.to_alcotest prop_path_costs_equal;
+    Gen.to_alcotest prop_marginals_conserve_mass;
+    Gen.to_alcotest prop_problem_kernels_agree;
+    Gen.to_alcotest prop_problem_kernels_agree_bounded;
+    Gen.to_alcotest prop_problem_path_cost_matches_cost;
+  ]
