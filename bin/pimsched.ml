@@ -177,10 +177,11 @@ let kernel_arg =
     & opt kernel_conv `Separable
     & info [ "kernel" ] ~docv:"NAME"
         ~doc:
-          "Cost kernel filling the vector caches: $(b,separable) (per-axis \
-           marginals + prefix sums, the default) or $(b,naive) (direct \
-           distance-table walk, the cross-check oracle). Both produce \
-           identical schedules.")
+          "Cost kernel filling the flat cost arena: $(b,separable) (per-axis \
+           marginals + prefix sums, the default; optimal centers come \
+           straight from the marginals without building vectors) or \
+           $(b,naive) (direct walk over a private distance table, the \
+           cross-check oracle). Both produce identical schedules.")
 
 let simulate_arg =
   Arg.(

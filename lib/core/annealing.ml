@@ -16,13 +16,14 @@ let make_rng seed =
     state := x land max_int;
     !state mod bound
 
-let run ?capacity ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial mesh trace
-    =
+let anneal ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial problem =
   if iterations < 0 then
     invalid_arg "Annealing.run: iterations must be non-negative";
-  let space = Reftrace.Trace.space trace in
-  let n_data = Reftrace.Data_space.size space in
-  let n_windows = Reftrace.Trace.n_windows trace in
+  let mesh = Problem.mesh problem in
+  let trace = Problem.trace problem in
+  let space = Problem.space problem in
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
   let m = Pim.Mesh.size mesh in
   let sched =
     match initial with
@@ -33,6 +34,7 @@ let run ?capacity ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial mesh trace
     | None ->
         Baseline.schedule (Baseline.row_wise mesh space) mesh trace
   in
+  let capacity = Problem.capacity problem in
   (match capacity with
   | Some c -> (
       match Schedule.check_capacity sched ~capacity:c with
@@ -40,7 +42,9 @@ let run ?capacity ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial mesh trace
           invalid_arg "Annealing.run: initial schedule violates capacity"
       | None -> ())
   | None -> ());
-  let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  (* every move probes two arena entries: fill the whole arena on the pool
+     once, then the search loop only reads *)
+  Problem.prefetch_all problem;
   let volume = Array.init n_data (Reftrace.Data_space.volume_of space) in
   let loads = Array.make_matrix n_windows m 0 in
   for w = 0 to n_windows - 1 do
@@ -50,12 +54,14 @@ let run ?capacity ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial mesh trace
     done
   done;
   let rng = make_rng seed in
-  let dist = Pim.Mesh.distance mesh in
-  (* weighted delta of relocating datum d in window w from r to r' *)
+  let dist = Problem.distance problem in
+  (* weighted delta of relocating datum d in window w from r to r' —
+     reference-cost diffs are two arena reads ([Problem.cost_entry]
+     equals [Cost.reference_cost] entry-for-entry) *)
   let delta w d r r' =
     let refs =
-      Cost.reference_cost mesh windows.(w) ~data:d ~center:r'
-      - Cost.reference_cost mesh windows.(w) ~data:d ~center:r
+      Problem.cost_entry problem ~window:w ~data:d r'
+      - Problem.cost_entry problem ~window:w ~data:d r
     in
     let edge w' =
       let other = Schedule.center sched ~window:w' ~data:d in
@@ -107,3 +113,6 @@ let run ?capacity ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial mesh trace
       initial_cost;
       final_cost = !current;
     } )
+
+let run ?capacity ?seed ?iterations ?initial mesh trace =
+  anneal ?seed ?iterations ?initial (Problem.of_capacity ?capacity mesh trace)

@@ -20,11 +20,25 @@ type stats = {
   final_cost : int;
 }
 
-(** [run ?capacity ?seed ?iterations ?initial mesh trace] anneals from
-    [initial] (default: the row-wise static schedule). [iterations]
-    defaults to [50_000], [seed] to [0xBEEF].
+(** [anneal ?seed ?iterations ?initial problem] anneals from [initial]
+    (default: the row-wise static schedule) on a shared {!Problem.t}: the
+    whole cost arena is prefetched on the context's domain pool once, and
+    every move's reference-cost delta is then two {!Problem.cost_entry}
+    reads — so annealing shares (and warms) the same caches as every
+    other scheduler run on the context. [iterations] defaults to
+    [50_000], [seed] to [0xBEEF]. Results are byte-identical to the old
+    standalone [run] at equal seeds (pinned by [test/test_fastpath.ml]).
     @raise Invalid_argument if [initial] has the wrong shape, violates
-    [capacity], or [iterations < 0]. *)
+    the context's capacity, or [iterations < 0]. *)
+val anneal :
+  ?seed:int ->
+  ?iterations:int ->
+  ?initial:Schedule.t ->
+  Problem.t ->
+  Schedule.t * stats
+
+(** [run ?capacity ?seed ?iterations ?initial mesh trace] is {!anneal} on
+    a throwaway context — the historical entry point. *)
 val run :
   ?capacity:int ->
   ?seed:int ->

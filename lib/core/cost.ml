@@ -112,34 +112,55 @@ let axis_cost_circle m =
     let p = Array.make ((2 * e) + 1) 0 in
     let q = Array.make ((2 * e) + 1) 0 in
     for i = 0 to (2 * e) - 1 do
-      let w = m.(i mod e) in
+      let w = m.(if i < e then i else i - e) in
       p.(i + 1) <- p.(i) + w;
       q.(i + 1) <- q.(i) + (i * w)
     done;
-    Array.init e (fun c ->
-        let fwd =
-          q.(c + hf + 1) - q.(c + 1) - (c * (p.(c + hf + 1) - p.(c + 1)))
-        in
-        let bwd =
-          ((c + e) * (p.(c + e) - p.(c + e - hb)))
-          - (q.(c + e) - q.(c + e - hb))
-        in
-        fwd + bwd)
+    let cost = Array.make e 0 in
+    for c = 0 to e - 1 do
+      let fwd =
+        q.(c + hf + 1) - q.(c + 1) - (c * (p.(c + hf + 1) - p.(c + 1)))
+      in
+      let bwd =
+        ((c + e) * (p.(c + e) - p.(c + e - hb)))
+        - (q.(c + e) - q.(c + e - hb))
+      in
+      cost.(c) <- fwd + bwd
+    done;
+    cost
   end
 
 let axis_cost ~wrap m = if wrap then axis_cost_circle m else axis_cost_line m
 
-let vector_of_marginals ~wrap ~cols ~rows (mx, my) =
+(* Shared assembly loop: writes the cols*rows cost entries into [dst]
+   starting at [off]. [vector_of_marginals] allocates a fresh array;
+   [fill_of_marginals] targets a caller-owned arena row, so a prefetch
+   batch reuses one flat buffer instead of one heap array per vector. *)
+let fill_of_marginals ~wrap ~cols ~rows (mx, my) ~dst ~off =
   let cx = axis_cost ~wrap mx and cy = axis_cost ~wrap my in
-  let v = Array.make (cols * rows) 0 in
-  let r = ref 0 in
   for y = 0 to rows - 1 do
-    let base = cy.(y) in
+    let base = cy.(y) and r = off + (y * cols) in
     for x = 0 to cols - 1 do
-      v.(!r) <- base + cx.(x);
-      incr r
+      dst.(r + x) <- base + cx.(x)
     done
-  done;
+  done
+
+(* Same assembly into a bigarray arena slab ({!Pathgraph.Layered.buffer});
+   every entry of the row is written, so the slab never needs the
+   zero-initialization an [int array] allocation would pay. *)
+let fill_slab_of_marginals ~wrap ~cols ~rows (mx, my)
+    ~(dst : Pathgraph.Layered.buffer) ~off =
+  let cx = axis_cost ~wrap mx and cy = axis_cost ~wrap my in
+  for y = 0 to rows - 1 do
+    let base = cy.(y) and r = off + (y * cols) in
+    for x = 0 to cols - 1 do
+      dst.{r + x} <- base + cx.(x)
+    done
+  done
+
+let vector_of_marginals ~wrap ~cols ~rows m =
+  let v = Array.make (cols * rows) 0 in
+  fill_of_marginals ~wrap ~cols ~rows m ~dst:v ~off:0;
   v
 
 let marginals_of mesh window ~data =
@@ -179,12 +200,19 @@ let argmin_axis a =
 
 (* The minimizers of cx(x) + cy(y) are exactly (argmin cx) × (argmin cy);
    taking the lowest index on each axis picks the lowest row-major rank,
-   the same tie order as [Naive]'s ascending scan. *)
-let local_optimal_center mesh window ~data =
-  let wrap = Pim.Mesh.wraps mesh and cols = Pim.Mesh.cols mesh in
-  let mx, my = marginals_of mesh window ~data in
+   the same tie order as [Naive]'s ascending scan (and as the full-vector
+   ascending argmin every scheduler fallback uses). *)
+let argmin_of_marginals ~wrap ~cols ~rows:_ (mx, my) =
   let cx = axis_cost ~wrap mx and cy = axis_cost ~wrap my in
-  (argmin_axis cy * cols) + argmin_axis cx
+  let bx = argmin_axis cx and by = argmin_axis cy in
+  ((by * cols) + bx, cx.(bx) + cy.(by))
+
+let local_optimal_center mesh window ~data =
+  let wrap = Pim.Mesh.wraps mesh
+  and cols = Pim.Mesh.cols mesh
+  and rows = Pim.Mesh.rows mesh in
+  fst
+    (argmin_of_marginals ~wrap ~cols ~rows (marginals_of mesh window ~data))
 
 let movement_cost mesh ~from_ ~to_ = Pim.Mesh.distance mesh from_ to_
 

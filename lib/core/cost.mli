@@ -56,6 +56,42 @@ val axis_cost : wrap:bool -> int array -> int array
 val vector_of_marginals :
   wrap:bool -> cols:int -> rows:int -> int array * int array -> int array
 
+(** [fill_of_marginals ~wrap ~cols ~rows m ~dst ~off] is
+    {!vector_of_marginals} written into [dst.(off) ..
+    dst.(off + cols·rows - 1)] instead of a fresh array — the arena-backed
+    fill {!Sched.Problem} batches one flat buffer per datum with. *)
+val fill_of_marginals :
+  wrap:bool ->
+  cols:int ->
+  rows:int ->
+  int array * int array ->
+  dst:int array ->
+  off:int ->
+  unit
+
+(** [fill_slab_of_marginals] is {!fill_of_marginals} targeting a bigarray
+    arena slab ({!Pathgraph.Layered.buffer}). Every entry of the
+    [cols·rows] row is written, which is what lets {!Sched.Problem}
+    allocate slabs uninitialized. *)
+val fill_slab_of_marginals :
+  wrap:bool ->
+  cols:int ->
+  rows:int ->
+  int array * int array ->
+  dst:Pathgraph.Layered.buffer ->
+  off:int ->
+  unit
+
+(** [argmin_of_marginals ~wrap ~cols ~rows m] is the vector-free fast path
+    of Definition 4: the minimum-cost center and its cost, computed
+    directly from the axis marginals in O(cols + rows) without assembling
+    the cols·rows cost vector. Tie order (lowest index per axis, hence
+    lowest row-major rank) is identical to an ascending full-vector argmin
+    — the property suite in [test/test_fastpath.ml] pins this on meshes
+    and tori. *)
+val argmin_of_marginals :
+  wrap:bool -> cols:int -> rows:int -> int array * int array -> int * int
+
 (** The direct O(P · refs) evaluation of the same model — the oracle the
     separable kernel is cross-checked against, and the implementation
     behind [~kernel:`Naive] in {!Sched.Problem}. Semantics (including tie

@@ -26,16 +26,20 @@ let schedule problem =
   let schedule =
     Schedule.create (Problem.mesh problem) ~n_windows ~n_data
   in
-  let dist = Problem.distance_table problem in
+  let xdist, ydist = Problem.axis_tables problem in
+  let width = Pim.Mesh.size (Problem.mesh problem) in
   (match Problem.policy problem with
   | Problem.Unbounded ->
       (* Every datum's DP is independent: fan the whole solve out across
-         the domain pool and merge by datum index. *)
+         the domain pool and merge by datum index. The axis-table DP reads
+         each datum's arena slab in place — no full distance matrix, no
+         per-window vector rows. *)
       let centers =
         Engine.map ~jobs:(Problem.jobs problem) n_data (fun data ->
+            let vectors, offsets = Problem.layer_slab problem ~data in
             snd
-              (Pathgraph.Layered.solve_dense ~dist
-                 ~vectors:(Problem.layer_vectors problem ~data)))
+              (Pathgraph.Layered.solve_axes ~offsets ~xdist ~ydist ~vectors
+                 ~width ~n_layers:n_windows ()))
       in
       Array.iteri
         (fun data cs ->
@@ -54,13 +58,14 @@ let schedule problem =
       in
       List.iter
         (fun data ->
-          let vectors = Problem.layer_vectors problem ~data in
+          let vectors, offsets = Problem.layer_slab problem ~data in
           let allowed ~layer j = not (Pim.Memory.is_full mems.(layer) j) in
           (* Placing data one at a time into capacity c with
              n_data <= c * processors means every layer always retains a
              free slot, so a feasible path exists. *)
           let result =
-            Pathgraph.Layered.solve_dense_filtered ~dist ~vectors ~allowed
+            Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist ~ydist
+              ~vectors ~width ~n_layers:n_windows ~allowed ()
           in
           let _, centers = Option.get result in
           Array.iteri

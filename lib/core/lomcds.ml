@@ -18,15 +18,39 @@ let first_reference_window problem =
   done;
   first
 
-let schedule problem =
-  Problem.check_feasible problem ~who:"Lomcds.run";
+(* Vector-free unbounded walk: with infinite memories [assign] always
+   takes the head of the processor list — the lowest-rank cost argmin —
+   so every placement is an [optimal_center] probe and no cost vector or
+   candidate list is ever materialized. Placements are byte-identical to
+   the candidate-list walk below (the argmin tie order matches the list
+   head; pinned by test/test_fastpath.ml). *)
+let schedule_unbounded problem schedule first =
   let n_data = Problem.n_data problem in
   let n_windows = Problem.n_windows problem in
-  let mesh = Problem.mesh problem in
+  (* parallel phase: every optimal center the serial walk reads *)
+  Problem.prefetch_centers problem;
+  let current =
+    Array.init n_data (fun data ->
+        if first.(data) >= n_windows then
+          Problem.merged_optimal_center problem ~data
+        else Problem.optimal_center problem ~window:first.(data) ~data)
+  in
+  for w = 0 to n_windows - 1 do
+    List.iter
+      (fun data ->
+        current.(data) <- Problem.optimal_center problem ~window:w ~data)
+      (Reftrace.Window.referenced_data (Problem.window problem w));
+    Array.iteri
+      (fun data rank -> Schedule.set_center schedule ~window:w ~data rank)
+      current
+  done;
+  schedule
+
+let schedule_bounded problem schedule first =
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
   (* parallel phase: every processor list the serial walk below reads *)
   Problem.prefetch_referenced problem;
-  let schedule = Schedule.create mesh ~n_windows ~n_data in
-  let first = first_reference_window problem in
   (* Initial placement: each datum goes where its first referencing window
      wants it; data never referenced fall back to the merged profile (all
      zeros -> lowest ranks, spread by capacity). Assignment order: earlier
@@ -79,6 +103,18 @@ let schedule problem =
       current
   done;
   schedule
+
+let schedule problem =
+  Problem.check_feasible problem ~who:"Lomcds.run";
+  let sched =
+    Schedule.create (Problem.mesh problem)
+      ~n_windows:(Problem.n_windows problem)
+      ~n_data:(Problem.n_data problem)
+  in
+  let first = first_reference_window problem in
+  match Problem.policy problem with
+  | Problem.Unbounded -> schedule_unbounded problem sched first
+  | Problem.Bounded _ -> schedule_bounded problem sched first
 
 let run ?capacity mesh trace =
   schedule (Problem.of_capacity ?capacity mesh trace)

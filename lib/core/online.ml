@@ -1,8 +1,9 @@
-let run ?capacity ?(theta = 2.) ?initial mesh trace =
+let schedule ?(theta = 2.) ?initial problem =
   if theta <= 0. then invalid_arg "Online.run: theta must be positive";
-  let space = Reftrace.Trace.space trace in
-  let n_data = Reftrace.Data_space.size space in
-  let n_windows = Reftrace.Trace.n_windows trace in
+  let mesh = Problem.mesh problem in
+  let space = Problem.space problem in
+  let n_data = Problem.n_data problem in
+  let n_windows = Problem.n_windows problem in
   let initial =
     match initial with
     | Some p ->
@@ -18,13 +19,9 @@ let run ?capacity ?(theta = 2.) ?initial mesh trace =
         Array.copy p
     | None -> Baseline.row_wise mesh space
   in
-  (match capacity with
+  Problem.check_feasible problem ~who:"Online.run";
+  (match Problem.capacity problem with
   | Some c ->
-      if c * Pim.Mesh.size mesh < n_data then
-        invalid_arg
-          (Printf.sprintf
-             "Online.run: %d data cannot fit in %d processors of capacity %d"
-             n_data (Pim.Mesh.size mesh) c);
       (* the imposed layout itself must fit *)
       let load = Array.make (Pim.Mesh.size mesh) 0 in
       Array.iter (fun r -> load.(r) <- load.(r) + 1) initial;
@@ -37,49 +34,55 @@ let run ?capacity ?(theta = 2.) ?initial mesh trace =
                  l c rank))
         load
   | None -> ());
+  let unbounded = Problem.policy problem = Problem.Unbounded in
   let schedule = Schedule.create mesh ~n_windows ~n_data in
   let current = Array.copy initial in
-  List.iteri
-    (fun w window ->
-      if w > 0 then begin
-        (* one fresh memory per window, pre-filled with the carried data *)
-        let memory =
-          match capacity with
-          | None -> Pim.Memory.unbounded mesh
-          | Some c -> Pim.Memory.create mesh ~capacity:c
-        in
-        Array.iter
-          (fun rank ->
-            let ok = Pim.Memory.allocate memory rank in
-            assert ok)
-          current;
-        List.iter
-          (fun data ->
-            let here = current.(data) in
-            let stay = Cost.reference_cost mesh window ~data ~center:here in
-            Pim.Memory.release memory here;
-            let candidates = Processor_list.for_data mesh window ~data in
-            let best =
+  for w = 0 to n_windows - 1 do
+    let window = Problem.window problem w in
+    if w > 0 then begin
+      (* one fresh memory per window, pre-filled with the carried data *)
+      let memory = Problem.fresh_memory problem in
+      Array.iter
+        (fun rank ->
+          let ok = Pim.Memory.allocate memory rank in
+          assert ok)
+        current;
+      List.iter
+        (fun data ->
+          let here = current.(data) in
+          let stay = Problem.cost_entry problem ~window:w ~data here in
+          Pim.Memory.release memory here;
+          let best =
+            if unbounded then
+              (* vector-free fast path: with a free slot everywhere the
+                 first available candidate is the list head, i.e. the
+                 lowest-rank cost argmin *)
+              Problem.optimal_center problem ~window:w ~data
+            else
+              let candidates = Problem.candidates problem ~window:w ~data in
               match Processor_list.first_available memory candidates with
               | Some rank -> rank
               | None -> here
-            in
-            let go = Cost.reference_cost mesh window ~data ~center:best in
-            let move = Pim.Mesh.distance mesh here best in
-            let chosen =
-              if
-                best <> here
-                && float_of_int (stay - go) *. theta > float_of_int move
-              then best
-              else here
-            in
-            let ok = Pim.Memory.allocate memory chosen in
-            assert ok;
-            current.(data) <- chosen)
-          (Ordering.by_window_references window)
-      end;
-      Array.iteri
-        (fun data rank -> Schedule.set_center schedule ~window:w ~data rank)
-        current)
-    (Reftrace.Trace.windows trace);
+          in
+          let go = Problem.cost_entry problem ~window:w ~data best in
+          let move = Problem.distance problem here best in
+          let chosen =
+            if
+              best <> here
+              && float_of_int (stay - go) *. theta > float_of_int move
+            then best
+            else here
+          in
+          let ok = Pim.Memory.allocate memory chosen in
+          assert ok;
+          current.(data) <- chosen)
+        (Ordering.by_window_references window)
+    end;
+    Array.iteri
+      (fun data rank -> Schedule.set_center schedule ~window:w ~data rank)
+      current
+  done;
   schedule
+
+let run ?capacity ?theta ?initial mesh trace =
+  schedule ?theta ?initial (Problem.of_capacity ?capacity mesh trace)

@@ -21,12 +21,22 @@
     bound (property-tested), and bench ablation A9 measures the empirical
     competitive ratio across [theta]. *)
 
-(** [run ?capacity ?theta ?initial mesh trace] computes the online
-    schedule. [theta] defaults to [2.]; [initial] to the row-wise
-    placement. Window 0 always serves from the initial placement (the data
-    are already there when execution starts).
+(** [schedule ?theta ?initial problem] computes the online schedule on a
+    shared {!Problem.t}: stay/go probes are {!Problem.cost_entry} arena
+    reads, candidate lists come from the context's caches, and under an
+    unbounded policy the go-target is the vector-free
+    {!Problem.optimal_center} (the list head it replaces — byte-identical
+    schedules, pinned by [test/test_fastpath.ml]). [theta] defaults to
+    [2.]; [initial] to the row-wise placement. Window 0 always serves from
+    the initial placement (the data are already there when execution
+    starts).
     @raise Invalid_argument if [theta <= 0.], [initial] is malformed, or
-    capacity is infeasible. *)
+    the context's capacity is infeasible. *)
+val schedule :
+  ?theta:float -> ?initial:int array -> Problem.t -> Schedule.t
+
+(** [run ?capacity ?theta ?initial mesh trace] is {!schedule} on a
+    throwaway context — the historical entry point. *)
 val run :
   ?capacity:int ->
   ?theta:float ->

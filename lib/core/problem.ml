@@ -9,19 +9,38 @@ type t = {
   kernel : kernel;
   windows : Reftrace.Window.t array;
   merged : Reftrace.Window.t;
+  size : int; (* Pim.Mesh.size mesh *)
   (* Per-axis distance tables: x-y routing distance is separable, so two
      O(cols² + rows²) tables answer every probe the old O(size²) matrix
-     did. The full matrix is only materialized on demand (serial phases) —
-     except under the [`Naive] kernel, whose vector builds read it inside
-     parallel prefetches, so it is built eagerly at [create]. *)
+     did. No full rank-to-rank matrix exists in the context any more —
+     except under the [`Naive] kernel, whose oracle-role vector builds
+     walk profiles against direct distances, so it keeps a private table
+     built eagerly at [create]. *)
   xdist : int array array;
   ydist : int array array;
-  mutable full_dist : int array array option;
+  naive_dist : int array array option;
   (* Caches below are rows-per-datum so parallel fills have one writer per
      row (see the .mli thread-safety contract). *)
   margs : (int array * int array) option array array; (* margs.(data).(window) *)
   merged_margs : (int array * int array) option array;
-  vectors : int array option array array; (* vectors.(data).(window) *)
+  (* Cost arena: one flat compact buffer per datum. Slot 0 (the first
+     [size] entries) is a reserved all-zero row; every window that
+     references the datum gets its own slot, assigned in window order, and
+     every window that does not points at slot 0 — both kernels produce
+     the all-zero vector for such a row, so it is never written and is
+     shared rather than materialized per window. The slab is a bigarray
+     so it can be allocated uninitialized: only the zero row is filled at
+     creation, and each referencing slot is written in full on its first
+     [fill_row] (reads are gated by [filled]). [row_off.(data).(window)]
+     maps a window to its row's start offset (0 for the shared zero row);
+     it is [| |] until the slab exists. [filled.(data)] flags which rows
+     hold valid entries. *)
+  arena : Pathgraph.Layered.buffer option array; (* arena.(data) *)
+  row_off : int array array; (* row_off.(data).(window), 0 = zero row *)
+  filled : Bytes.t array; (* filled.(data), one byte per window *)
+  (* Cached per-axis optimal centers; -1 = not computed yet. *)
+  opts : int array array; (* opts.(data).(window) *)
+  merged_opts : int array;
   cands : int list option array array; (* cands.(data).(window) *)
   merged_vectors : int array option array;
   merged_cands : int list option array;
@@ -47,15 +66,20 @@ let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable) mesh trace
     kernel;
     windows;
     merged = Reftrace.Trace.merged trace;
+    size = Pim.Mesh.size mesh;
     xdist = Pim.Mesh.x_distance_table mesh;
     ydist = Pim.Mesh.y_distance_table mesh;
-    full_dist =
+    naive_dist =
       (match kernel with
       | `Naive -> Some (Pim.Mesh.distance_table mesh)
       | `Separable -> None);
     margs = Array.init n_data (fun _ -> Array.make n_windows None);
     merged_margs = Array.make n_data None;
-    vectors = Array.init n_data (fun _ -> Array.make n_windows None);
+    arena = Array.make n_data None;
+    row_off = Array.make n_data [||];
+    filled = Array.init n_data (fun _ -> Bytes.make n_windows '\000');
+    opts = Array.init n_data (fun _ -> Array.make n_windows (-1));
+    merged_opts = Array.make n_data (-1);
     cands = Array.init n_data (fun _ -> Array.make n_windows None);
     merged_vectors = Array.make n_data None;
     merged_cands = Array.make n_data None;
@@ -106,13 +130,7 @@ let distance t a b =
   let c = Pim.Mesh.cols t.mesh in
   t.xdist.(a mod c).(b mod c) + t.ydist.(a / c).(b / c)
 
-let distance_table t =
-  match t.full_dist with
-  | Some d -> d
-  | None ->
-      let d = Pim.Mesh.distance_table t.mesh in
-      t.full_dist <- Some d;
-      d
+let axis_tables t = (t.xdist, t.ydist)
 
 (* Cache accounting (merged-window lookups fold into the same names):
    totals are per-(datum, window) and each row has a single writer, so
@@ -145,25 +163,89 @@ let merged_marginals t ~data =
       t.merged_margs.(data) <- Some m;
       m
 
+let ensure_arena t ~data =
+  match t.arena.(data) with
+  | Some a -> a
+  | None ->
+      let n_windows = Array.length t.windows in
+      let off = Array.make n_windows 0 in
+      let slots = ref 1 in
+      for w = 0 to n_windows - 1 do
+        if Reftrace.Window.references t.windows.(w) data > 0 then begin
+          off.(w) <- !slots * t.size;
+          incr slots
+        end
+      done;
+      let len = !slots * t.size in
+      let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout len in
+      Bigarray.Array1.fill (Bigarray.Array1.sub a 0 t.size) 0;
+      t.row_off.(data) <- off;
+      t.arena.(data) <- Some a;
+      if !Obs.enabled then
+        Obs.Metrics.add "problem.arena_bytes" (8 * len);
+      a
+
 (* Same integers as [Cost.Naive.cost_vector], with distances read off the
-   full table and the profile walked once per center. Only reachable under
-   [`Naive], which materialized the table at [create]. *)
-let compute_vector_naive t w ~data =
+   private full table and the profile walked once per center; [set] targets
+   either an arena slab or a plain array. Only reachable under [`Naive],
+   which materialized the table at [create]. *)
+let naive_entries t w ~data ~set =
   hit "cost.naive_builds";
   let dist =
-    match t.full_dist with Some d -> d | None -> assert false
+    match t.naive_dist with Some d -> d | None -> assert false
   in
-  let m = Array.length dist in
-  let v = Array.make m 0 in
   let profile = Reftrace.Window.profile w data in
-  for center = 0 to m - 1 do
+  for center = 0 to t.size - 1 do
     let row = dist.(center) in
-    v.(center) <-
-      List.fold_left
-        (fun acc (proc, count) -> acc + (count * row.(proc)))
-        0 profile
-  done;
-  v
+    set center
+      (List.fold_left
+         (fun acc (proc, count) -> acc + (count * row.(proc)))
+         0 profile)
+  done
+
+let fill_separable t ~window ~data ~dst ~off =
+  hit "cost.separable_builds";
+  Cost.fill_slab_of_marginals
+    ~wrap:(Pim.Mesh.wraps t.mesh)
+    ~cols:(Pim.Mesh.cols t.mesh)
+    ~rows:(Pim.Mesh.rows t.mesh)
+    (marginals t ~window ~data)
+    ~dst ~off
+
+let fill_row t ~window ~data =
+  let a = ensure_arena t ~data in
+  (* zero-reference rows resolve to the shared zero slot — both kernels
+     produce the all-zero vector for them, so no build is charged *)
+  let off = t.row_off.(data).(window) in
+  if off > 0 then begin
+    match t.kernel with
+    | `Separable -> fill_separable t ~window ~data ~dst:a ~off
+    | `Naive ->
+        naive_entries t t.windows.(window) ~data ~set:(fun center v ->
+            a.{off + center} <- v)
+  end;
+  Bytes.set t.filled.(data) window '\001';
+  a
+
+let arena_row t ~window ~data =
+  if Bytes.get t.filled.(data) window = '\000' then begin
+    hit "problem.vector_miss";
+    let a = fill_row t ~window ~data in
+    (a, t.row_off.(data).(window))
+  end
+  else begin
+    hit "problem.vector_hit";
+    ((match t.arena.(data) with Some a -> a | None -> assert false),
+     t.row_off.(data).(window))
+  end
+
+let cost_entry t ~window ~data center =
+  let a, off = arena_row t ~window ~data in
+  a.{off + center}
+
+let cost_vector t ~window ~data =
+  let a, off = arena_row t ~window ~data in
+  Array.init t.size (fun i -> a.{off + i})
 
 let vector_from_marginals t m =
   hit "cost.separable_builds";
@@ -173,21 +255,6 @@ let vector_from_marginals t m =
     ~rows:(Pim.Mesh.rows t.mesh)
     m
 
-let cost_vector t ~window ~data =
-  match t.vectors.(data).(window) with
-  | Some v ->
-      hit "problem.vector_hit";
-      v
-  | None ->
-      hit "problem.vector_miss";
-      let v =
-        match t.kernel with
-        | `Separable -> vector_from_marginals t (marginals t ~window ~data)
-        | `Naive -> compute_vector_naive t t.windows.(window) ~data
-      in
-      t.vectors.(data).(window) <- Some v;
-      v
-
 let merged_vector t ~data =
   match t.merged_vectors.(data) with
   | Some v ->
@@ -196,12 +263,78 @@ let merged_vector t ~data =
   | None ->
       hit "problem.vector_miss";
       let v =
-        match t.kernel with
-        | `Separable -> vector_from_marginals t (merged_marginals t ~data)
-        | `Naive -> compute_vector_naive t t.merged ~data
+        if Reftrace.Window.references t.merged data = 0 then
+          Array.make t.size 0
+        else
+          match t.kernel with
+          | `Separable ->
+              vector_from_marginals t (merged_marginals t ~data)
+          | `Naive ->
+              let v = Array.make t.size 0 in
+              naive_entries t t.merged ~data ~set:(fun center c ->
+                  v.(center) <- c);
+              v
       in
       t.merged_vectors.(data) <- Some v;
       v
+
+(* Vector-free fast path (Definition 4): per-axis argmin straight from the
+   marginals under [`Separable]; ascending arena-row scan under [`Naive].
+   Both orders agree with the full-vector ascending argmin, so unbounded
+   schedulers can take this without changing a single placement. *)
+let optimal_center t ~window ~data =
+  let cached = t.opts.(data).(window) in
+  if cached >= 0 then cached
+  else begin
+    let c =
+      match t.kernel with
+      | `Separable ->
+          hit "cost.argmin_fast";
+          fst
+            (Cost.argmin_of_marginals
+               ~wrap:(Pim.Mesh.wraps t.mesh)
+               ~cols:(Pim.Mesh.cols t.mesh)
+               ~rows:(Pim.Mesh.rows t.mesh)
+               (marginals t ~window ~data))
+      | `Naive ->
+          hit "cost.argmin_fallback";
+          let a, off = arena_row t ~window ~data in
+          let best = ref 0 in
+          for i = 1 to t.size - 1 do
+            if a.{off + i} < a.{off + !best} then best := i
+          done;
+          !best
+    in
+    t.opts.(data).(window) <- c;
+    c
+  end
+
+let merged_optimal_center t ~data =
+  let cached = t.merged_opts.(data) in
+  if cached >= 0 then cached
+  else begin
+    let c =
+      match t.kernel with
+      | `Separable ->
+          hit "cost.argmin_fast";
+          fst
+            (Cost.argmin_of_marginals
+               ~wrap:(Pim.Mesh.wraps t.mesh)
+               ~cols:(Pim.Mesh.cols t.mesh)
+               ~rows:(Pim.Mesh.rows t.mesh)
+               (merged_marginals t ~data))
+      | `Naive ->
+          hit "cost.argmin_fallback";
+          let v = merged_vector t ~data in
+          let best = ref 0 in
+          for i = 1 to t.size - 1 do
+            if v.(i) < v.(!best) then best := i
+          done;
+          !best
+    in
+    t.merged_opts.(data) <- c;
+    c
+  end
 
 let candidates t ~window ~data =
   match t.cands.(data).(window) with
@@ -210,7 +343,8 @@ let candidates t ~window ~data =
       l
   | None ->
       hit "problem.candidates_miss";
-      let l = Processor_list.of_cost_vector (cost_vector t ~window ~data) in
+      let a, off = arena_row t ~window ~data in
+      let l = Processor_list.of_costs ~n:t.size (fun i -> a.{off + i}) in
       t.cands.(data).(window) <- Some l;
       l
 
@@ -264,7 +398,7 @@ let path_cost t ~data pairs =
   let rec go prev acc = function
     | [] -> acc
     | (w, center) :: rest ->
-        let refc = (cost_vector t ~window:w ~data).(center) in
+        let refc = cost_entry t ~window:w ~data center in
         let move =
           match prev with None -> 0 | Some p -> distance t p center
         in
@@ -279,19 +413,23 @@ let trajectory_cost t ~data centers =
       (Printf.sprintf
          "Problem.trajectory_cost: %d centers for %d windows"
          (Array.length centers) n);
-  let cost = ref (cost_vector t ~window:0 ~data).(centers.(0)) in
+  let cost = ref (cost_entry t ~window:0 ~data centers.(0)) in
   for w = 1 to n - 1 do
     cost :=
       !cost
       + distance t centers.(w - 1) centers.(w)
-      + (cost_vector t ~window:w ~data).(centers.(w))
+      + cost_entry t ~window:w ~data centers.(w)
   done;
   !cost
 
 let prefetch_data t ~data =
   for w = 0 to n_windows t - 1 do
-    ignore (cost_vector t ~window:w ~data)
+    ignore (arena_row t ~window:w ~data)
   done
+
+let layer_slab t ~data =
+  prefetch_data t ~data;
+  (ensure_arena t ~data, t.row_off.(data))
 
 let prefetch_all t =
   Obs.Span.with_ ~name:"problem.prefetch_all" @@ fun () ->
@@ -309,6 +447,19 @@ let prefetch_referenced t =
           end)
         t.windows;
       if not !referenced then ignore (merged_candidates t ~data))
+
+let prefetch_centers t =
+  Obs.Span.with_ ~name:"problem.prefetch_centers" @@ fun () ->
+  Engine.iter ~jobs:t.jobs (n_data t) (fun data ->
+      let referenced = ref false in
+      Array.iteri
+        (fun w window ->
+          if Reftrace.Window.references window data > 0 then begin
+            referenced := true;
+            ignore (optimal_center t ~window:w ~data)
+          end)
+        t.windows;
+      if not !referenced then ignore (merged_optimal_center t ~data))
 
 let prefetch_merged t =
   Obs.Span.with_ ~name:"problem.prefetch_merged" @@ fun () ->
@@ -332,19 +483,22 @@ let fresh_memory t =
   | Bounded c -> Pim.Memory.create t.mesh ~capacity:c
 
 let layer_vectors t ~data =
-  Array.init (n_windows t) (fun w -> cost_vector t ~window:w ~data)
+  let slab, offs = layer_slab t ~data in
+  Array.init (n_windows t) (fun w ->
+      Array.init t.size (fun i -> slab.{offs.(w) + i}))
 
 let layered t ~data =
-  let vectors = layer_vectors t ~data in
+  let slab, offs = layer_slab t ~data in
   let cols = Pim.Mesh.cols t.mesh in
+  let width = t.size in
   let xd = t.xdist and yd = t.ydist in
   {
-    Pathgraph.Layered.n_layers = Array.length vectors;
-    width = Pim.Mesh.size t.mesh;
-    enter_cost = (fun j -> vectors.(0).(j));
+    Pathgraph.Layered.n_layers = n_windows t;
+    width;
+    enter_cost = (fun j -> slab.{offs.(0) + j});
     step_cost =
       (fun ~layer j k ->
         xd.(j mod cols).(k mod cols)
         + yd.(j / cols).(k / cols)
-        + vectors.(layer).(k));
+        + slab.{offs.(layer) + k});
   }

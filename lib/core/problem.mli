@@ -6,9 +6,17 @@
     instance cheap:
 
     - per-axis mesh distance tables ({!Pim.Mesh.x_distance_table}), so
-      distance probes are two array reads; the full O(size²) matrix is
-      only materialized for consumers that index it directly;
-    - per-(datum, window) axis marginals, cost vectors and
+      distance probes are two array reads; no O(size²) rank-to-rank matrix
+      exists in the context (the [`Naive] kernel keeps a private one for
+      its oracle-role vector builds only);
+    - a flat compact {e cost arena} per datum: one bigarray slab holding a
+      row per referencing window plus one shared all-zero row that every
+      non-referencing window points at, filled lazily per (datum, window)
+      row. The slab is allocated uninitialized — no memory traffic is
+      spent zeroing rows that are either written in full or never
+      materialized. Consumers read through {!cost_entry}/{!layer_slab}
+      (allocation-free) or {!cost_vector} (a copy);
+    - per-(datum, window) axis marginals, optimal centers and
       capacity-fallback candidate lists, filled lazily and kept for every
       later algorithm, sweep or refinement pass on the same instance;
     - a [jobs] knob sizing the {!Engine} domain pool used to fill those
@@ -19,13 +27,11 @@
     loop still runs serially in the algorithm's documented order — a
     [Problem.t] at [jobs = 8] yields byte-identical schedules to [jobs = 1].
 
-    Thread-safety contract for the caches: a cache row belongs to one datum.
-    Parallel phases must partition data across domains (as {!Engine.map}
-    does) so each row has a single writer; {!distance_table} (a lazy,
-    whole-context cell) must only be forced from serial phases — under the
-    [`Naive] kernel, whose parallel vector builds read it, it is built
-    eagerly at {!create}. Everything else in [t] is immutable after
-    {!create}. *)
+    Thread-safety contract for the caches: a cache row belongs to one datum
+    — the arena buffer and its filled flags, the marginal/center/candidate
+    rows. Parallel phases must partition data across domains (as
+    {!Engine.map} does) so each row has a single writer. Everything else in
+    [t] is immutable after {!create}. *)
 
 (** How much data each processor's local memory holds. [Unbounded] models
     infinite memories; [Bounded c] gives every processor [c] slots (the
@@ -33,11 +39,11 @@
     {!Pim.Memory.capacity_for}). *)
 type capacity_policy = Unbounded | Bounded of int
 
-(** Which cost-kernel fills the vector caches. [`Separable] (the default)
-    builds each vector in O(P + refs) from axis marginals via prefix sums
+(** Which cost-kernel fills the arena. [`Separable] (the default) builds
+    each vector row in O(P + refs) from axis marginals via prefix sums
     ({!Cost}); [`Naive] is the direct O(P · refs) table walk
     ({!Cost.Naive}), kept as the cross-check oracle and benchmark
-    baseline. Both produce byte-identical vectors. *)
+    baseline. Both produce byte-identical entries. *)
 type kernel = [ `Separable | `Naive ]
 
 type t
@@ -104,10 +110,10 @@ val merged : t -> Reftrace.Window.t
     tables (two reads — safe in parallel phases). *)
 val distance : t -> int -> int -> int
 
-(** [distance_table t] materializes (lazily, once) the full rank-to-rank
-    matrix for inner loops that index it directly. Serial phases only —
-    force it before fanning work out (as {!Gomcds.schedule} does). *)
-val distance_table : t -> int array array
+(** [axis_tables t] is the cached [(x_distance_table, y_distance_table)]
+    pair — the inputs {!Pathgraph.Layered.solve_axes} consumes, so the
+    layered DP never needs a full rank-to-rank matrix. Read-only. *)
+val axis_tables : t -> int array array * int array array
 
 (** [marginals t ~window ~data] is {!Reftrace.Window.marginals} for the
     pair, cached — the separable kernel's input, also summed directly by
@@ -118,17 +124,39 @@ val marginals : t -> window:int -> data:int -> int array * int array
 (** [merged_marginals t ~data] is the marginal pair against {!merged}. *)
 val merged_marginals : t -> data:int -> int array * int array
 
-(** [cost_vector t ~window ~data] is {!Cost.cost_vector} for the pair,
-    cached: the first call computes (via the context's {!kernel}), every
-    later one — from any algorithm run on this context — is an array
-    read. *)
+(** [cost_entry t ~window ~data center] is the datum's communication cost
+    served from [center] in the window — one arena read after the row's
+    first touch, no allocation. The workhorse accessor for incremental
+    evaluators (annealing deltas, trajectory sums). *)
+val cost_entry : t -> window:int -> data:int -> int -> int
+
+(** [cost_vector t ~window ~data] is {!Cost.cost_vector} for the pair as a
+    {e fresh copy} of the arena row — callers may mutate it freely. Prefer
+    {!cost_entry}/{!layer_slab} on hot paths. *)
 val cost_vector : t -> window:int -> data:int -> int array
 
-(** [merged_vector t ~data] is the cost vector against {!merged}. *)
+(** [merged_vector t ~data] is the cost vector against {!merged}, cached
+    (shared array — treat as read-only). *)
 val merged_vector : t -> data:int -> int array
 
+(** [optimal_center t ~window ~data] is the paper's Definition 4 for the
+    pair — the minimum-cost center, lowest rank on ties — cached, and
+    computed {e without} touching the cost vector under [`Separable]:
+    {!Cost.argmin_of_marginals} reads the two axis marginals in
+    O(cols + rows) (counter [cost.argmin_fast]). Under [`Naive] it falls
+    back to an ascending scan of the arena row (counter
+    [cost.argmin_fallback]); both orders equal the full-vector ascending
+    argmin, so unbounded schedulers taking this fast path place every
+    datum exactly where the vector route did. *)
+val optimal_center : t -> window:int -> data:int -> int
+
+(** [merged_optimal_center t ~data] is {!optimal_center} against
+    {!merged}. *)
+val merged_optimal_center : t -> data:int -> int
+
 (** [candidates t ~window ~data] is the paper's processor list for the
-    pair: ranks sorted by cost vector entry, ties by rank ({!Processor_list.of_cost_vector}), cached. *)
+    pair: ranks sorted by cost entry, ties by rank
+    ({!Processor_list.of_costs} over the arena row), cached. *)
 val candidates : t -> window:int -> data:int -> int list
 
 (** [merged_candidates t ~data] is the processor list against {!merged}. *)
@@ -145,8 +173,8 @@ val ranks_near : t -> target:int -> int list
 val by_total_references : t -> int list
 
 (** [path_cost t ~data pairs] is {!Cost.path_cost} with window {e indices}
-    instead of window values, reading cached cost vectors and the distance
-    tables: Σ vector.(center) over the [(window, center)] pairs plus
+    instead of window values, reading arena entries and the distance
+    tables: Σ entry(center) over the [(window, center)] pairs plus
     movement between consecutive centers. The cheap way to reconstruct or
     audit a per-datum schedule cost on a context that has already priced
     the datum.
@@ -159,30 +187,48 @@ val path_cost : t -> data:int -> (int * int) list -> int
     @raise Invalid_argument unless [Array.length centers = n_windows t]. *)
 val trajectory_cost : t -> data:int -> int array -> int
 
-(** [layer_vectors t ~data] is the datum's cost vector for every window,
-    one row per window — the dense form {!Pathgraph.Layered.solve_dense}
-    consumes. Forces (and caches) the datum's full vector row. *)
+(** [layer_slab t ~data] forces every window row of the datum's arena
+    buffer and returns [(slab, offsets)]: window [w]'s vector occupies
+    [slab.{offsets.(w)} .. slab.{offsets.(w) + P - 1}] with
+    [P = Pim.Mesh.size]. The slab is compact — windows that never
+    reference the datum all share the reserved zero row at offset 0, so
+    the buffer holds one row per {e referencing} window plus one — and is
+    a bigarray allocated uninitialized (each referencing row is written in
+    full before it is readable; only the zero row is cleared eagerly).
+    Exactly the form {!Pathgraph.Layered.solve_axes} consumes via its
+    [offsets] argument; treat both as read-only. *)
+val layer_slab : t -> data:int -> Pathgraph.Layered.buffer * int array
+
+(** [layer_vectors t ~data] is the datum's cost vector for every window as
+    fresh row copies (the dense {!Pathgraph.Layered.solve_dense} shape —
+    now only the cross-check oracle's input). Forces the arena row. *)
 val layer_vectors : t -> data:int -> int array array
 
 (** [layered t ~data] is the GOMCDS cost-graph DP for one datum
-    ({!Gomcds.cost_problem}) reading cached cost vectors and the per-axis
-    distance tables. Forces the datum's full vector row. *)
+    ({!Gomcds.cost_problem}) reading the arena slab and the per-axis
+    distance tables. Forces the datum's arena rows. *)
 val layered : t -> data:int -> Pathgraph.Layered.problem
 
-(** [prefetch_data t ~data] forces every window's cost vector for one
-    datum — the unit of work a pool domain claims. *)
+(** [prefetch_data t ~data] forces every window row of one datum's arena
+    buffer — the unit of work a pool domain claims. *)
 val prefetch_data : t -> data:int -> unit
 
-(** [prefetch_all t] fills every (datum, window) cost vector on the domain
+(** [prefetch_all t] fills every (datum, window) arena row on the domain
     pool. Bounded-memory algorithms call this so their serial allocation
     loop only reads. *)
 val prefetch_all : t -> unit
 
-(** [prefetch_referenced t] fills, in parallel, cost vectors {e and}
+(** [prefetch_referenced t] fills, in parallel, arena rows {e and}
     candidate lists for every (datum, window) pair where the window
     references the datum, plus the merged row for data never referenced —
-    exactly what LOMCDS's serial loop reads. *)
+    exactly what LOMCDS's bounded serial loop reads. *)
 val prefetch_referenced : t -> unit
+
+(** [prefetch_centers t] fills, in parallel, the {!optimal_center} cache
+    for every referencing (datum, window) pair plus
+    {!merged_optimal_center} for data never referenced — the vector-free
+    working set of the unbounded LOMCDS fast path. *)
+val prefetch_centers : t -> unit
 
 (** [prefetch_merged t] fills every datum's merged vector and candidate
     list on the pool (SCDS's working set). *)

@@ -1,10 +1,12 @@
-let of_cost_vector v =
-  let ranks = List.init (Array.length v) Fun.id in
+let of_costs ~n cost =
+  let ranks = List.init n Fun.id in
   List.sort
     (fun a b ->
-      let c = Int.compare v.(a) v.(b) in
+      let c = Int.compare (cost a) (cost b) in
       if c <> 0 then c else Int.compare a b)
     ranks
+
+let of_cost_vector v = of_costs ~n:(Array.length v) (Array.get v)
 
 let for_data mesh window ~data =
   of_cost_vector (Cost.cost_vector mesh window ~data)

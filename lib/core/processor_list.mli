@@ -5,7 +5,12 @@
     full, the datum goes to the first processor in the list with a free
     slot. Ties break on the smaller rank so schedules are deterministic. *)
 
-(** [of_cost_vector v] sorts ranks by [(v.(rank), rank)] ascending. *)
+(** [of_costs ~n cost] sorts ranks [0 .. n-1] by [(cost rank, rank)]
+    ascending. The callback form lets {!Sched.Problem} build lists straight
+    off an arena row without copying the vector out first. *)
+val of_costs : n:int -> (int -> int) -> int list
+
+(** [of_cost_vector v] is [of_costs] over an explicit vector. *)
 val of_cost_vector : int array -> int list
 
 (** [for_data mesh window ~data] is the candidate list for [data] under

@@ -46,15 +46,18 @@ let refine ?(max_sweeps = 8) problem schedule =
     progress := false;
     List.iter
       (fun data ->
-        let dist = Problem.distance_table problem in
-        let vectors = Problem.layer_vectors problem ~data in
+        let xdist, ydist = Problem.axis_tables problem in
+        let vectors, offsets = Problem.layer_slab problem ~data in
         let traj = Schedule.centers_of_data sched ~data in
         Array.iteri
           (fun w r -> loads.(w).(r) <- loads.(w).(r) - 1)
           traj;
         let current = Problem.trajectory_cost problem ~data traj in
         let adopted =
-          match Pathgraph.Layered.solve_dense_filtered ~dist ~vectors ~allowed with
+          match
+            Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist ~ydist
+              ~vectors ~width:m ~n_layers:n_windows ~allowed ()
+          with
           | Some (cost, centers) when cost < current ->
               Array.iteri
                 (fun w rank ->

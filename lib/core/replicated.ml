@@ -27,16 +27,8 @@ let nearest mesh set proc =
           if dr < db || (dr = db && r < best) then r else best)
         first rest
 
-let read_cost mesh set profile =
-  List.fold_left
-    (fun acc (proc, count) ->
-      acc + (count * Pim.Mesh.distance mesh (nearest mesh set proc) proc))
-    0 profile
-
-(* One-shot variant of [read_cost] over a kind's profile, folded straight
-   off the window (iteration order does not matter for a sum). [run]'s
-   greedy keeps the list form: it re-prices the same profile per candidate
-   rank. *)
+(* Nearest-copy read cost of a kind's profile, folded straight off the
+   window (iteration order does not matter for a sum). *)
 let kind_cost mesh set ~kind window data =
   let acc = ref 0 in
   Reftrace.Window.iter_kind_profile ~kind window data (fun ~proc ~count ->
@@ -50,6 +42,11 @@ let run ?capacity ?(max_copies = 2) mesh trace =
   let n_windows = Reftrace.Trace.n_windows trace in
   let m = Pim.Mesh.size mesh in
   let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  (* per-axis distance tables: candidate pricing decomposes every
+     copy-to-reader distance into two table reads *)
+  let xd = Pim.Mesh.x_distance_table mesh
+  and yd = Pim.Mesh.y_distance_table mesh in
+  let cols = Pim.Mesh.cols mesh in
   (* the primary copy follows the exact GOMCDS trajectory *)
   let primary = Gomcds.run ?capacity mesh trace in
   let loads = Array.make_matrix n_windows m 0 in
@@ -75,10 +72,35 @@ let run ?capacity ?(max_copies = 2) mesh trace =
         let written = Reftrace.Window.writes windows.(w) data > 0 in
         let profile = Reftrace.Window.read_profile windows.(w) data in
         if profile <> [] && not written then begin
+          (* Snapshot the read profile into parallel arrays once per
+             (window, datum): the greedy prices every candidate rank
+             against it, and per-axis decomposition turns each reader
+             distance into two table reads instead of a profile re-walk. *)
+          let np = List.length profile in
+          let counts = Array.make np 0 in
+          let px = Array.make np 0
+          and py = Array.make np 0 in
+          List.iteri
+            (fun i (p, c) ->
+              counts.(i) <- c;
+              px.(i) <- p mod cols;
+              py.(i) <- p / cols)
+            profile;
+          let dist_to r i = xd.(r mod cols).(px.(i)) + yd.(r / cols).(py.(i)) in
+          let base = Array.make np 0 in
           (* greedy secondary placement: best strict improvement first *)
           let continue = ref true in
           while !continue && List.length !set < max_copies do
-            let current = read_cost mesh !set profile in
+            (* distance to the nearest current copy, once per reader per
+               greedy round; a candidate's gain is then
+               Σ count · max(0, base − d(candidate, reader)) — the same
+               integer the old [read_cost] re-walk produced *)
+            for i = 0 to np - 1 do
+              base.(i) <-
+                List.fold_left
+                  (fun acc s -> min acc (dist_to s i))
+                  max_int !set
+            done;
             let sources = !set @ !prev_set in
             let best = ref None in
             for r = 0 to m - 1 do
@@ -87,8 +109,13 @@ let run ?capacity ?(max_copies = 2) mesh trace =
                   if List.mem r !prev_set then 0
                   else Pim.Mesh.distance mesh (nearest mesh sources r) r
                 in
-                let gain = current - read_cost mesh (r :: !set) profile in
-                let net = gain - creation in
+                let gain = ref 0 in
+                for i = 0 to np - 1 do
+                  let d = dist_to r i in
+                  if d < base.(i) then
+                    gain := !gain + (counts.(i) * (base.(i) - d))
+                done;
+                let net = !gain - creation in
                 (* first positive-net rank seeds; later ranks must strictly
                    beat it, so ties resolve to the lowest rank *)
                 let better =

@@ -1,16 +1,29 @@
 let placement problem =
   Problem.check_feasible problem ~who:"Scds.run";
-  (* parallel phase: merged-window processor lists, one row per datum *)
-  Problem.prefetch_merged problem;
-  (* serial phase: heaviest-first allocation, identical at any jobs count *)
-  let memory = Problem.fresh_memory problem in
-  let result = Array.make (Problem.n_data problem) 0 in
-  List.iter
-    (fun data ->
-      result.(data) <-
-        Processor_list.assign memory (Problem.merged_candidates problem ~data))
-    (Problem.by_total_references problem);
-  result
+  match Problem.policy problem with
+  | Problem.Unbounded ->
+      (* Vector-free fast path: with unbounded memories [assign] always
+         takes the head of the processor list, which is exactly the
+         lowest-rank cost argmin — so each datum's center is
+         [merged_optimal_center] (O(cols + rows) from marginals under the
+         separable kernel), no vector or candidate list needed. Per-datum
+         and order-free, so it fans out across the pool. *)
+      Engine.map ~jobs:(Problem.jobs problem) (Problem.n_data problem)
+        (fun data -> Problem.merged_optimal_center problem ~data)
+  | Problem.Bounded _ ->
+      (* parallel phase: merged-window processor lists, one row per datum *)
+      Problem.prefetch_merged problem;
+      (* serial phase: heaviest-first allocation, identical at any jobs
+         count *)
+      let memory = Problem.fresh_memory problem in
+      let result = Array.make (Problem.n_data problem) 0 in
+      List.iter
+        (fun data ->
+          result.(data) <-
+            Processor_list.assign memory
+              (Problem.merged_candidates problem ~data))
+        (Problem.by_total_references problem);
+      result
 
 let schedule problem =
   Schedule.constant (Problem.mesh problem)

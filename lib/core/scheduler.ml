@@ -11,6 +11,8 @@ type algorithm =
   | Gomcds_grouped
   | Gomcds_refined
   | Best_refined
+  | Annealing of int
+  | Online of float
 
 let all =
   [
@@ -41,8 +43,10 @@ let name = function
   | Gomcds_grouped -> "gomcds-grouped"
   | Gomcds_refined -> "gomcds-refined"
   | Best_refined -> "best-refined"
+  | Annealing _ -> "annealing"
+  | Online _ -> "online"
 
-let valid_names = List.map name all
+let valid_names = List.map name all @ [ "annealing"; "online" ]
 
 let of_name s =
   match String.lowercase_ascii (String.trim s) with
@@ -58,6 +62,8 @@ let of_name s =
   | "gomcds-grouped" -> Gomcds_grouped
   | "gomcds-refined" -> Gomcds_refined
   | "best-refined" -> Best_refined
+  | "annealing" -> Annealing 0xBEEF
+  | "online" -> Online 2.
   | _ ->
       invalid_arg
         (Printf.sprintf "Scheduler.of_name: unknown %S (expected one of: %s)"
@@ -83,6 +89,8 @@ let solve problem algorithm =
   | Gomcds_grouped -> Grouping.schedule ~centers:`Global problem
   | Gomcds_refined -> Refine.refined problem
   | Best_refined -> Refine.best_schedule problem
+  | Annealing seed -> fst (Annealing.anneal ~seed problem)
+  | Online theta -> Online.schedule ~theta problem
 
 let evaluate_in problem algorithm =
   let schedule = solve problem algorithm in

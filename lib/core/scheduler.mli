@@ -24,8 +24,17 @@ type algorithm =
   | Best_refined
       (** portfolio: refine GOMCDS, LOMCDS and both grouping variants to a
           fixed point and keep the cheapest (our extension) *)
+  | Annealing of int
+      (** {!Annealing.anneal} on the shared context at the given seed —
+          the structure-blind comparator (our extension) *)
+  | Online of float
+      (** {!Online.schedule} on the shared context at the given hysteresis
+          theta (our extension) *)
 
-(** Every algorithm, in presentation order. *)
+(** Every algorithm in the paper's presentation order — the portfolio
+    {e compare} sweeps. [Annealing]/[Online] are dispatchable by name but
+    excluded here: one is orders of magnitude slower than the rest, the
+    other answers a different (no-lookahead) question. *)
 val all : algorithm list
 
 val name : algorithm -> string

@@ -1,3 +1,5 @@
+type buffer = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type problem = {
   n_layers : int;
   width : int;
@@ -142,6 +144,114 @@ let solve_dense_general ~dist ~vectors ~allowed =
     done;
     Some (cur.(!best_node), centers)
   end
+
+(* Axis-table form of [solve_dense_general]: the step distance is read off
+   the two per-axis tables (dist(j,k) = xd(jx,kx) + yd(jy,ky)) so no
+   O(width²) rank-to-rank matrix ever exists, and the layer vectors are
+   rows of one flat arena buffer — row [layer] starts at
+   [offsets.(layer)], or [layer * width] when no offset table is given
+   (back-to-back layout). Offsets may repeat: a compact arena points every
+   zero layer at one shared row. The relaxation visits sources j ascending
+   and targets k ascending (k = ky·cols + kx in row-major order) with the
+   same strict comparison as the dense form, so predecessors and final
+   centers break ties identically — [test/test_fastpath.ml] pins the two
+   byte-equal. *)
+let solve_axes_general ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
+    ~allowed () =
+  if n_layers <= 0 then invalid_arg "Layered: n_layers must be positive";
+  if width <= 0 then invalid_arg "Layered: width must be positive";
+  let cols = Array.length xdist and rows = Array.length ydist in
+  if cols * rows <> width then
+    invalid_arg "Layered: axis tables do not factor the layer width";
+  let dim = Bigarray.Array1.dim vectors in
+  let offs =
+    match offsets with
+    | Some o ->
+        if Array.length o < n_layers then
+          invalid_arg "Layered: offset table shorter than n_layers";
+        Array.iter
+          (fun off ->
+            if off < 0 || off + width > dim then
+              invalid_arg "Layered: layer offset outside the vector buffer")
+          o;
+        o
+    | None ->
+        if dim < n_layers * width then
+          invalid_arg
+            "Layered: flat vector buffer shorter than n_layers x width";
+        Array.init n_layers (fun w -> w * width)
+  in
+  Obs.Span.with_ ~name:"layered.solve" @@ fun () ->
+  let inf = max_int in
+  let cur = Array.make width inf in
+  let choice = Array.make_matrix n_layers width (-1) in
+  let off0 = offs.(0) in
+  for j = 0 to width - 1 do
+    if allowed ~layer:0 j then cur.(j) <- vectors.{off0 + j}
+  done;
+  let best = Array.make width inf in
+  let from = Array.make width (-1) in
+  let nodes = ref 0 in
+  for layer = 1 to n_layers - 1 do
+    Array.fill best 0 width inf;
+    for j = 0 to width - 1 do
+      let dj = cur.(j) in
+      if dj <> inf then begin
+        incr nodes;
+        let xrow = xdist.(j mod cols) and yrow = ydist.(j / cols) in
+        let k = ref 0 in
+        for ky = 0 to rows - 1 do
+          let base = dj + yrow.(ky) in
+          for kx = 0 to cols - 1 do
+            let c = base + xrow.(kx) in
+            if c < best.(!k) then begin
+              best.(!k) <- c;
+              from.(!k) <- j
+            end;
+            incr k
+          done
+        done
+      end
+    done;
+    let voff = offs.(layer) in
+    let ch = choice.(layer) in
+    for k = 0 to width - 1 do
+      if best.(k) <> inf && allowed ~layer k then begin
+        cur.(k) <- best.(k) + vectors.{voff + k};
+        ch.(k) <- from.(k)
+      end
+      else cur.(k) <- inf
+    done
+  done;
+  report_solve ~nodes:!nodes ~edges:(!nodes * width);
+  let best_node = ref (-1) in
+  for j = 0 to width - 1 do
+    if cur.(j) <> inf && (!best_node = -1 || cur.(j) < cur.(!best_node))
+    then best_node := j
+  done;
+  if !best_node = -1 then None
+  else begin
+    let centers = Array.make n_layers (-1) in
+    centers.(n_layers - 1) <- !best_node;
+    for layer = n_layers - 1 downto 1 do
+      centers.(layer - 1) <- choice.(layer).(centers.(layer))
+    done;
+    Some (cur.(!best_node), centers)
+  end
+
+let solve_axes ?offsets ~xdist ~ydist ~vectors ~width ~n_layers () =
+  match
+    solve_axes_general ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
+      ~allowed:(fun ~layer:_ _ -> true)
+      ()
+  with
+  | Some r -> r
+  | None -> assert false (* unrestricted problem is always feasible *)
+
+let solve_axes_filtered ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
+    ~allowed () =
+  solve_axes_general ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
+    ~allowed ()
 
 let solve_dense ~dist ~vectors =
   match solve_dense_general ~dist ~vectors ~allowed:(fun ~layer:_ _ -> true)

@@ -7,6 +7,12 @@
     explicit-{!Digraph} route (via {!to_digraph}) exists for cross-checking
     against {!Shortest_path}. *)
 
+(** Flat layer-vector buffer for the axis-table solvers: a 1-D [int]
+    bigarray, so arena slabs can be allocated {e uninitialized} (only
+    rows actually written cost memory traffic — an [int array] would
+    zero-fill every row on allocation). *)
+type buffer = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type problem = {
   n_layers : int;  (** number of layers (execution windows) *)
   width : int;  (** nodes per layer (processors) *)
@@ -43,6 +49,46 @@ val solve_dense_filtered :
   dist:int array array ->
   vectors:int array array ->
   allowed:(layer:int -> int -> bool) ->
+  (int * int array) option
+
+(** [solve_axes ?offsets ~xdist ~ydist ~vectors ~width ~n_layers ()] is
+    {!solve_dense} with the step distance decomposed onto the two per-axis
+    tables of a row-major [rows]×[cols] mesh — [xdist] is [cols]×[cols],
+    [ydist] [rows]×[rows], [width = cols·rows] and
+    [dist(j, k) = xdist.(j mod cols).(k mod cols) +
+    ydist.(j / cols).(k / cols)] — so no O(width²) rank-to-rank matrix is
+    ever materialized. [vectors] is one flat buffer holding the layer cost
+    rows: layer [w] occupies
+    [vectors.(offsets.(w)) .. vectors.(offsets.(w) + width - 1)]. Offsets
+    may repeat — a compact arena slab from {!Sched.Problem.layer_slab}
+    points every non-referencing layer at one shared zero row. When
+    [offsets] is omitted the rows are assumed back to back
+    ([offsets.(w) = w·width]). Results, including every tie-break, are
+    identical to {!solve_dense} over the factored full table.
+    @raise Invalid_argument if the axis tables do not factor [width], an
+    offset row overruns the buffer, or (without [offsets]) the buffer is
+    shorter than [n_layers · width]. *)
+val solve_axes :
+  ?offsets:int array ->
+  xdist:int array array ->
+  ydist:int array array ->
+  vectors:buffer ->
+  width:int ->
+  n_layers:int ->
+  unit ->
+  int * int array
+
+(** [solve_axes_filtered ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
+    ~allowed ()] is {!solve_filtered} on the axis-table representation. *)
+val solve_axes_filtered :
+  ?offsets:int array ->
+  xdist:int array array ->
+  ydist:int array array ->
+  vectors:buffer ->
+  width:int ->
+  n_layers:int ->
+  allowed:(layer:int -> int -> bool) ->
+  unit ->
   (int * int array) option
 
 (** [to_digraph p] materializes the cost-graph exactly as the paper describes

@@ -2,7 +2,13 @@ type event = { step : int; proc : int; data : int; kind : Window.kind }
 
 let event ?(kind = Window.Read) ~step ~proc ~data () =
   { step; proc; data; kind }
-type t = { space : Data_space.t; windows : Window.t array }
+type t = {
+  space : Data_space.t;
+  windows : Window.t array;
+  (* whole-execution window, computed on first demand; merging is a
+     commutative sum per (datum, rank), so window order never matters *)
+  mutable merged_memo : Window.t option;
+}
 
 let create space windows =
   let n = Data_space.size space in
@@ -15,7 +21,7 @@ let create space windows =
              "Trace.create: window over %d data, space has %d elements"
              (Window.n_data w) n))
     windows;
-  { space; windows = Array.of_list windows }
+  { space; windows = Array.of_list windows; merged_memo = None }
 
 let space t = t.space
 let n_windows t = Array.length t.windows
@@ -30,7 +36,13 @@ let windows t = Array.to_list t.windows
 let total_references t =
   Array.fold_left (fun acc w -> acc + Window.total_references w) 0 t.windows
 
-let merged t = Window.merge_list (windows t)
+let merged t =
+  match t.merged_memo with
+  | Some w -> w
+  | None ->
+      let w = Window.merge_list (windows t) in
+      t.merged_memo <- Some w;
+      w
 
 let validate t mesh =
   let limit = Pim.Mesh.size mesh in
@@ -72,12 +84,17 @@ let append a b =
   in
   create merged_space ws
 
-let reversed t = { t with windows = Array.of_list (List.rev (windows t)) }
+let reversed t =
+  {
+    t with
+    windows = Array.of_list (List.rev (windows t));
+    merged_memo = None;
+  }
 
 let drop_empty_windows t =
   match List.filter (fun w -> not (Window.is_empty w)) (windows t) with
-  | [] -> { t with windows = [| t.windows.(0) |] }
-  | ws -> { t with windows = Array.of_list ws }
+  | [] -> { t with windows = [| t.windows.(0) |]; merged_memo = None }
+  | ws -> { t with windows = Array.of_list ws; merged_memo = None }
 
 let pp fmt t =
   Format.fprintf fmt "trace over %a: %d windows, %d references" Data_space.pp

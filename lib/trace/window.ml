@@ -8,7 +8,7 @@ type t = {
   (* dense combined (reads + writes) counts, indexed by processor rank and
      grown on demand; the source the separable cost kernel reads marginals
      from. [combined.(data).(proc)] is maintained incrementally by [add]
-     (and therefore summed by [merge], which goes through [add]). *)
+     and summed row-wise by [merge]. *)
   mutable combined : int array array;
   (* per-datum combined reference totals, maintained by [add] *)
   totals : int array;
@@ -103,16 +103,25 @@ let marginals t ~data ~cols ~rows =
     invalid_arg "Window.marginals: mesh extents must be positive";
   let mx = Array.make cols 0 and my = Array.make rows 0 in
   let row = t.combined.(data) in
+  let size = cols * rows in
+  (* track (x, y) incrementally instead of a div/mod per rank — the walk
+     over the dense row is the hot half of every separable-kernel fill *)
+  let x = ref 0 and y = ref 0 in
   for proc = 0 to Array.length row - 1 do
     let count = row.(proc) in
     if count > 0 then begin
-      if proc >= cols * rows then
+      if proc >= size then
         invalid_arg
           (Printf.sprintf
              "Window.marginals: processor rank %d outside %dx%d mesh" proc
              rows cols);
-      mx.(proc mod cols) <- mx.(proc mod cols) + count;
-      my.(proc / cols) <- my.(proc / cols) + count
+      mx.(!x) <- mx.(!x) + count;
+      my.(!y) <- my.(!y) + count
+    end;
+    incr x;
+    if !x = cols then begin
+      x := 0;
+      incr y
     end
   done;
   (mx, my)
@@ -138,31 +147,55 @@ let referenced_data t =
 
 let is_empty t = Array.for_all (fun c -> c = 0) t.totals
 
-let pour ~into src =
-  Array.iteri
-    (fun data tbl ->
-      Hashtbl.iter
-        (fun proc count -> add into ~kind:Read ~data ~proc ~count)
-        tbl)
-    src.reads;
-  Array.iteri
-    (fun data tbl ->
-      Hashtbl.iter
-        (fun proc count -> add into ~kind:Write ~data ~proc ~count)
-        tbl)
-    src.writes_
+(* Merging sums the dense combined rows and totals directly and adds the
+   kind tables entry-wise — no per-reference [add] round-trip through
+   [bump_combined]. Equal to replaying every (proc, count) reference of
+   [src] into [into] (the regression property in test/test_fastpath.ml):
+   every operation is a commutative sum, so table iteration order is
+   immaterial. *)
+let merge_table ~into src =
+  Hashtbl.iter
+    (fun proc count ->
+      match Hashtbl.find_opt into proc with
+      | Some c -> Hashtbl.replace into proc (c + count)
+      | None -> Hashtbl.add into proc count)
+    src
+
+let merge_into ~into src =
+  for data = 0 to into.n_data - 1 do
+    merge_table ~into:into.reads.(data) src.reads.(data);
+    merge_table ~into:into.writes_.(data) src.writes_.(data);
+    let srow = src.combined.(data) in
+    let slen = Array.length srow in
+    if slen > 0 then begin
+      let row = into.combined.(data) in
+      let row =
+        if slen <= Array.length row then row
+        else begin
+          let grown = Array.make (max slen (2 * Array.length row)) 0 in
+          Array.blit row 0 grown 0 (Array.length row);
+          into.combined.(data) <- grown;
+          grown
+        end
+      in
+      for proc = 0 to slen - 1 do
+        row.(proc) <- row.(proc) + srow.(proc)
+      done
+    end;
+    into.totals.(data) <- into.totals.(data) + src.totals.(data)
+  done
 
 let merge a b =
   if a.n_data <> b.n_data then
     invalid_arg "Window.merge: mismatched data spaces";
   let m = create ~n_data:a.n_data in
-  pour ~into:m a;
-  pour ~into:m b;
+  merge_into ~into:m a;
+  merge_into ~into:m b;
   m
 
 let copy t =
   let c = create ~n_data:t.n_data in
-  pour ~into:c t;
+  merge_into ~into:c t;
   c
 
 let merge_list = function

@@ -59,10 +59,14 @@ let step_histograms events =
   in
   (steps, Array.map normalize histos)
 
+(* Total variation is 1/2 the L1 distance of two frequency vectors, so it
+   lies in [0, 1] — but the frequencies are quotients of event counts and
+   rounding can push the sum a few ulps past 1, which would make even
+   [threshold = 1.] split. Clamp to the mathematical range. *)
 let total_variation p q =
   let acc = ref 0. in
   Array.iteri (fun i x -> acc := !acc +. abs_float (x -. q.(i))) p;
-  0.5 *. !acc
+  Float.min 1. (0.5 *. !acc)
 
 let adaptive ?(threshold = 0.25) space events =
   if threshold < 0. || threshold > 1. then

@@ -224,17 +224,26 @@ let shared_trace () =
 
 let test_with_policy_and_jobs_share_caches () =
   let problem = Sched.Problem.create Gen.mesh44 (shared_trace ()) in
-  let v = Sched.Problem.cost_vector problem ~window:0 ~data:0 in
+  (* cost_vector copies out of the shared arena, so physical sharing is
+     observed through the candidate-list cache and the slab itself *)
+  let l = Sched.Problem.candidates problem ~window:0 ~data:0 in
+  let slab = fst (Sched.Problem.layer_slab problem ~data:0) in
   let bounded =
     Sched.Problem.with_policy problem (Sched.Problem.Bounded 2)
   in
   let jobs2 = Sched.Problem.with_jobs problem 2 in
   Alcotest.(check bool)
-    "with_policy serves the same cached array" true
-    (v == Sched.Problem.cost_vector bounded ~window:0 ~data:0);
+    "with_policy serves the same cached list" true
+    (l == Sched.Problem.candidates bounded ~window:0 ~data:0);
   Alcotest.(check bool)
-    "with_jobs serves the same cached array" true
-    (v == Sched.Problem.cost_vector jobs2 ~window:0 ~data:0)
+    "with_policy serves the same arena slab" true
+    (slab == fst (Sched.Problem.layer_slab bounded ~data:0));
+  Alcotest.(check bool)
+    "with_jobs serves the same cached list" true
+    (l == Sched.Problem.candidates jobs2 ~window:0 ~data:0);
+  Alcotest.(check bool)
+    "with_jobs serves the same arena slab" true
+    (slab == fst (Sched.Problem.layer_slab jobs2 ~data:0))
 
 let test_with_kernel_rebuilds () =
   let problem = Sched.Problem.create Gen.mesh44 (shared_trace ()) in
@@ -259,15 +268,20 @@ let test_build_counters () =
       Sched.Problem.prefetch_all sep;
       Sched.Problem.prefetch_all sep;
       let snap = Obs.Metrics.snapshot () in
-      (* 2 data x 3 windows, built exactly once despite the second prefetch *)
-      check_int "separable builds" 6 (metric "cost.separable_builds" snap);
+      (* 4 of the 2 data x 3 window pairs carry references; the other two
+         keep the arena's zero fill and charge no build. Each is built
+         exactly once despite the second prefetch. *)
+      check_int "separable builds" 4 (metric "cost.separable_builds" snap);
       check_int "no naive builds" 0 (metric "cost.naive_builds" snap);
-      check_int "marginal misses" 6 (metric "problem.marginals_miss" snap);
+      check_int "marginal misses" 4 (metric "problem.marginals_miss" snap);
+      check_int "arena bytes"
+        (8 * 2 * 3 * 16)
+        (metric "problem.arena_bytes" snap);
       Obs.reset ();
       let nai = Sched.Problem.create ~kernel:`Naive Gen.mesh44 trace in
       Sched.Problem.prefetch_all nai;
       let snap = Obs.Metrics.snapshot () in
-      check_int "naive builds" 6 (metric "cost.naive_builds" snap);
+      check_int "naive builds" 4 (metric "cost.naive_builds" snap);
       check_int "no separable builds" 0
         (metric "cost.separable_builds" snap))
 

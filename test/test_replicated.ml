@@ -153,8 +153,123 @@ let test_lu_replication_limited_by_writes () =
     "but writes cap the win" true
     (float_of_int replicated > 0.5 *. float_of_int single)
 
+(* Differential oracle for the greedy pricing rewrite: the pre-rewrite
+   [run] re-priced the whole read profile with [read_cost] for every
+   candidate rank; the current one prices each candidate from per-axis
+   distance tables and a per-round base array. Both must pick identical
+   copy sets and charge identical creation transfers, so we keep the old
+   greedy verbatim (modulo using only exported APIs) and replay it. *)
+module Pricing_oracle = struct
+  let nearest mesh set proc =
+    match set with
+    | [] -> invalid_arg "nearest: empty copy set"
+    | first :: rest ->
+        List.fold_left
+          (fun best r ->
+            let db = Pim.Mesh.distance mesh best proc
+            and dr = Pim.Mesh.distance mesh r proc in
+            if dr < db || (dr = db && r < best) then r else best)
+          first rest
+
+  let read_cost mesh set profile =
+    List.fold_left
+      (fun acc (proc, count) ->
+        acc + (count * Pim.Mesh.distance mesh (nearest mesh set proc) proc))
+      0 profile
+
+  (* copy sets and total creation charge of the pre-rewrite greedy *)
+  let run ?capacity ?(max_copies = 2) mesh trace =
+    let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+    let n_windows = Reftrace.Trace.n_windows trace in
+    let m = Pim.Mesh.size mesh in
+    let windows = Array.of_list (Reftrace.Trace.windows trace) in
+    let primary = Sched.Gomcds.run ?capacity mesh trace in
+    let loads = Array.make_matrix n_windows m 0 in
+    for w = 0 to n_windows - 1 do
+      for d = 0 to n_data - 1 do
+        let r = Sched.Schedule.center primary ~window:w ~data:d in
+        loads.(w).(r) <- loads.(w).(r) + 1
+      done
+    done;
+    let has_room w r =
+      match capacity with None -> true | Some c -> loads.(w).(r) < c
+    in
+    let copies = Array.make_matrix n_windows n_data [] in
+    let creation_total = ref 0 in
+    List.iter
+      (fun data ->
+        let prev_set = ref [] in
+        for w = 0 to n_windows - 1 do
+          let home = Sched.Schedule.center primary ~window:w ~data in
+          let set = ref [ home ] in
+          let written = Reftrace.Window.writes windows.(w) data > 0 in
+          let profile = Reftrace.Window.read_profile windows.(w) data in
+          if profile <> [] && not written then begin
+            let continue = ref true in
+            while !continue && List.length !set < max_copies do
+              let current = read_cost mesh !set profile in
+              let sources = !set @ !prev_set in
+              let best = ref None in
+              for r = 0 to m - 1 do
+                if (not (List.mem r !set)) && has_room w r then begin
+                  let creation =
+                    if List.mem r !prev_set then 0
+                    else Pim.Mesh.distance mesh (nearest mesh sources r) r
+                  in
+                  let gain = current - read_cost mesh (r :: !set) profile in
+                  let net = gain - creation in
+                  let better =
+                    match !best with
+                    | None -> net > 0
+                    | Some (_, _, best_net) -> net > best_net
+                  in
+                  if better then best := Some (r, creation, net)
+                end
+              done;
+              match !best with
+              | Some (r, creation, net) when net > 0 ->
+                  creation_total := !creation_total + creation;
+                  set := !set @ [ r ];
+                  loads.(w).(r) <- loads.(w).(r) + 1
+              | Some _ | None -> continue := false
+            done
+          end;
+          copies.(w).(data) <- !set;
+          prev_set := !set
+        done)
+      (Sched.Ordering.by_total_references trace);
+    (copies, !creation_total)
+end
+
+let prop_pricing_matches_old_oracle =
+  let arb = Gen.trace_arbitrary ~max_data:5 ~max_windows:4 ~max_count:4 () in
+  QCheck.Test.make
+    ~name:"axis-table greedy pricing equals the old read_cost greedy"
+    ~count:50 arb (fun t ->
+      let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
+      let n_windows = Reftrace.Trace.n_windows t in
+      let tight = Pim.Memory.capacity_for ~data_count:n ~mesh ~headroom:2 in
+      List.for_all
+        (fun (capacity, max_copies) ->
+          let r = Sched.Replicated.run ?capacity ~max_copies mesh t in
+          let oracle_copies, oracle_creation =
+            Pricing_oracle.run ?capacity ~max_copies mesh t
+          in
+          (Sched.Replicated.cost r mesh t).Sched.Replicated.creation
+          = oracle_creation
+          && List.for_all
+               (fun w ->
+                 List.for_all
+                   (fun data ->
+                     Sched.Replicated.copies r ~window:w ~data
+                     = oracle_copies.(w).(data))
+                   (List.init n Fun.id))
+               (List.init n_windows Fun.id))
+        [ (None, 1); (None, 3); (None, 4); (Some tight, 4) ])
+
 let suite =
   [
+    Gen.to_alcotest prop_pricing_matches_old_oracle;
     Gen.case "single copy equals gomcds" test_single_copy_equals_gomcds;
     Gen.case "written datum stays single copy" test_written_datum_stays_single_copy;
     Gen.case "write traffic to primary" test_write_traffic_charged_to_primary;
