@@ -661,7 +661,7 @@ let kernel_bench_on ~topology kmesh =
   let capacity =
     Pim.Memory.capacity_for ~data_count:n_data ~mesh:kmesh ~headroom:2
   in
-  let prefetch kernel =
+  let prefetch ?fault kernel =
     let best = ref infinity in
     for _ = 1 to reps do
       (* context creation (incl. the naive kernel's eager distance table)
@@ -670,7 +670,7 @@ let kernel_bench_on ~topology kmesh =
          charge one rep's allocation to the next rep's clock *)
       let problem =
         Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity)
-          ~jobs:1 ~kernel kmesh trace
+          ~jobs:1 ~kernel ?fault kmesh trace
       in
       Gc.full_major ();
       let t0 = Unix.gettimeofday () in
@@ -681,6 +681,34 @@ let kernel_bench_on ~topology kmesh =
   in
   let pf_naive = prefetch `Naive in
   let pf_separable = prefetch `Separable in
+  (* Fault.none zero-overhead: a context carrying the explicit healthy
+     fault must take the exact same fill path. The timing row is
+     informational (wall clocks are noise-prone in CI); the gate is
+     byte-identical arena rows. *)
+  let pf_fault_none = prefetch ~fault:Pim.Fault.none `Separable in
+  let healthy =
+    Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) ~jobs:1
+      ~kernel:`Separable kmesh trace
+  and fault_none =
+    Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) ~jobs:1
+      ~kernel:`Separable ~fault:Pim.Fault.none kmesh trace
+  in
+  List.iteri
+    (fun w window ->
+      List.iter
+        (fun data ->
+          if
+            Sched.Problem.cost_vector healthy ~window:w ~data
+            <> Sched.Problem.cost_vector fault_none ~window:w ~data
+          then begin
+            Printf.eprintf
+              "FAIL: Fault.none arena row differs from healthy (window %d, \
+               datum %d, %s)\n"
+              w data topology;
+            exit 1
+          end)
+        (Reftrace.Window.referenced_data window))
+    windows;
   (* the PR 3 context fill this repo shipped before the arena: one heap
      vector per (window, datum) pair, zero-reference pairs included,
      plus the O(P^2) rank-to-rank distance table the layered DP consumed
@@ -724,6 +752,8 @@ let kernel_bench_on ~topology kmesh =
     "per-vector fill (pre-arena)" (pf_legacy *. 1e3) "prefetch_all speedup"
     (pf_naive /. pf_separable) "arena speedup vs per-vector"
     arena_speedup;
+  Printf.printf "%-34s %10.3f ms  (rows gated byte-identical)\n"
+    "prefetch_all, Fault.none" (pf_fault_none *. 1e3);
   if separable > naive then begin
     Printf.eprintf
       "FAIL: separable kernel slower than naive on LU 16x16 %s (%.3f ms vs \
@@ -756,6 +786,7 @@ let kernel_bench_on ~topology kmesh =
       ("prefetch_separable_ms", Obs.Json.Float (pf_separable *. 1e3));
       ("prefetch_speedup", Obs.Json.Float (pf_naive /. pf_separable));
       ("prefetch_legacy_ms", Obs.Json.Float (pf_legacy *. 1e3));
+      ("prefetch_fault_none_ms", Obs.Json.Float (pf_fault_none *. 1e3));
       ("arena_speedup_vs_per_vector", Obs.Json.Float arena_speedup);
     ]
 

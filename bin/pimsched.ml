@@ -6,6 +6,7 @@
      table         regenerate the paper's Table 1 or Table 2
      example       print the Section 3.3 worked example (Figure 1)
      show          ASCII heatmaps of a window and a schedule
+     faults        degradation ablation under seeded node/link faults
      export-trace  serialize a workload's reference trace to a file *)
 
 open Cmdliner
@@ -476,6 +477,86 @@ let run_profile algorithm workload size mesh_shape torus partition unbounded
       Printf.printf "metrics written to %s\n" path
   | None -> ()
 
+let run_faults algorithm workload size mesh_shape torus partition unbounded
+    trace_file jobs kernel seed rates link_rate at json_out metrics_json =
+  obs_begin metrics_json;
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  let problem =
+    Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+  in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  let at =
+    match at with
+    | Some w -> w
+    | None -> if n_windows <= 1 then 0 else max 1 (n_windows / 2)
+  in
+  Printf.printf
+    "degradation ablation: %s, faults arrive before window %d (seed %d, \
+     link-rate %.3f)\n"
+    (Sched.Scheduler.name algorithm)
+    at seed link_rate;
+  Printf.printf "%-6s %-5s %-5s %8s %10s %12s %7s %8s %7s %7s\n" "rate"
+    "dead" "links" "planned" "rescheduled" "no-resched" "evict" "reroute"
+    "undeliv" "remap";
+  let rows =
+    List.map
+      (fun node_rate ->
+        let fault =
+          Pim.Fault.inject ~seed ~node_rate ~link_rate mesh
+        in
+        let events = [ { Sched.Resilience.window = at; fault } ] in
+        let re = Sched.Resilience.run ~reschedule:true ~events problem
+            algorithm
+        and keep = Sched.Resilience.run ~reschedule:false ~events problem
+            algorithm
+        in
+        Printf.printf "%-6.3f %-5d %-5d %8d %10d %12d %7d %8d %7d %7d\n"
+          node_rate
+          (Pim.Fault.n_dead_nodes fault)
+          (Pim.Fault.n_dead_links fault)
+          re.Sched.Resilience.planned_cost re.Sched.Resilience.paid_cost
+          keep.Sched.Resilience.paid_cost re.Sched.Resilience.evicted
+          re.Sched.Resilience.reroute_hops re.Sched.Resilience.undeliverable
+          re.Sched.Resilience.remapped_refs;
+        Obs.Json.Obj
+          [
+            ("node_rate", Obs.Json.Float node_rate);
+            ("link_rate", Obs.Json.Float link_rate);
+            ("dead_nodes", Obs.Json.Int (Pim.Fault.n_dead_nodes fault));
+            ("dead_links", Obs.Json.Int (Pim.Fault.n_dead_links fault));
+            ("planned_cost", Obs.Json.Int re.Sched.Resilience.planned_cost);
+            ("paid_rescheduled", Obs.Json.Int re.Sched.Resilience.paid_cost);
+            ( "paid_no_reschedule",
+              Obs.Json.Int keep.Sched.Resilience.paid_cost );
+            ("evicted", Obs.Json.Int re.Sched.Resilience.evicted);
+            ("evicted_cost", Obs.Json.Int re.Sched.Resilience.evicted_cost);
+            ("reroute_hops", Obs.Json.Int re.Sched.Resilience.reroute_hops);
+            ("remapped_refs", Obs.Json.Int re.Sched.Resilience.remapped_refs);
+            ( "undeliverable",
+              Obs.Json.Int re.Sched.Resilience.undeliverable );
+            ("reschedules", Obs.Json.Int re.Sched.Resilience.reschedules);
+          ])
+      rates
+  in
+  (match json_out with
+  | Some path ->
+      Obs.Json.write_file path
+        (Obs.Json.Obj
+           [
+             ("schema", Obs.Json.String "pim-sched-faults/1");
+             ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+             ("workload", Obs.Json.String (workload_to_string workload));
+             ("seed", Obs.Json.Int seed);
+             ("event_window", Obs.Json.Int at);
+             ("rows", Obs.Json.List rows);
+           ]);
+      Printf.printf "ablation written to %s\n" path
+  | None -> ());
+  obs_finish ~command:"faults" ~jobs metrics_json
+
 let run_export workload size mesh_shape torus partition output =
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh None in
@@ -623,6 +704,63 @@ let replicate_cmd =
       const run_replicate $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ copies_arg)
 
+let faults_cmd =
+  let algorithm_pos_arg =
+    Arg.(
+      value
+      & pos 0 algorithm_conv Sched.Scheduler.Gomcds
+      & info [] ~docv:"ALGORITHM"
+          ~doc:"Scheduler to degrade (same names as --algorithm).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Fault-injection seed (same seed, same fault sets).")
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.05; 0.1; 0.2 ]
+      & info [ "rates" ] ~docv:"R,R,..."
+          ~doc:"Node fault rates to sweep (fraction of processors killed).")
+  in
+  let link_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "link-rate" ] ~docv:"R"
+          ~doc:
+            "Link fault rate applied at every sweep point (dead links force \
+             detours and downgrade the separable kernel).")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"W"
+          ~doc:
+            "Window before which the faults strike (default: mid-run, \
+             $(b,n_windows / 2)).")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:"Write the ablation table as JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Degradation ablation: inject seeded node/link faults mid-run and \
+          compare reschedule-on-failure against riding out the original \
+          plan")
+    Term.(
+      const run_faults $ algorithm_pos_arg $ workload_arg $ size_arg
+      $ mesh_arg $ torus_arg $ partition_arg $ unbounded_arg $ trace_file_arg
+      $ jobs_arg $ kernel_arg $ seed_arg $ rates_arg $ link_rate_arg $ at_arg
+      $ json_out_arg $ metrics_json_arg)
+
 let export_cmd =
   let output_arg =
     Arg.(
@@ -717,6 +855,7 @@ let main =
       example_cmd;
       show_cmd;
       replicate_cmd;
+      faults_cmd;
       export_cmd;
       sweep_cmd;
       stats_cmd;

@@ -73,7 +73,26 @@ let anneal ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial problem =
     in
     volume.(d) * (refs + moves)
   in
-  let initial_cost = Schedule.total_cost sched trace in
+  (* Fault-aware pricing: on a degraded context the healthy
+     Schedule.total_cost no longer matches the arena entries the deltas
+     read, so total from the context instead (identical when healthy, but
+     the healthy path keeps the exact historical call). *)
+  let total_now () =
+    if Pim.Fault.is_none (Problem.fault problem) then
+      Schedule.total_cost sched trace
+    else begin
+      let sum = ref 0 in
+      for d = 0 to n_data - 1 do
+        sum :=
+          !sum
+          + volume.(d)
+            * Problem.trajectory_cost problem ~data:d
+                (Schedule.centers_of_data sched ~data:d)
+      done;
+      !sum
+    end
+  in
+  let initial_cost = total_now () in
   let current = ref initial_cost in
   let accepted = ref 0 in
   (* geometric cooling from a temperature comparable to typical deltas *)
@@ -87,7 +106,9 @@ let anneal ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial problem =
     let room =
       match capacity with None -> true | Some c -> loads.(w).(r') < c
     in
-    if r' <> r && room then begin
+    (* dead ranks are never proposed; the rng draw count is unchanged, so
+       Fault.none runs replay the exact historical trajectory *)
+    if r' <> r && room && Problem.rank_alive problem r' then begin
       let dl = delta w d r r' in
       let accept =
         dl <= 0
@@ -105,7 +126,7 @@ let anneal ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial problem =
     end;
     temp := Float.max 1e-6 (!temp *. cooling)
   done;
-  assert (!current = Schedule.total_cost sched trace);
+  assert (!current = total_now ());
   ( sched,
     {
       iterations;

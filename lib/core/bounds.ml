@@ -1,19 +1,13 @@
 let lower_bound_in problem =
   let space = Problem.space problem in
-  let xdist, ydist = Problem.axis_tables problem in
-  let width = Pim.Mesh.size (Problem.mesh problem) in
-  let n_layers = Problem.n_windows problem in
   (* one independent DP per datum: fan out, merge by index *)
   let costs =
     Engine.map
       ~jobs:(Problem.jobs problem)
       (Problem.n_data problem)
       (fun data ->
-        let vectors, offsets = Problem.layer_slab problem ~data in
         Reftrace.Data_space.volume_of space data
-        * fst
-            (Pathgraph.Layered.solve_axes ~offsets ~xdist ~ydist ~vectors
-               ~width ~n_layers ()))
+        * fst (Option.get (Problem.solve_datum problem ~data)))
   in
   Array.fold_left ( + ) 0 costs
 

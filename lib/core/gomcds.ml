@@ -26,20 +26,16 @@ let schedule problem =
   let schedule =
     Schedule.create (Problem.mesh problem) ~n_windows ~n_data
   in
-  let xdist, ydist = Problem.axis_tables problem in
-  let width = Pim.Mesh.size (Problem.mesh problem) in
   (match Problem.policy problem with
   | Problem.Unbounded ->
       (* Every datum's DP is independent: fan the whole solve out across
          the domain pool and merge by datum index. The axis-table DP reads
          each datum's arena slab in place — no full distance matrix, no
-         per-window vector rows. *)
+         per-window vector rows. Problem.solve_datum folds the fault in
+         (alive mask, BFS distances). *)
       let centers =
         Engine.map ~jobs:(Problem.jobs problem) n_data (fun data ->
-            let vectors, offsets = Problem.layer_slab problem ~data in
-            snd
-              (Pathgraph.Layered.solve_axes ~offsets ~xdist ~ydist ~vectors
-                 ~width ~n_layers:n_windows ()))
+            snd (Option.get (Problem.solve_datum problem ~data)))
       in
       Array.iteri
         (fun data cs ->
@@ -47,26 +43,21 @@ let schedule problem =
             (fun w rank -> Schedule.set_center schedule ~window:w ~data rank)
             cs)
         centers
-  | Problem.Bounded c ->
+  | Problem.Bounded _ ->
       (* Occupancy evolves datum by datum, so routing is serial — but the
          cost vectors it reads are filled in parallel first. *)
       Problem.prefetch_all problem;
       Obs.Span.with_ ~name:"gomcds.place" @@ fun () ->
       let mems =
-        Array.init n_windows (fun _ ->
-            Pim.Memory.create (Problem.mesh problem) ~capacity:c)
+        Array.init n_windows (fun _ -> Problem.fresh_memory problem)
       in
       List.iter
         (fun data ->
-          let vectors, offsets = Problem.layer_slab problem ~data in
           let allowed ~layer j = not (Pim.Memory.is_full mems.(layer) j) in
           (* Placing data one at a time into capacity c with
-             n_data <= c * processors means every layer always retains a
-             free slot, so a feasible path exists. *)
-          let result =
-            Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist ~ydist
-              ~vectors ~width ~n_layers:n_windows ~allowed ()
-          in
+             n_data <= c * alive processors means every layer always
+             retains a free slot, so a feasible path exists. *)
+          let result = Problem.solve_datum problem ~allowed ~data in
           let _, centers = Option.get result in
           Array.iteri
             (fun layer rank ->

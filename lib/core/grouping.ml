@@ -30,6 +30,21 @@ let vector_ops =
         (c, v.(c)));
   }
 
+(* Vector ops whose [best] skips dead ranks (ties still break to the
+   lowest alive rank) — the degraded-context currency: arena vectors are
+   already fault-priced, only center choice needs the mask. *)
+let masked_vector_ops alive =
+  {
+    vector_ops with
+    best =
+      (fun v ->
+        let best = ref (-1) in
+        for i = 0 to Array.length v - 1 do
+          if alive i && (!best < 0 || v.(i) < v.(!best)) then best := i
+        done;
+        (!best, v.(!best)));
+  }
+
 (* The minimizers of cx(x) + cy(y) form a product set, so the lowest
    row-major rank among them is (lowest argmin cy, lowest argmin cx) —
    the same tie order as [vector_ops.best]'s ascending scan. *)
@@ -115,7 +130,7 @@ let greedy_ranges ~ops ~dist ~items ~n =
 
 (* Re-optimize group centers with the shortest-path DP (GOMCDS over merged
    windows). *)
-let refine_centers ~dist ~to_vector groups =
+let refine_centers ?alive ~dist ~to_vector groups =
   match groups with
   | [] -> []
   | _ ->
@@ -130,7 +145,14 @@ let refine_centers ~dist ~to_vector groups =
           step_cost = (fun ~layer j k -> dist j k + vecs.(layer).(k));
         }
       in
-      let _, centers = Pathgraph.Layered.solve problem in
+      let _, centers =
+        match alive with
+        | None -> Pathgraph.Layered.solve problem
+        | Some ok ->
+            Option.get
+              (Pathgraph.Layered.solve_filtered problem
+                 ~allowed:(fun ~layer:_ j -> ok j))
+      in
       List.mapi
         (fun i (lo, hi, v, _) -> (lo, hi, v, centers.(i)))
         groups
@@ -171,6 +193,26 @@ let to_groups indices ranges =
 
 let groups problem ~data ~centers =
   let dist = Problem.distance problem in
+  if not (Pim.Fault.is_none (Problem.fault problem)) then begin
+    (* Degraded context: always run the vector path — the arena vectors
+       carry the fault-aware prices under either kernel (marginal pricing
+       would ignore dead links), and the masked ops keep centers off dead
+       ranks. *)
+    let alive = Problem.rank_alive problem in
+    let indices, vectors = referenced_vectors problem ~data in
+    match Array.length vectors with
+    | 0 -> []
+    | n ->
+        let ops = masked_vector_ops alive in
+        let ranges = greedy_ranges ~ops ~dist ~items:vectors ~n in
+        let ranges =
+          match centers with
+          | `Local -> ranges
+          | `Global -> refine_centers ~alive ~dist ~to_vector:Fun.id ranges
+        in
+        to_groups indices ranges
+  end
+  else
   match Problem.kernel problem with
   | `Naive -> (
       let indices, vectors = referenced_vectors problem ~data in
@@ -216,7 +258,7 @@ let partition mesh trace ~data ~centers =
    dp.(i).(c) = cheapest cost of covering referenced windows 0..i with the
    last group ending at i and centered at c. Prefix-summed cost vectors make
    any group's vector O(m) to read off. *)
-let optimal_ranges ~dist ~vectors ~n =
+let optimal_ranges ?(ok = fun _ -> true) ~dist ~vectors ~n () =
   let m = Array.length vectors.(0) in
   let prefix = Array.make_matrix (n + 1) m 0 in
   for i = 0 to n - 1 do
@@ -232,20 +274,23 @@ let optimal_ranges ~dist ~vectors ~n =
   let best_in = Array.make_matrix n m inf in
   for i = 0 to n - 1 do
     for c = 0 to m - 1 do
-      (* last group = (j..i) for some j *)
-      for j = 0 to i do
-        let base =
-          if j = 0 then 0
-          else best_in.(j - 1).(c)
-        in
-        if base < inf then begin
-          let cost = base + group_ref j i c in
-          if cost < dp.(i).(c) then begin
-            dp.(i).(c) <- cost;
-            parent.(i).(c) <- j
+      (* dead centers keep dp = inf, so they never host a group and the
+         best_in minimization skips them for free *)
+      if ok c then
+        (* last group = (j..i) for some j *)
+        for j = 0 to i do
+          let base =
+            if j = 0 then 0
+            else best_in.(j - 1).(c)
+          in
+          if base < inf then begin
+            let cost = base + group_ref j i c in
+            if cost < dp.(i).(c) then begin
+              dp.(i).(c) <- cost;
+              parent.(i).(c) <- j
+            end
           end
-        end
-      done
+        done
     done;
     for c = 0 to m - 1 do
       let best = ref inf in
@@ -292,7 +337,12 @@ let optimal_groups problem ~data =
   | 0 -> []
   | n ->
       let dist = Problem.distance problem in
-      let _, ranges = optimal_ranges ~dist ~vectors ~n in
+      let ok =
+        if Pim.Fault.has_node_faults (Problem.fault problem) then
+          Some (Problem.rank_alive problem)
+        else None
+      in
+      let _, ranges = optimal_ranges ?ok ~dist ~vectors ~n () in
       List.map
         (fun (lo, hi, _, center) ->
           { first = indices.(lo); last = indices.(hi); center })
@@ -327,10 +377,17 @@ let run_with_partitions problem ~partition_of =
      in) is independent of every other datum's *)
   let desired =
     Obs.Span.with_ ~name:"grouping.partitions" @@ fun () ->
+    (* parking spot for never-referenced data: rank 0, or the lowest
+       alive rank once faults kill it *)
+    let home =
+      let r = ref 0 in
+      while not (Problem.rank_alive problem !r) do incr r done;
+      !r
+    in
     Engine.map ~jobs:(Problem.jobs problem) n_data (fun data ->
         match desired_trajectory ~n_windows (partition_of ~data) with
         | Some traj -> traj
-        | None -> Array.make n_windows 0)
+        | None -> Array.make n_windows home)
   in
   let schedule =
     Schedule.create (Problem.mesh problem) ~n_windows ~n_data

@@ -1,12 +1,27 @@
 type capacity_policy = Unbounded | Bounded of int
 type kernel = [ `Separable | `Naive ]
 
+(* Cost charged for serving across a disconnected rank pair (link faults
+   can split the mesh). Large enough that any connected alternative wins,
+   small enough that profile-weighted sums stay far from overflow. *)
+let unreachable_cost = 1 lsl 40
+
 type t = {
   mesh : Pim.Mesh.t;
   trace : Reftrace.Trace.t;
   policy : capacity_policy;
   jobs : int;
   kernel : kernel;
+  fault : Pim.Fault.t;
+  alive : bool array; (* alive.(rank) — dense mask of fault's dead nodes *)
+  n_alive : int;
+  (* Fault-aware full distance table, present iff the fault kills links
+     (node faults keep routers, so distances only change under link
+     faults). Built eagerly at [create] via the BFS oracle; disconnected
+     pairs hold [unreachable_cost]. Its presence is the kernel-downgrade
+     trigger: arena rows fill from this table instead of the separable
+     marginals. *)
+  fault_dist : int array array option;
   windows : Reftrace.Window.t array;
   merged : Reftrace.Window.t;
   size : int; (* Pim.Mesh.size mesh *)
@@ -48,13 +63,33 @@ type t = {
   mutable order : int list option; (* serial phases only *)
 }
 
-let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable) mesh trace
-    =
+let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable)
+    ?(fault = Pim.Fault.none) mesh trace =
   (match policy with
   | Bounded c when c < 0 ->
       invalid_arg "Problem.create: negative capacity"
   | Bounded _ | Unbounded -> ());
   if jobs < 1 then invalid_arg "Problem.create: jobs must be >= 1";
+  Pim.Fault.validate fault mesh;
+  let size = Pim.Mesh.size mesh in
+  let alive = Array.make size true in
+  List.iter (fun r -> alive.(r) <- false) (Pim.Fault.dead_nodes fault);
+  let n_alive = Pim.Fault.alive_count fault mesh in
+  if n_alive = 0 then
+    invalid_arg "Problem.create: every processor is dead";
+  let fault_dist =
+    if not (Pim.Fault.has_link_faults fault) then None
+    else begin
+      if !Obs.enabled then Obs.Metrics.incr "cost.fault_tables";
+      let oracle = Pim.Fault.Oracle.create mesh fault in
+      Some
+        (Array.init size (fun src ->
+             Array.init size (fun dst ->
+                 match Pim.Fault.Oracle.distance oracle ~src ~dst with
+                 | Some d -> d
+                 | None -> unreachable_cost)))
+    end
+  in
   let windows = Array.of_list (Reftrace.Trace.windows trace) in
   let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
   let n_windows = Array.length windows in
@@ -64,6 +99,10 @@ let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable) mesh trace
     policy;
     jobs;
     kernel;
+    fault;
+    alive;
+    n_alive;
+    fault_dist;
     windows;
     merged = Reftrace.Trace.merged trace;
     size = Pim.Mesh.size mesh;
@@ -99,6 +138,9 @@ let policy t = t.policy
 let capacity t = match t.policy with Unbounded -> None | Bounded c -> Some c
 let jobs t = t.jobs
 let kernel t = t.kernel
+let fault t = t.fault
+let rank_alive t rank = t.alive.(rank)
+let alive_count t = t.n_alive
 
 let with_jobs t jobs =
   if jobs < 1 then invalid_arg "Problem.with_jobs: jobs must be >= 1";
@@ -113,7 +155,14 @@ let with_policy t policy =
 
 let with_kernel t kernel =
   if kernel = t.kernel then t
-  else create ~policy:t.policy ~jobs:t.jobs ~kernel t.mesh t.trace
+  else
+    create ~policy:t.policy ~jobs:t.jobs ~kernel ~fault:t.fault t.mesh t.trace
+
+let with_fault t fault =
+  if Pim.Fault.is_none fault && Pim.Fault.is_none t.fault then t
+  else
+    create ~policy:t.policy ~jobs:t.jobs ~kernel:t.kernel ~fault t.mesh
+      t.trace
 
 let space t = Reftrace.Trace.space t.trace
 let n_data t = Reftrace.Data_space.size (space t)
@@ -127,8 +176,11 @@ let window t i =
 let merged t = t.merged
 
 let distance t a b =
-  let c = Pim.Mesh.cols t.mesh in
-  t.xdist.(a mod c).(b mod c) + t.ydist.(a / c).(b / c)
+  match t.fault_dist with
+  | Some d -> d.(a).(b)
+  | None ->
+      let c = Pim.Mesh.cols t.mesh in
+      t.xdist.(a mod c).(b mod c) + t.ydist.(a / c).(b / c)
 
 let axis_tables t = (t.xdist, t.ydist)
 
@@ -185,15 +237,10 @@ let ensure_arena t ~data =
         Obs.Metrics.add "problem.arena_bytes" (8 * len);
       a
 
-(* Same integers as [Cost.Naive.cost_vector], with distances read off the
-   private full table and the profile walked once per center; [set] targets
-   either an arena slab or a plain array. Only reachable under [`Naive],
-   which materialized the table at [create]. *)
-let naive_entries t w ~data ~set =
-  hit "cost.naive_builds";
-  let dist =
-    match t.naive_dist with Some d -> d | None -> assert false
-  in
+(* Same integers as [Cost.Naive.cost_vector], with distances read off a
+   full table and the profile walked once per center; [set] targets either
+   an arena slab or a plain array. *)
+let table_entries t dist w ~data ~set =
   let profile = Reftrace.Window.profile w data in
   for center = 0 to t.size - 1 do
     let row = dist.(center) in
@@ -202,6 +249,24 @@ let naive_entries t w ~data ~set =
          (fun acc (proc, count) -> acc + (count * row.(proc)))
          0 profile)
   done
+
+(* Only reachable under [`Naive], which materialized the table at
+   [create]. *)
+let naive_entries t w ~data ~set =
+  hit "cost.naive_builds";
+  let dist =
+    match t.naive_dist with Some d -> d | None -> assert false
+  in
+  table_entries t dist w ~data ~set
+
+(* Link faults break separability, so both kernels downgrade to the BFS
+   distance table — the Obs counter records every row built this way. *)
+let fault_entries t w ~data ~set =
+  hit "cost.fault_downgrades";
+  let dist =
+    match t.fault_dist with Some d -> d | None -> assert false
+  in
+  table_entries t dist w ~data ~set
 
 let fill_separable t ~window ~data ~dst ~off =
   hit "cost.separable_builds";
@@ -218,11 +283,15 @@ let fill_row t ~window ~data =
      produce the all-zero vector for them, so no build is charged *)
   let off = t.row_off.(data).(window) in
   if off > 0 then begin
-    match t.kernel with
-    | `Separable -> fill_separable t ~window ~data ~dst:a ~off
-    | `Naive ->
-        naive_entries t t.windows.(window) ~data ~set:(fun center v ->
-            a.{off + center} <- v)
+    if t.fault_dist <> None then
+      fault_entries t t.windows.(window) ~data ~set:(fun center v ->
+          a.{off + center} <- v)
+    else
+      match t.kernel with
+      | `Separable -> fill_separable t ~window ~data ~dst:a ~off
+      | `Naive ->
+          naive_entries t t.windows.(window) ~data ~set:(fun center v ->
+              a.{off + center} <- v)
   end;
   Bytes.set t.filled.(data) window '\001';
   a
@@ -265,6 +334,12 @@ let merged_vector t ~data =
       let v =
         if Reftrace.Window.references t.merged data = 0 then
           Array.make t.size 0
+        else if t.fault_dist <> None then begin
+          let v = Array.make t.size 0 in
+          fault_entries t t.merged ~data ~set:(fun center c ->
+              v.(center) <- c);
+          v
+        end
         else
           match t.kernel with
           | `Separable ->
@@ -278,32 +353,51 @@ let merged_vector t ~data =
       t.merged_vectors.(data) <- Some v;
       v
 
+(* Ascending argmin over alive ranks only — the placement rule once a
+   fault kills nodes (ties still break to the lowest alive rank). *)
+let masked_argmin t get =
+  hit "cost.argmin_masked";
+  let best = ref (-1) in
+  for i = 0 to t.size - 1 do
+    if t.alive.(i) && (!best < 0 || get i < get !best) then best := i
+  done;
+  !best
+
+let faulty t = not (Pim.Fault.is_none t.fault)
+
 (* Vector-free fast path (Definition 4): per-axis argmin straight from the
    marginals under [`Separable]; ascending arena-row scan under [`Naive].
    Both orders agree with the full-vector ascending argmin, so unbounded
-   schedulers can take this without changing a single placement. *)
+   schedulers can take this without changing a single placement. Any fault
+   forces the masked arena scan instead: dead ranks cannot host a center,
+   and under link faults the marginals no longer price the row at all. *)
 let optimal_center t ~window ~data =
   let cached = t.opts.(data).(window) in
   if cached >= 0 then cached
   else begin
     let c =
-      match t.kernel with
-      | `Separable ->
-          hit "cost.argmin_fast";
-          fst
-            (Cost.argmin_of_marginals
-               ~wrap:(Pim.Mesh.wraps t.mesh)
-               ~cols:(Pim.Mesh.cols t.mesh)
-               ~rows:(Pim.Mesh.rows t.mesh)
-               (marginals t ~window ~data))
-      | `Naive ->
-          hit "cost.argmin_fallback";
-          let a, off = arena_row t ~window ~data in
-          let best = ref 0 in
-          for i = 1 to t.size - 1 do
-            if a.{off + i} < a.{off + !best} then best := i
-          done;
-          !best
+      if faulty t then begin
+        let a, off = arena_row t ~window ~data in
+        masked_argmin t (fun i -> a.{off + i})
+      end
+      else
+        match t.kernel with
+        | `Separable ->
+            hit "cost.argmin_fast";
+            fst
+              (Cost.argmin_of_marginals
+                 ~wrap:(Pim.Mesh.wraps t.mesh)
+                 ~cols:(Pim.Mesh.cols t.mesh)
+                 ~rows:(Pim.Mesh.rows t.mesh)
+                 (marginals t ~window ~data))
+        | `Naive ->
+            hit "cost.argmin_fallback";
+            let a, off = arena_row t ~window ~data in
+            let best = ref 0 in
+            for i = 1 to t.size - 1 do
+              if a.{off + i} < a.{off + !best} then best := i
+            done;
+            !best
     in
     t.opts.(data).(window) <- c;
     c
@@ -314,27 +408,39 @@ let merged_optimal_center t ~data =
   if cached >= 0 then cached
   else begin
     let c =
-      match t.kernel with
-      | `Separable ->
-          hit "cost.argmin_fast";
-          fst
-            (Cost.argmin_of_marginals
-               ~wrap:(Pim.Mesh.wraps t.mesh)
-               ~cols:(Pim.Mesh.cols t.mesh)
-               ~rows:(Pim.Mesh.rows t.mesh)
-               (merged_marginals t ~data))
-      | `Naive ->
-          hit "cost.argmin_fallback";
-          let v = merged_vector t ~data in
-          let best = ref 0 in
-          for i = 1 to t.size - 1 do
-            if v.(i) < v.(!best) then best := i
-          done;
-          !best
+      if faulty t then begin
+        let v = merged_vector t ~data in
+        masked_argmin t (fun i -> v.(i))
+      end
+      else
+        match t.kernel with
+        | `Separable ->
+            hit "cost.argmin_fast";
+            fst
+              (Cost.argmin_of_marginals
+                 ~wrap:(Pim.Mesh.wraps t.mesh)
+                 ~cols:(Pim.Mesh.cols t.mesh)
+                 ~rows:(Pim.Mesh.rows t.mesh)
+                 (merged_marginals t ~data))
+        | `Naive ->
+            hit "cost.argmin_fallback";
+            let v = merged_vector t ~data in
+            let best = ref 0 in
+            for i = 1 to t.size - 1 do
+              if v.(i) < v.(!best) then best := i
+            done;
+            !best
     in
     t.merged_opts.(data) <- c;
     c
   end
+
+(* Dead ranks are cut out of every candidate list — the same fallback
+   machinery that skips full memories then never proposes them. *)
+let alive_only t l =
+  if Pim.Fault.has_node_faults t.fault then
+    List.filter (fun r -> t.alive.(r)) l
+  else l
 
 let candidates t ~window ~data =
   match t.cands.(data).(window) with
@@ -344,7 +450,9 @@ let candidates t ~window ~data =
   | None ->
       hit "problem.candidates_miss";
       let a, off = arena_row t ~window ~data in
-      let l = Processor_list.of_costs ~n:t.size (fun i -> a.{off + i}) in
+      let l =
+        alive_only t (Processor_list.of_costs ~n:t.size (fun i -> a.{off + i}))
+      in
       t.cands.(data).(window) <- Some l;
       l
 
@@ -355,7 +463,7 @@ let merged_candidates t ~data =
       l
   | None ->
       hit "problem.candidates_miss";
-      let l = Processor_list.of_cost_vector (merged_vector t ~data) in
+      let l = alive_only t (Processor_list.of_cost_vector (merged_vector t ~data)) in
       t.merged_cands.(data) <- Some l;
       l
 
@@ -365,6 +473,7 @@ let ranks_near t ~target =
   | None ->
       let l =
         List.init (Pim.Mesh.size t.mesh) Fun.id
+        |> alive_only t
         |> List.sort (fun a b ->
                let c =
                  Int.compare (distance t target a) (distance t target b)
@@ -471,16 +580,22 @@ let check_feasible t ~who =
   | Unbounded -> ()
   | Bounded c ->
       let n = n_data t in
-      if c * Pim.Mesh.size t.mesh < n then
+      (* on a healthy array n_alive = size, so the message is unchanged *)
+      if c * t.n_alive < n then
         invalid_arg
           (Printf.sprintf
              "%s: %d data cannot fit in %d processors of capacity %d" who n
-             (Pim.Mesh.size t.mesh) c)
+             t.n_alive c)
 
 let fresh_memory t =
-  match t.policy with
-  | Unbounded -> Pim.Memory.unbounded t.mesh
-  | Bounded c -> Pim.Memory.create t.mesh ~capacity:c
+  let m =
+    match t.policy with
+    | Unbounded -> Pim.Memory.unbounded t.mesh
+    | Bounded c -> Pim.Memory.create t.mesh ~capacity:c
+  in
+  if Pim.Fault.has_node_faults t.fault then
+    List.iter (Pim.Memory.ban m) (Pim.Fault.dead_nodes t.fault);
+  m
 
 let layer_vectors t ~data =
   let slab, offs = layer_slab t ~data in
@@ -491,14 +606,50 @@ let layered t ~data =
   let slab, offs = layer_slab t ~data in
   let cols = Pim.Mesh.cols t.mesh in
   let width = t.size in
-  let xd = t.xdist and yd = t.ydist in
+  let step_cost =
+    match t.fault_dist with
+    | Some fd ->
+        fun ~layer j k -> fd.(j).(k) + slab.{offs.(layer) + k}
+    | None ->
+        let xd = t.xdist and yd = t.ydist in
+        fun ~layer j k ->
+          xd.(j mod cols).(k mod cols)
+          + yd.(j / cols).(k / cols)
+          + slab.{offs.(layer) + k}
+  in
   {
     Pathgraph.Layered.n_layers = n_windows t;
     width;
     enter_cost = (fun j -> slab.{offs.(0) + j});
-    step_cost =
-      (fun ~layer j k ->
-        xd.(j mod cols).(k mod cols)
-        + yd.(j / cols).(k / cols)
-        + slab.{offs.(layer) + k});
+    step_cost;
   }
+
+let solve_datum ?allowed t ~data =
+  (* Compose the caller's filter with the alive mask; no closure is built
+     on the healthy unfiltered path. *)
+  let combined =
+    match (allowed, Pim.Fault.has_node_faults t.fault) with
+    | None, false -> None
+    | None, true -> Some (fun ~layer:_ j -> t.alive.(j))
+    | (Some _ as f), false -> f
+    | Some f, true -> Some (fun ~layer j -> t.alive.(j) && f ~layer j)
+  in
+  match t.fault_dist with
+  | None -> (
+      let vectors, offsets = layer_slab t ~data in
+      let width = t.size and n_layers = n_windows t in
+      match combined with
+      | None ->
+          Some
+            (Pathgraph.Layered.solve_axes ~offsets ~xdist:t.xdist
+               ~ydist:t.ydist ~vectors ~width ~n_layers ())
+      | Some allowed ->
+          Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist:t.xdist
+            ~ydist:t.ydist ~vectors ~width ~n_layers ~allowed ())
+  | Some _ -> (
+      (* link faults: the axis tables no longer factor the distances, so
+         the DP runs on the callback problem over the BFS table *)
+      let p = layered t ~data in
+      match combined with
+      | None -> Some (Pathgraph.Layered.solve p)
+      | Some allowed -> Pathgraph.Layered.solve_filtered p ~allowed)

@@ -48,15 +48,28 @@ type kernel = [ `Separable | `Naive ]
 
 type t
 
-(** [create ?policy ?jobs ?kernel mesh trace] builds the context. [policy]
-    defaults to [Unbounded]; [jobs] (default [1]) sizes the domain pool,
-    and {!Engine.default_jobs} picks a machine-fitted value; [kernel]
-    defaults to [`Separable].
-    @raise Invalid_argument if [Bounded c] with [c < 0], or [jobs < 1]. *)
+(** Cost entry recorded for a (center, referencing rank) pair that link
+    faults have disconnected — large enough that any connected placement
+    wins, small enough that profile-weighted sums never overflow. *)
+val unreachable_cost : int
+
+(** [create ?policy ?jobs ?kernel ?fault mesh trace] builds the context.
+    [policy] defaults to [Unbounded]; [jobs] (default [1]) sizes the domain
+    pool, and {!Engine.default_jobs} picks a machine-fitted value; [kernel]
+    defaults to [`Separable]; [fault] (default {!Pim.Fault.none}) degrades
+    the array — dead processors leave every candidate list, memory tracker
+    and argmin (their routers stay alive, so distances are unchanged), and
+    dead links rebuild all distances by BFS over the surviving topology,
+    which downgrades the cost kernel off the separable fast path (counters
+    [cost.fault_tables] / [cost.fault_downgrades]). With [Fault.none] every
+    code path is byte-identical to a fault-oblivious context.
+    @raise Invalid_argument if [Bounded c] with [c < 0], [jobs < 1], the
+    fault does not fit the mesh, or the fault kills every processor. *)
 val create :
   ?policy:capacity_policy ->
   ?jobs:int ->
   ?kernel:kernel ->
+  ?fault:Pim.Fault.t ->
   Pim.Mesh.t ->
   Reftrace.Trace.t ->
   t
@@ -82,6 +95,17 @@ val capacity : t -> int option
 val jobs : t -> int
 val kernel : t -> kernel
 
+(** [fault t] is the fault model the context was built over
+    ({!Pim.Fault.none} for a healthy array). *)
+val fault : t -> Pim.Fault.t
+
+(** [rank_alive t rank] is [false] iff the fault killed [rank]'s
+    compute/memory (O(1) mask read — safe in parallel phases). *)
+val rank_alive : t -> int -> bool
+
+(** [alive_count t] is the number of ranks that can host data. *)
+val alive_count : t -> int
+
 (** [with_jobs t jobs] / [with_policy t policy] are [t] with one field
     replaced; all caches are shared with [t] (cost vectors do not depend on
     either field). *)
@@ -95,6 +119,13 @@ val with_policy : t -> capacity_policy -> t
     filled caches across kernels would defeat the point of switching
     (benchmarking, cross-checking). *)
 val with_kernel : t -> kernel -> t
+
+(** [with_fault t fault] is a {e fresh} context (empty caches) over the
+    same mesh, trace, policy, jobs and kernel with the fault replaced —
+    cost entries, candidate orders and distances all depend on the fault.
+    [t] itself when both the old and new fault are {!Pim.Fault.none}. How
+    the reschedule-on-failure path degrades a problem mid-run. *)
+val with_fault : t -> Pim.Fault.t -> t
 
 val space : t -> Reftrace.Data_space.t
 val n_data : t -> int
@@ -205,9 +236,24 @@ val layer_slab : t -> data:int -> Pathgraph.Layered.buffer * int array
 val layer_vectors : t -> data:int -> int array array
 
 (** [layered t ~data] is the GOMCDS cost-graph DP for one datum
-    ({!Gomcds.cost_problem}) reading the arena slab and the per-axis
-    distance tables. Forces the datum's arena rows. *)
+    ({!Gomcds.cost_problem}) reading the arena slab and, under link faults,
+    the BFS distance table in place of the per-axis pair. Forces the
+    datum's arena rows. *)
 val layered : t -> data:int -> Pathgraph.Layered.problem
+
+(** [solve_datum ?allowed t ~data] runs the per-datum layered DP with the
+    fault folded in: on a healthy context it is exactly
+    {!Pathgraph.Layered.solve_axes}[(_filtered)] over the arena slab; node
+    faults intersect [allowed] with the alive mask; link faults run the
+    callback DP over the BFS distance table. Returns [None] when [allowed]
+    leaves some layer empty (never on an unfiltered healthy or node-fault
+    context — at least one rank is always alive). The one entry point
+    GOMCDS, {!Refine} and {!Bounds} all price trajectories through. *)
+val solve_datum :
+  ?allowed:(layer:int -> int -> bool) ->
+  t ->
+  data:int ->
+  (int * int array) option
 
 (** [prefetch_data t ~data] forces every window row of one datum's arena
     buffer — the unit of work a pool domain claims. *)

@@ -46,18 +46,13 @@ let refine ?(max_sweeps = 8) problem schedule =
     progress := false;
     List.iter
       (fun data ->
-        let xdist, ydist = Problem.axis_tables problem in
-        let vectors, offsets = Problem.layer_slab problem ~data in
         let traj = Schedule.centers_of_data sched ~data in
         Array.iteri
           (fun w r -> loads.(w).(r) <- loads.(w).(r) - 1)
           traj;
         let current = Problem.trajectory_cost problem ~data traj in
         let adopted =
-          match
-            Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist ~ydist
-              ~vectors ~width:m ~n_layers:n_windows ~allowed ()
-          with
+          match Problem.solve_datum problem ~allowed ~data with
           | Some (cost, centers) when cost < current ->
               Array.iteri
                 (fun w rank ->

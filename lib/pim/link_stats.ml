@@ -1,10 +1,13 @@
 type t = {
   mesh : Mesh.t;
+  fault : Fault.t;
   table : (int * int, int ref) Hashtbl.t;
   mutable total : int;
 }
 
-let create mesh = { mesh; table = Hashtbl.create 64; total = 0 }
+let create ?(fault = Fault.none) mesh =
+  Fault.validate fault mesh;
+  { mesh; fault; table = Hashtbl.create 64; total = 0 }
 
 let adjacent mesh src dst = List.mem dst (Mesh.neighbours mesh src)
 
@@ -13,6 +16,9 @@ let record t ~src ~dst ~volume =
   if not (adjacent t.mesh src dst) then
     invalid_arg
       (Printf.sprintf "Link_stats.record: %d -> %d is not a mesh link" src dst);
+  if Fault.link_dead t.fault ~src ~dst then
+    invalid_arg
+      (Printf.sprintf "Link_stats.record: link %d -> %d is dead" src dst);
   begin
     match Hashtbl.find_opt t.table (src, dst) with
     | Some r -> r := !r + volume

@@ -6,11 +6,15 @@
 
 type t
 
-val create : Mesh.t -> t
+(** [create ?fault mesh] makes an empty accounting table. With a [fault],
+    {!record} additionally rejects traffic on dead links — the simulator's
+    guard that rerouted traffic really avoids them.
+    @raise Invalid_argument if [fault] does not fit [mesh]. *)
+val create : ?fault:Fault.t -> Mesh.t -> t
 
 (** [record t ~src ~dst ~volume] charges [volume] units to the directed link
     [src -> dst]. @raise Invalid_argument unless [src] and [dst] are
-    grid-adjacent. *)
+    grid-adjacent and the link is alive. *)
 val record : t -> src:int -> dst:int -> volume:int -> unit
 
 (** [traffic t ~src ~dst] is the accumulated volume on the link. *)

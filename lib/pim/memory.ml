@@ -2,15 +2,26 @@ type t = {
   mesh : Mesh.t;
   capacity : int option;
   used : int array; (* occupied slot count per rank *)
+  dead : bool array; (* banned ranks hold nothing, even unbounded *)
 }
 
 let create mesh ~capacity =
   if capacity < 0 then
     invalid_arg (Printf.sprintf "Memory.create: negative capacity %d" capacity);
-  { mesh; capacity = Some capacity; used = Array.make (Mesh.size mesh) 0 }
+  {
+    mesh;
+    capacity = Some capacity;
+    used = Array.make (Mesh.size mesh) 0;
+    dead = Array.make (Mesh.size mesh) false;
+  }
 
 let unbounded mesh =
-  { mesh; capacity = None; used = Array.make (Mesh.size mesh) 0 }
+  {
+    mesh;
+    capacity = None;
+    used = Array.make (Mesh.size mesh) 0;
+    dead = Array.make (Mesh.size mesh) false;
+  }
 
 let capacity_for ~data_count ~mesh ~headroom =
   if data_count <= 0 then
@@ -31,11 +42,21 @@ let used t rank =
   check_rank t rank;
   t.used.(rank)
 
+let ban t rank =
+  check_rank t rank;
+  t.dead.(rank) <- true
+
+let banned t rank =
+  check_rank t rank;
+  t.dead.(rank)
+
 let free t rank =
   check_rank t rank;
-  match t.capacity with
-  | None -> max_int
-  | Some c -> c - t.used.(rank)
+  if t.dead.(rank) then 0
+  else
+    match t.capacity with
+    | None -> max_int
+    | Some c -> c - t.used.(rank)
 
 let is_full t rank = free t rank <= 0
 
@@ -54,7 +75,7 @@ let release t rank =
   t.used.(rank) <- t.used.(rank) - 1
 
 let reset t = Array.fill t.used 0 (Array.length t.used) 0
-let copy t = { t with used = Array.copy t.used }
+let copy t = { t with used = Array.copy t.used; dead = Array.copy t.dead }
 let total_used t = Array.fold_left ( + ) 0 t.used
 
 let pp fmt t =

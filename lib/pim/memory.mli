@@ -28,6 +28,16 @@ val capacity : t -> int option
 (** [used t rank] is the number of occupied slots at [rank]. *)
 val used : t -> int -> int
 
+(** [ban t rank] marks [rank]'s memory as failed: it holds nothing from now
+    on — [free] is [0], [is_full] is [true] and [allocate] refuses, even on
+    an unbounded tracker. Bans survive {!reset} (the hardware stays dead
+    when occupancy is cleared). How dead processors are excluded from
+    placement. *)
+val ban : t -> int -> unit
+
+(** [banned t rank] is [true] iff [rank] was {!ban}ned. *)
+val banned : t -> int -> bool
+
 (** [free t rank] is the number of free slots at [rank]; [max_int] when
     unbounded. *)
 val free : t -> int -> int

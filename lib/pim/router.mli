@@ -3,7 +3,13 @@
     [route] charges every hop of the dimension-ordered path to a
     {!Link_stats.t}, so the accumulated {!Link_stats.total} of a batch of
     messages equals the analytic Σ volume·distance cost the schedulers
-    compute — the identity the simulator's integration tests rely on. *)
+    compute — the identity the simulator's integration tests rely on.
+
+    Every entry point takes an optional fault {!Fault.Oracle.t}: with one,
+    messages follow (and are priced by) shortest surviving routes around
+    dead links, and a destination with no surviving path raises the typed
+    {!Fault.Unreachable} instead of hanging. Without one the original x-y
+    code path runs unchanged. *)
 
 type message = {
   src : int;  (** rank holding the data *)
@@ -11,19 +17,29 @@ type message = {
   volume : int;  (** data volume in unit elements *)
 }
 
-(** [message ~src ~dst ~volume] builds a message.
+(** [message ~src ~dst ~volume] builds a message. Ranks are validated
+    against the mesh at routing time ({!cost} / {!route}), since a message
+    does not carry its mesh.
     @raise Invalid_argument if [volume < 0]. *)
 val message : src:int -> dst:int -> volume:int -> message
 
-(** [cost mesh msg] is the analytic cost [volume * distance src dst]. *)
-val cost : Mesh.t -> message -> int
+(** [cost ?oracle mesh msg] is the analytic cost [volume * distance], where
+    distance is fault-aware when [oracle] is given.
+    @raise Invalid_argument if either rank is outside [0, size).
+    @raise Fault.Unreachable if [oracle] reports no surviving path. *)
+val cost : ?oracle:Fault.Oracle.t -> Mesh.t -> message -> int
 
-(** [route mesh stats msg] walks the x-y path of [msg], recording [volume]
-    units on every traversed link into [stats], and returns the hop·volume
-    cost (equal to [cost mesh msg]). A self-message costs [0]. *)
-val route : Mesh.t -> Link_stats.t -> message -> int
+(** [route ?oracle mesh stats msg] walks the route of [msg] (x-y, or the
+    oracle's shortest surviving detour), recording [volume] units on every
+    traversed link into [stats], and returns the hop·volume cost (equal to
+    [cost ?oracle mesh msg]). A self-message costs [0].
+    @raise Invalid_argument if either rank is outside [0, size).
+    @raise Fault.Unreachable if [oracle] reports no surviving path. *)
+val route : ?oracle:Fault.Oracle.t -> Mesh.t -> Link_stats.t -> message -> int
 
-(** [route_all mesh stats msgs] routes a batch and returns the summed cost. *)
-val route_all : Mesh.t -> Link_stats.t -> message list -> int
+(** [route_all ?oracle mesh stats msgs] routes a batch and returns the
+    summed cost. *)
+val route_all :
+  ?oracle:Fault.Oracle.t -> Mesh.t -> Link_stats.t -> message list -> int
 
 val pp_message : Format.formatter -> message -> unit

@@ -22,16 +22,19 @@ type round = {
 let non_local msgs =
   List.filter (fun (m : Router.message) -> m.src <> m.dst && m.volume > 0) msgs
 
-let run mesh rounds =
+let run ?(fault = Fault.none) mesh rounds =
   Obs.Span.with_ ~name:"sim.run" @@ fun () ->
-  let cumulative = Link_stats.create mesh in
+  let oracle =
+    if Fault.is_none fault then None else Some (Fault.Oracle.create mesh fault)
+  in
+  let cumulative = Link_stats.create ~fault mesh in
   let run_round idx { migrations; references } =
-    let per_round = Link_stats.create mesh in
+    let per_round = Link_stats.create ~fault mesh in
     let route_batch msgs =
       List.fold_left
         (fun acc m ->
-          let c = Router.route mesh per_round m in
-          let c' = Router.route mesh cumulative m in
+          let c = Router.route ?oracle mesh per_round m in
+          let c' = Router.route ?oracle mesh cumulative m in
           assert (c = c');
           acc + c)
         0 msgs
@@ -42,7 +45,10 @@ let run mesh rounds =
     let max_distance =
       List.fold_left
         (fun acc (m : Router.message) ->
-          max acc (Mesh.distance mesh m.src m.dst))
+          max acc
+            (match oracle with
+            | None -> Mesh.distance mesh m.src m.dst
+            | Some o -> Fault.Oracle.distance_exn o ~src:m.src ~dst:m.dst))
         0 live
     in
     let max_link =

@@ -37,8 +37,13 @@ type round = {
   references : Router.message list;
 }
 
-(** [run mesh rounds] routes every message of every round in order and
-    returns the measured report. *)
-val run : Mesh.t -> round list -> report
+(** [run ?fault mesh rounds] routes every message of every round in order
+    and returns the measured report. With a [fault], messages detour around
+    dead links (priced at the fault-aware BFS distance) and no traffic is
+    ever charged to a dead link; [fault] defaulting to {!Fault.none} runs
+    the original code path unchanged.
+    @raise Fault.Unreachable if a message's destination has no surviving
+    path — a typed error, never a hang. *)
+val run : ?fault:Fault.t -> Mesh.t -> round list -> report
 
 val pp_report : Format.formatter -> report -> unit

@@ -28,14 +28,22 @@ let links_of_route path =
   Array.of_list (go [] path)
 
 (* Simulate one batch of packets to completion; returns the makespan. *)
-let simulate mesh (msgs : Router.message list) =
+let simulate ?oracle mesh (msgs : Router.message list) =
   let live =
     List.filter (fun (m : Router.message) -> m.src <> m.dst && m.volume > 0) msgs
+  in
+  let route_of (m : Router.message) =
+    match oracle with
+    | None -> Mesh.xy_route mesh ~src:m.src ~dst:m.dst
+    | Some o -> (
+        match Fault.Oracle.route o ~src:m.src ~dst:m.dst with
+        | Some path -> path
+        | None -> raise (Fault.Unreachable (m.src, m.dst)))
   in
   let packets =
     List.mapi
       (fun id (m : Router.message) ->
-        let links = links_of_route (Mesh.xy_route mesh ~src:m.src ~dst:m.dst) in
+        let links = links_of_route (route_of m) in
         { id; links; volume = m.volume; hop = 0; remaining = m.volume })
       live
   in
@@ -120,17 +128,21 @@ let simulate mesh (msgs : Router.message list) =
   let live_links = List.length !active_links in
   (!cycle, List.length packets, volume_hops, live_links)
 
-let round_makespan mesh msgs =
-  let cycles, _, _, _ = simulate mesh msgs in
+let oracle_of_fault mesh fault =
+  if Fault.is_none fault then None else Some (Fault.Oracle.create mesh fault)
+
+let round_makespan ?(fault = Fault.none) mesh msgs =
+  let cycles, _, _, _ = simulate ?oracle:(oracle_of_fault mesh fault) mesh msgs in
   cycles
 
-let run mesh rounds =
+let run ?(fault = Fault.none) mesh rounds =
   Obs.Span.with_ ~name:"sim.timed_run" @@ fun () ->
+  let oracle = oracle_of_fault mesh fault in
   let reports =
     List.mapi
       (fun idx { Simulator.migrations; references } ->
         let cycles, messages, volume_hops, live_links =
-          simulate mesh (migrations @ references)
+          simulate ?oracle mesh (migrations @ references)
         in
         if !Obs.enabled then begin
           Obs.Metrics.add "sim.cycles" cycles;

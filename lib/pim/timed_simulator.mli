@@ -34,11 +34,14 @@ type report = {
   total_volume_hops : int;
 }
 
-(** [run mesh rounds] simulates every round to completion. *)
-val run : Mesh.t -> Simulator.round list -> report
+(** [run ?fault mesh rounds] simulates every round to completion. With a
+    [fault], packets follow the fault-aware BFS detours around dead links.
+    @raise Fault.Unreachable if a packet's destination has no surviving
+    path. *)
+val run : ?fault:Fault.t -> Mesh.t -> Simulator.round list -> report
 
-(** [round_makespan mesh messages] times one batch of messages (cycle at
-    which the last one is delivered). *)
-val round_makespan : Mesh.t -> Router.message list -> int
+(** [round_makespan ?fault mesh messages] times one batch of messages
+    (cycle at which the last one is delivered). *)
+val round_makespan : ?fault:Fault.t -> Mesh.t -> Router.message list -> int
 
 val pp_report : Format.formatter -> report -> unit

@@ -154,6 +154,112 @@ let test_bad_arguments_fail () =
   let code, _ = run_cli "schedule -a wizardry" in
   Alcotest.(check bool) "rejects unknown algorithm" true (code <> 0)
 
+let test_jobs_and_kernel_validated () =
+  List.iter
+    (fun (name, args, needle) ->
+      let code, text = run_cli args in
+      Alcotest.(check bool) (name ^ ": nonzero exit") true (code <> 0);
+      if not (contains text needle) then
+        Alcotest.failf "%s: missing %S in:\n%s" name needle text)
+    [
+      ("jobs 0", "schedule -b 1 -n 8 --jobs 0", "expected N >= 1");
+      ("jobs negative", "compare -b 1 -n 8 --jobs=-3", "expected N >= 1");
+      ("unknown kernel", "schedule -b 1 -n 8 --kernel wizardry",
+       "unknown kernel");
+    ]
+
+let test_faults () =
+  check_ok "faults"
+    "faults gomcds --seed 42 -b 1 -n 8 --rates 0.0,0.2,0.4"
+    [ "degradation ablation"; "rescheduled"; "no-resched" ]
+
+let test_faults_json () =
+  let path = Filename.temp_file "pimsched_cli" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "faults json"
+        (Printf.sprintf
+           "faults gomcds --seed 42 -b 1 -n 8 --rates 0.0,0.3 --link-rate \
+            0.1 --json-out %s"
+           path)
+        [ "ablation written" ];
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      List.iter
+        (fun needle ->
+          if not (contains text needle) then
+            Alcotest.failf "faults json missing %S in:\n%s" needle text)
+        [
+          {|"schema":"pim-sched-faults/1"|};
+          {|"paid_rescheduled"|};
+          {|"paid_no_reschedule"|};
+          {|"dead_nodes"|};
+        ])
+
+(* The headline acceptance run: rescheduling must never lose to riding
+   out the repaired plan, at any injected rate, and cost must not improve
+   as the array degrades. *)
+let test_faults_reschedule_beats () =
+  let path = Filename.temp_file "pimsched_cli" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "faults sweep"
+        (Printf.sprintf
+           "faults gomcds --seed 42 -b 3 -n 16 --mesh 8x8 --rates \
+            0.0,0.1,0.2,0.3 --json-out %s"
+           path)
+        [ "degradation ablation" ];
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* pull every "field":int occurrence, in row order *)
+      let ints field =
+        let key = Printf.sprintf "%S:" field in
+        let out = ref [] in
+        let rec go i =
+          if i + String.length key <= String.length text then
+            if String.sub text i (String.length key) = key then begin
+              let j = ref (i + String.length key) in
+              let start = !j in
+              while
+                !j < String.length text
+                && (match text.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+              do
+                incr j
+              done;
+              out := int_of_string (String.sub text start (!j - start)) :: !out;
+              go !j
+            end
+            else go (i + 1)
+        in
+        go 0;
+        List.rev !out
+      in
+      let resched = ints "paid_rescheduled" in
+      let keep = ints "paid_no_reschedule" in
+      Alcotest.(check int) "four rows" 4 (List.length resched);
+      List.iter2
+        (fun r k ->
+          Alcotest.(check bool) "reschedule never loses" true (r <= k))
+        resched keep;
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "cost monotone in fault rate" true
+        (monotone resched);
+      Alcotest.(check bool) "rescheduling wins somewhere in the sweep" true
+        (List.exists2 (fun r k -> r < k) resched keep))
+
 (* --jobs must not change any reported number: capture each command's
    output serial and at 4 domains and compare byte-for-byte. *)
 let test_jobs_flag_deterministic () =
@@ -189,5 +295,9 @@ let suite =
     Gen.case "schedule --metrics-json" test_metrics_json;
     Gen.case "profile --chrome-out" test_profile_chrome_trace;
     Gen.case "bad arguments fail" test_bad_arguments_fail;
+    Gen.case "--jobs/--kernel validated" test_jobs_and_kernel_validated;
+    Gen.case "faults" test_faults;
+    Gen.case "faults --json-out" test_faults_json;
+    Gen.case "faults: reschedule beats, monotone" test_faults_reschedule_beats;
     Gen.case "--jobs is output-invariant" test_jobs_flag_deterministic;
   ]

@@ -48,9 +48,38 @@ let prop_full_list_always_assignable =
           | None -> false)
         (List.init n_data Fun.id))
 
+(* The counting pass must reproduce the comparison sort exactly, ties
+   included; costs beyond the density threshold exercise the fallback. *)
+let reference_of_costs ~n cost =
+  List.sort
+    (fun a b ->
+      let c = Int.compare (cost a) (cost b) in
+      if c <> 0 then c else Int.compare a b)
+    (List.init n Fun.id)
+
+let prop_of_costs_matches_comparison_sort =
+  QCheck.Test.make
+    ~name:"of_costs: counting pass = comparison sort, ties pinned"
+    ~count:300
+    QCheck.(
+      pair (int_range 0 2)
+        (list_of_size
+           (Gen.int_range 1 64)
+           (int_range 0 1_000_000)))
+    (fun (mode, vals) ->
+      (* mode 0: tie-heavy; 1: dense; 2: sparse (comparison fallback) *)
+      let squash =
+        match mode with 0 -> 4 | 1 -> 201 | _ -> 1_000_001
+      in
+      let costs = Array.of_list (List.map (fun v -> v mod squash) vals) in
+      let n = Array.length costs in
+      let cost = Array.get costs in
+      Sched.Processor_list.of_costs ~n cost = reference_of_costs ~n cost)
+
 let suite =
   [
     Gen.case "of_cost_vector sorted" test_of_cost_vector_sorted;
+    Gen.to_alcotest prop_of_costs_matches_comparison_sort;
     Gen.case "for_data head is center" test_for_data_head_is_center;
     Gen.case "first_available skips full" test_first_available_skips_full;
     Gen.case "assign allocates" test_assign_allocates;

@@ -59,9 +59,36 @@ let prop_route_cost_equals_analytic =
       let msg = Pim.Router.message ~src ~dst ~volume in
       Pim.Router.route mesh stats msg = Pim.Router.cost mesh msg)
 
+(* Ranks are validated at routing time — a message carries no mesh, so
+   construction cannot check them. *)
+let test_out_of_range_ranks_rejected () =
+  let stats = Pim.Link_stats.create mesh in
+  List.iter
+    (fun (name, src, dst) ->
+      let msg = Pim.Router.message ~src ~dst ~volume:1 in
+      let rejected f =
+        try
+          ignore (f ());
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool)
+        (name ^ ": cost rejects") true
+        (rejected (fun () -> Pim.Router.cost mesh msg));
+      Alcotest.(check bool)
+        (name ^ ": route rejects") true
+        (rejected (fun () -> Pim.Router.route mesh stats msg)))
+    [
+      ("negative src", -1, 0);
+      ("src past size", 16, 0);
+      ("negative dst", 0, -1);
+      ("dst past size", 0, 16);
+    ]
+
 let suite =
   [
     Gen.case "message cost" test_message_cost;
+    Gen.case "out-of-range ranks rejected" test_out_of_range_ranks_rejected;
     Gen.case "route matches cost" test_route_matches_cost;
     Gen.case "self message free" test_self_message_free;
     Gen.case "zero volume" test_zero_volume;
