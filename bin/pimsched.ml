@@ -212,7 +212,9 @@ let obs_begin metrics_json =
     Obs.reset ()
   end
 
-let obs_finish ~command ~jobs metrics_json =
+(* [to_stderr] keeps the confirmation off stdout for commands whose
+   stdout is a wire protocol (serve). *)
+let obs_finish ?(to_stderr = false) ~command ~jobs metrics_json =
   match metrics_json with
   | None -> ()
   | Some path ->
@@ -224,7 +226,8 @@ let obs_finish ~command ~jobs metrics_json =
                ("jobs", Obs.Json.Int jobs);
              ]
            (Obs.Metrics.snapshot ()));
-      Printf.printf "metrics written to %s\n" path
+      (if to_stderr then Printf.eprintf else Printf.printf)
+        "metrics written to %s\n" path
 
 (* ---------------------------------------------------------------- *)
 (* Instance construction                                             *)
@@ -680,7 +683,7 @@ let run_replicate workload size mesh_shape torus partition unbounded
   let capacity = capacity_of trace mesh unbounded in
   describe_instance ?trace_file workload mesh trace capacity;
   Printf.printf "single-copy lower bound: %d\n"
-    (Sched.Bounds.lower_bound mesh trace);
+    (Sched.Bounds.lower_bound_in (Sched.Problem.create mesh trace));
   List.iter
     (fun k ->
       let r = Sched.Replicated.run ?capacity ~max_copies:k mesh trace in
@@ -843,6 +846,51 @@ let sweep_cmd =
       const run_sweep $ sizes_arg $ mesh_arg $ torus_arg $ output_arg
       $ headroom_arg $ jobs_arg $ metrics_json_arg)
 
+let run_serve jobs batch max_arena_mb no_memo metrics_json =
+  obs_begin metrics_json;
+  let config =
+    {
+      Serve.Server.jobs;
+      batch;
+      max_arena_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_arena_mb;
+      memo = not no_memo;
+    }
+  in
+  let server = Serve.Server.create ~config () in
+  Serve.Server.run server ~input:Unix.stdin stdout;
+  obs_finish ~to_stderr:true ~command:"serve" ~jobs metrics_json
+
+let serve_cmd =
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Maximum requests answered per wave of the domain pool.")
+  in
+  let max_arena_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-arena-mb" ] ~docv:"MB"
+          ~doc:
+            "Reject requests whose cost arenas would exceed this budget \
+             (admission control); unlimited when absent.")
+  in
+  let no_memo_arg =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ]
+          ~doc:"Disable the response memo keyed by raw request line.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived scheduling daemon over stdin/stdout \
+          (line-delimited JSON, protocol pim-sched-serve/1)")
+    Term.(
+      const run_serve $ jobs_arg $ batch_arg $ max_arena_mb_arg $ no_memo_arg
+      $ metrics_json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "pimsched" ~version:"1.0.0"
@@ -859,6 +907,7 @@ let main =
       export_cmd;
       sweep_cmd;
       stats_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

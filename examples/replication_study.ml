@@ -12,7 +12,7 @@
 let mesh = Pim.Mesh.square 4
 
 let study name trace =
-  let bound = Sched.Bounds.lower_bound mesh trace in
+  let bound = Sched.Bounds.lower_bound_in (Sched.Problem.create mesh trace) in
   Printf.printf "\n%s: single-copy lower bound = %d\n" name bound;
   Printf.printf "%10s %10s %12s %10s %10s\n" "copies" "total" "reads"
     "creation" "movement";

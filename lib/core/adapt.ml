@@ -109,7 +109,7 @@ let recovery ?capacity ~initial mesh trace =
   let imposed_static = static_cost mesh trace initial in
   let schedule = run ?capacity ~initial mesh trace in
   let adaptive = adaptive_cost mesh trace initial schedule in
-  let free_optimal = Bounds.lower_bound mesh trace in
+  let free_optimal = Bounds.lower_bound_in (Problem.create mesh trace) in
   let recovered =
     let headroom = imposed_static - free_optimal in
     if headroom <= 0 then 1.

@@ -11,8 +11,6 @@ let lower_bound_in problem =
   in
   Array.fold_left ( + ) 0 costs
 
-let lower_bound mesh trace = lower_bound_in (Problem.create mesh trace)
-
 let static_lower_bound_in problem =
   let space = Problem.space problem in
   let costs =
@@ -25,9 +23,6 @@ let static_lower_bound_in problem =
         * Array.fold_left min max_int v)
   in
   Array.fold_left ( + ) 0 costs
-
-let static_lower_bound mesh trace =
-  static_lower_bound_in (Problem.create mesh trace)
 
 let gap ~bound ~cost =
   if bound = 0 then 0.

@@ -12,17 +12,9 @@
     a later scheduler run on the same instance rereads them for free. *)
 val lower_bound_in : Problem.t -> int
 
-(** @deprecated [lower_bound mesh trace] is {!lower_bound_in} on a
-    throwaway serial context. Memoize the call if used repeatedly. *)
-val lower_bound : Pim.Mesh.t -> Reftrace.Trace.t -> int
-
 (** [static_lower_bound_in problem] is the same bound restricted to
     movement-free schedules — the best cost SCDS could possibly achieve. *)
 val static_lower_bound_in : Problem.t -> int
-
-(** @deprecated [static_lower_bound mesh trace] is
-    {!static_lower_bound_in} on a throwaway serial context. *)
-val static_lower_bound : Pim.Mesh.t -> Reftrace.Trace.t -> int
 
 (** [gap ~bound ~cost] is [(cost - bound) / bound * 100.]; [0.] when the
     bound is zero. *)

@@ -1,0 +1,68 @@
+type capacity_policy = Unbounded | Bounded of int
+type kernel = [ `Separable | `Naive ]
+
+type t = {
+  mesh : Pim.Mesh.t;
+  trace : Reftrace.Trace.t;
+  policy : capacity_policy;
+  jobs : int;
+  kernel : kernel;
+  windows : Reftrace.Window.t array;
+  merged : Reftrace.Window.t;
+  size : int;
+  xdist : int array array;
+  ydist : int array array;
+  naive_dist : int array array option;
+  max_arena_bytes : int;
+}
+
+let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable) mesh
+    trace =
+  (match policy with
+  | Bounded c when c < 0 -> invalid_arg "Context.create: negative capacity"
+  | Bounded _ | Unbounded -> ());
+  if jobs < 1 then invalid_arg "Context.create: jobs must be >= 1";
+  let size = Pim.Mesh.size mesh in
+  let windows = Array.of_list (Reftrace.Trace.windows trace) in
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  (* Full-fill arena footprint: per datum, one row per referencing window
+     plus the shared zero row — exactly what [Problem.ensure_arena]
+     allocates (8-byte entries). Computed here, once, so a service can
+     admission-control a request before any slab exists. *)
+  let slots = ref 0 in
+  for data = 0 to n_data - 1 do
+    incr slots;
+    Array.iter
+      (fun w -> if Reftrace.Window.references w data > 0 then incr slots)
+      windows
+  done;
+  {
+    mesh;
+    trace;
+    policy;
+    jobs;
+    kernel;
+    windows;
+    merged = Reftrace.Trace.merged trace;
+    size;
+    xdist = Pim.Mesh.x_distance_table mesh;
+    ydist = Pim.Mesh.y_distance_table mesh;
+    naive_dist =
+      (match kernel with
+      | `Naive -> Some (Pim.Mesh.distance_table mesh)
+      | `Separable -> None);
+    max_arena_bytes = 8 * size * !slots;
+  }
+
+let mesh t = t.mesh
+let trace t = t.trace
+let policy t = t.policy
+let jobs t = t.jobs
+let kernel t = t.kernel
+let space t = Reftrace.Trace.space t.trace
+let n_data t = Reftrace.Data_space.size (space t)
+let n_windows t = Array.length t.windows
+
+let distance t a b =
+  let c = Pim.Mesh.cols t.mesh in
+  t.xdist.(a mod c).(b mod c) + t.ydist.(a / c).(b / c)

@@ -49,9 +49,9 @@ let outcome_of_schedule name schedule =
     total = breakdown.Schedule.total;
   }
 
-let scds () = outcome_of_schedule "SCDS" (Scds.run mesh trace)
-let lomcds () = outcome_of_schedule "LOMCDS" (Lomcds.run mesh trace)
-let gomcds () = outcome_of_schedule "GOMCDS" (Gomcds.run mesh trace)
+let scds () = outcome_of_schedule "SCDS" (Scds.schedule (Problem.create mesh trace))
+let lomcds () = outcome_of_schedule "LOMCDS" (Lomcds.schedule (Problem.create mesh trace))
+let gomcds () = outcome_of_schedule "GOMCDS" (Gomcds.schedule (Problem.create mesh trace))
 let all () = [ scds (); lomcds (); gomcds () ]
 
 let pp_outcome fmt o =

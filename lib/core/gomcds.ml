@@ -20,7 +20,7 @@ let cost_graph mesh trace ~data =
   Pathgraph.Layered.to_digraph (problem mesh trace ~data)
 
 let schedule problem =
-  Problem.check_feasible problem ~who:"Gomcds.run";
+  Problem.check_feasible problem ~who:"Gomcds.schedule";
   let n_data = Problem.n_data problem in
   let n_windows = Problem.n_windows problem in
   let schedule =
@@ -68,5 +68,3 @@ let schedule problem =
         (Problem.by_total_references problem));
   schedule
 
-let run ?capacity mesh trace =
-  schedule (Problem.of_capacity ?capacity mesh trace)

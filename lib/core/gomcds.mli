@@ -21,10 +21,6 @@
     @raise Invalid_argument if the capacity policy is infeasible. *)
 val schedule : Problem.t -> Schedule.t
 
-(** @deprecated [run ?capacity mesh trace] is the pre-{!Problem} shim over
-    {!schedule} (builds a serial one-shot context). *)
-val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
-
 (** [optimal_centers mesh trace ~data] is the unconstrained per-window
     center sequence and its total (reference + movement) cost for one
     datum. *)

@@ -251,9 +251,6 @@ let groups problem ~data ~centers =
           in
           to_groups indices ranges)
 
-let partition mesh trace ~data ~centers =
-  groups (Problem.create mesh trace) ~data ~centers
-
 (* Exact DP over all (partition, centers) choices for one datum.
    dp.(i).(c) = cheapest cost of covering referenced windows 0..i with the
    last group ending at i and centered at c. Prefix-summed cost vectors make
@@ -348,9 +345,6 @@ let optimal_groups problem ~data =
           { first = indices.(lo); last = indices.(hi); center })
         ranges
 
-let optimal_partition mesh trace ~data =
-  optimal_groups (Problem.create mesh trace) ~data
-
 (* Desired (capacity-oblivious) trajectory: before the first group the datum
    already sits at that group's center (initial placement is free); inside a
    group and in the gap after it the datum stays at the group's center. *)
@@ -402,7 +396,7 @@ let run_with_partitions problem ~partition_of =
         desired;
       schedule
   | Problem.Bounded _ ->
-      Problem.check_feasible problem ~who:"Grouping.run";
+      Problem.check_feasible problem ~who:"Grouping.schedule";
       (* Per-window repair: place each datum as close as possible to its
          desired center, heavier data first — serial, like every
          capacity-allocation loop. *)
@@ -441,8 +435,3 @@ let optimal_schedule problem =
   run_with_partitions problem ~partition_of:(fun ~data ->
       optimal_groups problem ~data)
 
-let run ?capacity ?(centers = `Local) mesh trace =
-  schedule ~centers (Problem.of_capacity ?capacity mesh trace)
-
-let optimal_run ?capacity mesh trace =
-  optimal_schedule (Problem.of_capacity ?capacity mesh trace)

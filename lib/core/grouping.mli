@@ -33,15 +33,6 @@ type group = {
 val groups :
   Problem.t -> data:int -> centers:center_policy -> group list
 
-(** @deprecated [partition mesh trace ~data ~centers] is {!groups} on a
-    throwaway context, kept for old call sites. *)
-val partition :
-  Pim.Mesh.t ->
-  Reftrace.Trace.t ->
-  data:int ->
-  centers:center_policy ->
-  group list
-
 (** [schedule ?centers problem] builds the full schedule; per-datum
     partitions fan out across the context's domain pool, gaps keep data in
     place, and a bounded policy is repaired by a serial per-window
@@ -50,15 +41,6 @@ val partition :
     [centers] defaults to [`Local].
     @raise Invalid_argument if the capacity policy is infeasible. *)
 val schedule : ?centers:center_policy -> Problem.t -> Schedule.t
-
-(** @deprecated [run ?capacity ?centers mesh trace] is the pre-{!Problem}
-    shim over {!schedule}. *)
-val run :
-  ?capacity:int ->
-  ?centers:center_policy ->
-  Pim.Mesh.t ->
-  Reftrace.Trace.t ->
-  Schedule.t
 
 (** [optimal_groups problem ~data] replaces the paper's greedy with an
     exact dynamic program: over all ways to cut the datum's referenced
@@ -77,15 +59,7 @@ val run :
     Table 2 uses it. Returns groups like {!groups}. *)
 val optimal_groups : Problem.t -> data:int -> group list
 
-(** @deprecated [optimal_partition mesh trace ~data] is {!optimal_groups}
-    on a throwaway context. *)
-val optimal_partition :
-  Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> group list
-
 (** [optimal_schedule problem] builds the schedule from {!optimal_groups}
     for every datum (capacity handled like {!schedule}). *)
 val optimal_schedule : Problem.t -> Schedule.t
 
-(** @deprecated [optimal_run ?capacity mesh trace] is the pre-{!Problem}
-    shim over {!optimal_schedule}. *)
-val optimal_run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t

@@ -105,7 +105,7 @@ let schedule_bounded problem schedule first =
   schedule
 
 let schedule problem =
-  Problem.check_feasible problem ~who:"Lomcds.run";
+  Problem.check_feasible problem ~who:"Lomcds.schedule";
   let sched =
     Schedule.create (Problem.mesh problem)
       ~n_windows:(Problem.n_windows problem)
@@ -116,5 +116,3 @@ let schedule problem =
   | Problem.Unbounded -> schedule_unbounded problem sched first
   | Problem.Bounded _ -> schedule_bounded problem sched first
 
-let run ?capacity mesh trace =
-  schedule (Problem.of_capacity ?capacity mesh trace)

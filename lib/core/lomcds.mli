@@ -19,10 +19,6 @@
     @raise Invalid_argument if the capacity policy is infeasible. *)
 val schedule : Problem.t -> Schedule.t
 
-(** @deprecated [run ?capacity mesh trace] is the pre-{!Problem} shim over
-    {!schedule} (builds a serial one-shot context). *)
-val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
-
 (** [local_centers mesh trace ~data] is, per window, [Some rank] (the
     unconstrained local optimal center) when the datum is referenced and
     [None] otherwise. Exposed for the worked example and tests. *)

@@ -1,39 +1,32 @@
-type capacity_policy = Unbounded | Bounded of int
-type kernel = [ `Separable | `Naive ]
+type capacity_policy = Context.capacity_policy = Unbounded | Bounded of int
+type kernel = Context.kernel
 
 (* Cost charged for serving across a disconnected rank pair (link faults
    can split the mesh). Large enough that any connected alternative wins,
    small enough that profile-weighted sums stay far from overflow. *)
 let unreachable_cost = 1 lsl 40
 
+(* A [Problem.t] is one request-scoped session over an immutable shared
+   [Context.t]: the context carries the mesh, trace, windows and per-axis
+   tables (never written after creation, so any number of sessions may
+   share it from any domain); the session carries the fault overlay and
+   every mutable cache — the cost arenas, marginals, centers, candidate
+   lists. [policy] and [jobs] are per-session so [with_policy]/[with_jobs]
+   can override the context defaults while still sharing cache rows. *)
 type t = {
-  mesh : Pim.Mesh.t;
-  trace : Reftrace.Trace.t;
+  ctx : Context.t;
   policy : capacity_policy;
   jobs : int;
-  kernel : kernel;
   fault : Pim.Fault.t;
   alive : bool array; (* alive.(rank) — dense mask of fault's dead nodes *)
   n_alive : int;
   (* Fault-aware full distance table, present iff the fault kills links
      (node faults keep routers, so distances only change under link
-     faults). Built eagerly at [create] via the BFS oracle; disconnected
+     faults). Built eagerly per session via the BFS oracle; disconnected
      pairs hold [unreachable_cost]. Its presence is the kernel-downgrade
      trigger: arena rows fill from this table instead of the separable
      marginals. *)
   fault_dist : int array array option;
-  windows : Reftrace.Window.t array;
-  merged : Reftrace.Window.t;
-  size : int; (* Pim.Mesh.size mesh *)
-  (* Per-axis distance tables: x-y routing distance is separable, so two
-     O(cols² + rows²) tables answer every probe the old O(size²) matrix
-     did. No full rank-to-rank matrix exists in the context any more —
-     except under the [`Naive] kernel, whose oracle-role vector builds
-     walk profiles against direct distances, so it keeps a private table
-     built eagerly at [create]. *)
-  xdist : int array array;
-  ydist : int array array;
-  naive_dist : int array array option;
   (* Caches below are rows-per-datum so parallel fills have one writer per
      row (see the .mli thread-safety contract). *)
   margs : (int array * int array) option array array; (* margs.(data).(window) *)
@@ -63,15 +56,17 @@ type t = {
   mutable order : int list option; (* serial phases only *)
 }
 
-let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable)
-    ?(fault = Pim.Fault.none) mesh trace =
+let of_context ?policy ?jobs ?(fault = Pim.Fault.none) ctx =
+  let policy = match policy with Some p -> p | None -> ctx.Context.policy in
+  let jobs = match jobs with Some j -> j | None -> ctx.Context.jobs in
   (match policy with
   | Bounded c when c < 0 ->
-      invalid_arg "Problem.create: negative capacity"
+      invalid_arg "Problem.of_context: negative capacity"
   | Bounded _ | Unbounded -> ());
-  if jobs < 1 then invalid_arg "Problem.create: jobs must be >= 1";
+  if jobs < 1 then invalid_arg "Problem.of_context: jobs must be >= 1";
+  let mesh = ctx.Context.mesh in
   Pim.Fault.validate fault mesh;
-  let size = Pim.Mesh.size mesh in
+  let size = ctx.Context.size in
   let alive = Array.make size true in
   List.iter (fun r -> alive.(r) <- false) (Pim.Fault.dead_nodes fault);
   let n_alive = Pim.Fault.alive_count fault mesh in
@@ -90,28 +85,16 @@ let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable)
                  | None -> unreachable_cost)))
     end
   in
-  let windows = Array.of_list (Reftrace.Trace.windows trace) in
-  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
-  let n_windows = Array.length windows in
+  let n_data = Context.n_data ctx in
+  let n_windows = Array.length ctx.Context.windows in
   {
-    mesh;
-    trace;
+    ctx;
     policy;
     jobs;
-    kernel;
     fault;
     alive;
     n_alive;
     fault_dist;
-    windows;
-    merged = Reftrace.Trace.merged trace;
-    size = Pim.Mesh.size mesh;
-    xdist = Pim.Mesh.x_distance_table mesh;
-    ydist = Pim.Mesh.y_distance_table mesh;
-    naive_dist =
-      (match kernel with
-      | `Naive -> Some (Pim.Mesh.distance_table mesh)
-      | `Separable -> None);
     margs = Array.init n_data (fun _ -> Array.make n_windows None);
     merged_margs = Array.make n_data None;
     arena = Array.make n_data None;
@@ -122,9 +105,18 @@ let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable)
     cands = Array.init n_data (fun _ -> Array.make n_windows None);
     merged_vectors = Array.make n_data None;
     merged_cands = Array.make n_data None;
-    near = Array.make (Pim.Mesh.size mesh) None;
+    near = Array.make size None;
     order = None;
   }
+
+let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable)
+    ?(fault = Pim.Fault.none) mesh trace =
+  (match policy with
+  | Bounded c when c < 0 ->
+      invalid_arg "Problem.create: negative capacity"
+  | Bounded _ | Unbounded -> ());
+  if jobs < 1 then invalid_arg "Problem.create: jobs must be >= 1";
+  of_context ~fault (Context.create ~policy ~jobs ~kernel mesh trace)
 
 let of_capacity ?capacity ?jobs ?kernel mesh trace =
   let policy =
@@ -132,15 +124,17 @@ let of_capacity ?capacity ?jobs ?kernel mesh trace =
   in
   create ~policy ?jobs ?kernel mesh trace
 
-let mesh t = t.mesh
-let trace t = t.trace
+let context t = t.ctx
+let mesh t = t.ctx.Context.mesh
+let trace t = t.ctx.Context.trace
 let policy t = t.policy
 let capacity t = match t.policy with Unbounded -> None | Bounded c -> Some c
 let jobs t = t.jobs
-let kernel t = t.kernel
+let kernel t = t.ctx.Context.kernel
 let fault t = t.fault
 let rank_alive t rank = t.alive.(rank)
 let alive_count t = t.n_alive
+let max_arena_bytes t = t.ctx.Context.max_arena_bytes
 
 let with_jobs t jobs =
   if jobs < 1 then invalid_arg "Problem.with_jobs: jobs must be >= 1";
@@ -154,35 +148,38 @@ let with_policy t policy =
   { t with policy }
 
 let with_kernel t kernel =
-  if kernel = t.kernel then t
+  if kernel = t.ctx.Context.kernel then t
   else
-    create ~policy:t.policy ~jobs:t.jobs ~kernel ~fault:t.fault t.mesh t.trace
+    of_context ~policy:t.policy ~jobs:t.jobs ~fault:t.fault
+      (Context.create ~policy:t.policy ~jobs:t.jobs ~kernel
+         t.ctx.Context.mesh t.ctx.Context.trace)
 
 let with_fault t fault =
   if Pim.Fault.is_none fault && Pim.Fault.is_none t.fault then t
   else
-    create ~policy:t.policy ~jobs:t.jobs ~kernel:t.kernel ~fault t.mesh
-      t.trace
+    (* fresh session (cost entries, candidate orders and distances all
+       depend on the fault) over the *same* shared context — the axis
+       tables, windows and merged window carry over untouched *)
+    of_context ~policy:t.policy ~jobs:t.jobs ~fault t.ctx
 
-let space t = Reftrace.Trace.space t.trace
-let n_data t = Reftrace.Data_space.size (space t)
-let n_windows t = Array.length t.windows
+let space t = Context.space t.ctx
+let n_data t = Context.n_data t.ctx
+let n_windows t = Array.length t.ctx.Context.windows
 
 let window t i =
-  if i < 0 || i >= Array.length t.windows then
+  let windows = t.ctx.Context.windows in
+  if i < 0 || i >= Array.length windows then
     invalid_arg (Printf.sprintf "Problem.window: index %d out of range" i);
-  t.windows.(i)
+  windows.(i)
 
-let merged t = t.merged
+let merged t = t.ctx.Context.merged
 
 let distance t a b =
   match t.fault_dist with
   | Some d -> d.(a).(b)
-  | None ->
-      let c = Pim.Mesh.cols t.mesh in
-      t.xdist.(a mod c).(b mod c) + t.ydist.(a / c).(b / c)
+  | None -> Context.distance t.ctx a b
 
-let axis_tables t = (t.xdist, t.ydist)
+let axis_tables t = (t.ctx.Context.xdist, t.ctx.Context.ydist)
 
 (* Cache accounting (merged-window lookups fold into the same names):
    totals are per-(datum, window) and each row has a single writer, so
@@ -190,8 +187,9 @@ let axis_tables t = (t.xdist, t.ydist)
 let hit name = if !Obs.enabled then Obs.Metrics.incr name
 
 let compute_marginals t w ~data =
-  Reftrace.Window.marginals w ~data ~cols:(Pim.Mesh.cols t.mesh)
-    ~rows:(Pim.Mesh.rows t.mesh)
+  Reftrace.Window.marginals w ~data
+    ~cols:(Pim.Mesh.cols t.ctx.Context.mesh)
+    ~rows:(Pim.Mesh.rows t.ctx.Context.mesh)
 
 let marginals t ~window ~data =
   match t.margs.(data).(window) with
@@ -200,7 +198,7 @@ let marginals t ~window ~data =
       m
   | None ->
       hit "problem.marginals_miss";
-      let m = compute_marginals t t.windows.(window) ~data in
+      let m = compute_marginals t t.ctx.Context.windows.(window) ~data in
       t.margs.(data).(window) <- Some m;
       m
 
@@ -211,7 +209,7 @@ let merged_marginals t ~data =
       m
   | None ->
       hit "problem.marginals_miss";
-      let m = compute_marginals t t.merged ~data in
+      let m = compute_marginals t t.ctx.Context.merged ~data in
       t.merged_margs.(data) <- Some m;
       m
 
@@ -219,18 +217,20 @@ let ensure_arena t ~data =
   match t.arena.(data) with
   | Some a -> a
   | None ->
-      let n_windows = Array.length t.windows in
+      let windows = t.ctx.Context.windows in
+      let size = t.ctx.Context.size in
+      let n_windows = Array.length windows in
       let off = Array.make n_windows 0 in
       let slots = ref 1 in
       for w = 0 to n_windows - 1 do
-        if Reftrace.Window.references t.windows.(w) data > 0 then begin
-          off.(w) <- !slots * t.size;
+        if Reftrace.Window.references windows.(w) data > 0 then begin
+          off.(w) <- !slots * size;
           incr slots
         end
       done;
-      let len = !slots * t.size in
+      let len = !slots * size in
       let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout len in
-      Bigarray.Array1.fill (Bigarray.Array1.sub a 0 t.size) 0;
+      Bigarray.Array1.fill (Bigarray.Array1.sub a 0 size) 0;
       t.row_off.(data) <- off;
       t.arena.(data) <- Some a;
       if !Obs.enabled then
@@ -242,7 +242,7 @@ let ensure_arena t ~data =
    an arena slab or a plain array. *)
 let table_entries t dist w ~data ~set =
   let profile = Reftrace.Window.profile w data in
-  for center = 0 to t.size - 1 do
+  for center = 0 to t.ctx.Context.size - 1 do
     let row = dist.(center) in
     set center
       (List.fold_left
@@ -250,12 +250,12 @@ let table_entries t dist w ~data ~set =
          0 profile)
   done
 
-(* Only reachable under [`Naive], which materialized the table at
-   [create]. *)
+(* Only reachable under [`Naive], whose context materialized the table at
+   creation. *)
 let naive_entries t w ~data ~set =
   hit "cost.naive_builds";
   let dist =
-    match t.naive_dist with Some d -> d | None -> assert false
+    match t.ctx.Context.naive_dist with Some d -> d | None -> assert false
   in
   table_entries t dist w ~data ~set
 
@@ -270,10 +270,11 @@ let fault_entries t w ~data ~set =
 
 let fill_separable t ~window ~data ~dst ~off =
   hit "cost.separable_builds";
+  let mesh = t.ctx.Context.mesh in
   Cost.fill_slab_of_marginals
-    ~wrap:(Pim.Mesh.wraps t.mesh)
-    ~cols:(Pim.Mesh.cols t.mesh)
-    ~rows:(Pim.Mesh.rows t.mesh)
+    ~wrap:(Pim.Mesh.wraps mesh)
+    ~cols:(Pim.Mesh.cols mesh)
+    ~rows:(Pim.Mesh.rows mesh)
     (marginals t ~window ~data)
     ~dst ~off
 
@@ -284,14 +285,14 @@ let fill_row t ~window ~data =
   let off = t.row_off.(data).(window) in
   if off > 0 then begin
     if t.fault_dist <> None then
-      fault_entries t t.windows.(window) ~data ~set:(fun center v ->
+      fault_entries t t.ctx.Context.windows.(window) ~data ~set:(fun center v ->
           a.{off + center} <- v)
     else
-      match t.kernel with
+      match t.ctx.Context.kernel with
       | `Separable -> fill_separable t ~window ~data ~dst:a ~off
       | `Naive ->
-          naive_entries t t.windows.(window) ~data ~set:(fun center v ->
-              a.{off + center} <- v)
+          naive_entries t t.ctx.Context.windows.(window) ~data
+            ~set:(fun center v -> a.{off + center} <- v)
   end;
   Bytes.set t.filled.(data) window '\001';
   a
@@ -314,14 +315,15 @@ let cost_entry t ~window ~data center =
 
 let cost_vector t ~window ~data =
   let a, off = arena_row t ~window ~data in
-  Array.init t.size (fun i -> a.{off + i})
+  Array.init t.ctx.Context.size (fun i -> a.{off + i})
 
 let vector_from_marginals t m =
   hit "cost.separable_builds";
+  let mesh = t.ctx.Context.mesh in
   Cost.vector_of_marginals
-    ~wrap:(Pim.Mesh.wraps t.mesh)
-    ~cols:(Pim.Mesh.cols t.mesh)
-    ~rows:(Pim.Mesh.rows t.mesh)
+    ~wrap:(Pim.Mesh.wraps mesh)
+    ~cols:(Pim.Mesh.cols mesh)
+    ~rows:(Pim.Mesh.rows mesh)
     m
 
 let merged_vector t ~data =
@@ -331,22 +333,23 @@ let merged_vector t ~data =
       v
   | None ->
       hit "problem.vector_miss";
+      let size = t.ctx.Context.size in
       let v =
-        if Reftrace.Window.references t.merged data = 0 then
-          Array.make t.size 0
+        if Reftrace.Window.references t.ctx.Context.merged data = 0 then
+          Array.make size 0
         else if t.fault_dist <> None then begin
-          let v = Array.make t.size 0 in
-          fault_entries t t.merged ~data ~set:(fun center c ->
+          let v = Array.make size 0 in
+          fault_entries t t.ctx.Context.merged ~data ~set:(fun center c ->
               v.(center) <- c);
           v
         end
         else
-          match t.kernel with
+          match t.ctx.Context.kernel with
           | `Separable ->
               vector_from_marginals t (merged_marginals t ~data)
           | `Naive ->
-              let v = Array.make t.size 0 in
-              naive_entries t t.merged ~data ~set:(fun center c ->
+              let v = Array.make size 0 in
+              naive_entries t t.ctx.Context.merged ~data ~set:(fun center c ->
                   v.(center) <- c);
               v
       in
@@ -358,7 +361,7 @@ let merged_vector t ~data =
 let masked_argmin t get =
   hit "cost.argmin_masked";
   let best = ref (-1) in
-  for i = 0 to t.size - 1 do
+  for i = 0 to t.ctx.Context.size - 1 do
     if t.alive.(i) && (!best < 0 || get i < get !best) then best := i
   done;
   !best
@@ -375,26 +378,27 @@ let optimal_center t ~window ~data =
   let cached = t.opts.(data).(window) in
   if cached >= 0 then cached
   else begin
+    let mesh = t.ctx.Context.mesh in
     let c =
       if faulty t then begin
         let a, off = arena_row t ~window ~data in
         masked_argmin t (fun i -> a.{off + i})
       end
       else
-        match t.kernel with
+        match t.ctx.Context.kernel with
         | `Separable ->
             hit "cost.argmin_fast";
             fst
               (Cost.argmin_of_marginals
-                 ~wrap:(Pim.Mesh.wraps t.mesh)
-                 ~cols:(Pim.Mesh.cols t.mesh)
-                 ~rows:(Pim.Mesh.rows t.mesh)
+                 ~wrap:(Pim.Mesh.wraps mesh)
+                 ~cols:(Pim.Mesh.cols mesh)
+                 ~rows:(Pim.Mesh.rows mesh)
                  (marginals t ~window ~data))
         | `Naive ->
             hit "cost.argmin_fallback";
             let a, off = arena_row t ~window ~data in
             let best = ref 0 in
-            for i = 1 to t.size - 1 do
+            for i = 1 to t.ctx.Context.size - 1 do
               if a.{off + i} < a.{off + !best} then best := i
             done;
             !best
@@ -407,26 +411,27 @@ let merged_optimal_center t ~data =
   let cached = t.merged_opts.(data) in
   if cached >= 0 then cached
   else begin
+    let mesh = t.ctx.Context.mesh in
     let c =
       if faulty t then begin
         let v = merged_vector t ~data in
         masked_argmin t (fun i -> v.(i))
       end
       else
-        match t.kernel with
+        match t.ctx.Context.kernel with
         | `Separable ->
             hit "cost.argmin_fast";
             fst
               (Cost.argmin_of_marginals
-                 ~wrap:(Pim.Mesh.wraps t.mesh)
-                 ~cols:(Pim.Mesh.cols t.mesh)
-                 ~rows:(Pim.Mesh.rows t.mesh)
+                 ~wrap:(Pim.Mesh.wraps mesh)
+                 ~cols:(Pim.Mesh.cols mesh)
+                 ~rows:(Pim.Mesh.rows mesh)
                  (merged_marginals t ~data))
         | `Naive ->
             hit "cost.argmin_fallback";
             let v = merged_vector t ~data in
             let best = ref 0 in
-            for i = 1 to t.size - 1 do
+            for i = 1 to t.ctx.Context.size - 1 do
               if v.(i) < v.(!best) then best := i
             done;
             !best
@@ -451,7 +456,9 @@ let candidates t ~window ~data =
       hit "problem.candidates_miss";
       let a, off = arena_row t ~window ~data in
       let l =
-        alive_only t (Processor_list.of_costs ~n:t.size (fun i -> a.{off + i}))
+        alive_only t
+          (Processor_list.of_costs ~n:t.ctx.Context.size (fun i ->
+               a.{off + i}))
       in
       t.cands.(data).(window) <- Some l;
       l
@@ -472,7 +479,7 @@ let ranks_near t ~target =
   | Some l -> l
   | None ->
       let l =
-        List.init (Pim.Mesh.size t.mesh) Fun.id
+        List.init t.ctx.Context.size Fun.id
         |> alive_only t
         |> List.sort (fun a b ->
                let c =
@@ -489,12 +496,13 @@ let by_total_references t =
   | None ->
       (* Ordering.by_total_references against the cached merged window *)
       let sp = space t in
+      let merged = t.ctx.Context.merged in
       let l =
         List.init (n_data t) Fun.id
         |> List.sort (fun a b ->
                let weight d =
                  Reftrace.Data_space.volume_of sp d
-                 * Reftrace.Window.references t.merged d
+                 * Reftrace.Window.references merged d
                in
                let c = Int.compare (weight b) (weight a) in
                if c <> 0 then c else Int.compare a b)
@@ -554,7 +562,7 @@ let prefetch_referenced t =
             referenced := true;
             ignore (candidates t ~window:w ~data)
           end)
-        t.windows;
+        t.ctx.Context.windows;
       if not !referenced then ignore (merged_candidates t ~data))
 
 let prefetch_centers t =
@@ -567,7 +575,7 @@ let prefetch_centers t =
             referenced := true;
             ignore (optimal_center t ~window:w ~data)
           end)
-        t.windows;
+        t.ctx.Context.windows;
       if not !referenced then ignore (merged_optimal_center t ~data))
 
 let prefetch_merged t =
@@ -590,8 +598,8 @@ let check_feasible t ~who =
 let fresh_memory t =
   let m =
     match t.policy with
-    | Unbounded -> Pim.Memory.unbounded t.mesh
-    | Bounded c -> Pim.Memory.create t.mesh ~capacity:c
+    | Unbounded -> Pim.Memory.unbounded t.ctx.Context.mesh
+    | Bounded c -> Pim.Memory.create t.ctx.Context.mesh ~capacity:c
   in
   if Pim.Fault.has_node_faults t.fault then
     List.iter (Pim.Memory.ban m) (Pim.Fault.dead_nodes t.fault);
@@ -600,18 +608,18 @@ let fresh_memory t =
 let layer_vectors t ~data =
   let slab, offs = layer_slab t ~data in
   Array.init (n_windows t) (fun w ->
-      Array.init t.size (fun i -> slab.{offs.(w) + i}))
+      Array.init t.ctx.Context.size (fun i -> slab.{offs.(w) + i}))
 
 let layered t ~data =
   let slab, offs = layer_slab t ~data in
-  let cols = Pim.Mesh.cols t.mesh in
-  let width = t.size in
+  let cols = Pim.Mesh.cols t.ctx.Context.mesh in
+  let width = t.ctx.Context.size in
   let step_cost =
     match t.fault_dist with
     | Some fd ->
         fun ~layer j k -> fd.(j).(k) + slab.{offs.(layer) + k}
     | None ->
-        let xd = t.xdist and yd = t.ydist in
+        let xd = t.ctx.Context.xdist and yd = t.ctx.Context.ydist in
         fun ~layer j k ->
           xd.(j mod cols).(k mod cols)
           + yd.(j / cols).(k / cols)
@@ -637,15 +645,16 @@ let solve_datum ?allowed t ~data =
   match t.fault_dist with
   | None -> (
       let vectors, offsets = layer_slab t ~data in
-      let width = t.size and n_layers = n_windows t in
+      let xdist = t.ctx.Context.xdist and ydist = t.ctx.Context.ydist in
+      let width = t.ctx.Context.size and n_layers = n_windows t in
       match combined with
       | None ->
           Some
-            (Pathgraph.Layered.solve_axes ~offsets ~xdist:t.xdist
-               ~ydist:t.ydist ~vectors ~width ~n_layers ())
+            (Pathgraph.Layered.solve_axes ~offsets ~xdist ~ydist ~vectors
+               ~width ~n_layers ())
       | Some allowed ->
-          Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist:t.xdist
-            ~ydist:t.ydist ~vectors ~width ~n_layers ~allowed ())
+          Pathgraph.Layered.solve_axes_filtered ~offsets ~xdist ~ydist
+            ~vectors ~width ~n_layers ~allowed ())
   | Some _ -> (
       (* link faults: the axis tables no longer factor the distances, so
          the DP runs on the callback problem over the BFS table *)

@@ -36,15 +36,16 @@
 (** How much data each processor's local memory holds. [Unbounded] models
     infinite memories; [Bounded c] gives every processor [c] slots (the
     paper's experiments use twice the minimum — see
-    {!Pim.Memory.capacity_for}). *)
-type capacity_policy = Unbounded | Bounded of int
+    {!Pim.Memory.capacity_for}). Equal to {!Context.capacity_policy}. *)
+type capacity_policy = Context.capacity_policy = Unbounded | Bounded of int
 
 (** Which cost-kernel fills the arena. [`Separable] (the default) builds
     each vector row in O(P + refs) from axis marginals via prefix sums
     ({!Cost}); [`Naive] is the direct O(P · refs) table walk
     ({!Cost.Naive}), kept as the cross-check oracle and benchmark
-    baseline. Both produce byte-identical entries. *)
-type kernel = [ `Separable | `Naive ]
+    baseline. Both produce byte-identical entries. Equal to
+    {!Context.kernel}. *)
+type kernel = Context.kernel
 
 type t
 
@@ -85,6 +86,26 @@ val of_capacity :
   Reftrace.Trace.t ->
   t
 
+(** [of_context ?policy ?jobs ?fault ctx] opens a {e request-scoped
+    session} over a shared immutable {!Context.t}: fresh empty caches and
+    arenas, the fault overlay built here, and [policy]/[jobs] defaulting
+    to the context's values. The mesh, trace, windows, merged window and
+    axis tables are shared with [ctx] — and with every other session on
+    it, from any domain: the context is never written after creation.
+    This is the entry point a long-lived service uses so per-request
+    state stays private while instance preprocessing stays hot.
+    @raise Invalid_argument under the same conditions as {!create}. *)
+val of_context :
+  ?policy:capacity_policy -> ?jobs:int -> ?fault:Pim.Fault.t -> Context.t -> t
+
+(** [context t] is the shared immutable half the session was opened over. *)
+val context : t -> Context.t
+
+(** [max_arena_bytes t] is {!Context.t.max_arena_bytes}: the session's
+    cost-arena footprint with every row forced — the admission-control
+    currency of the serve path. *)
+val max_arena_bytes : t -> int
+
 val mesh : t -> Pim.Mesh.t
 val trace : t -> Reftrace.Trace.t
 val policy : t -> capacity_policy
@@ -120,11 +141,12 @@ val with_policy : t -> capacity_policy -> t
     (benchmarking, cross-checking). *)
 val with_kernel : t -> kernel -> t
 
-(** [with_fault t fault] is a {e fresh} context (empty caches) over the
-    same mesh, trace, policy, jobs and kernel with the fault replaced —
-    cost entries, candidate orders and distances all depend on the fault.
-    [t] itself when both the old and new fault are {!Pim.Fault.none}. How
-    the reschedule-on-failure path degrades a problem mid-run. *)
+(** [with_fault t fault] is a {e fresh session} (empty caches) with the
+    fault replaced — cost entries, candidate orders and distances all
+    depend on the fault — over the {e same} shared {!Context.t}, so the
+    axis tables and trace preprocessing carry over untouched. [t] itself
+    when both the old and new fault are {!Pim.Fault.none}. How the
+    reschedule-on-failure path degrades a problem mid-run. *)
 val with_fault : t -> Pim.Fault.t -> t
 
 val space : t -> Reftrace.Data_space.t

@@ -7,7 +7,7 @@ let refine ?(max_sweeps = 8) problem schedule =
   if
     Schedule.n_data schedule <> n_data
     || Schedule.n_windows schedule <> n_windows
-  then invalid_arg "Refine.run: schedule and trace shapes disagree";
+  then invalid_arg "Refine.refine: schedule and trace shapes disagree";
   let capacity = Problem.capacity problem in
   (match capacity with
   | Some c -> (
@@ -15,7 +15,7 @@ let refine ?(max_sweeps = 8) problem schedule =
       | Some (w, rank, load) ->
           invalid_arg
             (Printf.sprintf
-               "Refine.run: input schedule already violates capacity \
+               "Refine.refine: input schedule already violates capacity \
                 (window %d, rank %d, load %d > %d)"
                w rank load c)
       | None -> ())
@@ -74,13 +74,7 @@ let refine ?(max_sweeps = 8) problem schedule =
   done;
   (sched, { sweeps = !sweeps; improved = !improved; saved = !saved })
 
-let run ?capacity ?max_sweeps mesh trace schedule =
-  refine ?max_sweeps (Problem.of_capacity ?capacity mesh trace) schedule
-
 let refined problem = fst (refine problem (Gomcds.schedule problem))
-
-let gomcds_refined ?capacity mesh trace =
-  refined (Problem.of_capacity ?capacity mesh trace)
 
 let best_schedule problem =
   (* all four seeds and their refinements share the context's cost-vector
@@ -105,5 +99,3 @@ let best_schedule problem =
           else acc)
         first rest
 
-let best ?capacity mesh trace =
-  best_schedule (Problem.of_capacity ?capacity mesh trace)

@@ -30,23 +30,8 @@ type stats = {
 val refine :
   ?max_sweeps:int -> Problem.t -> Schedule.t -> Schedule.t * stats
 
-(** @deprecated [run ?capacity ?max_sweeps mesh trace schedule] is the
-    pre-{!Problem} shim over {!refine}. *)
-val run :
-  ?capacity:int ->
-  ?max_sweeps:int ->
-  Pim.Mesh.t ->
-  Reftrace.Trace.t ->
-  Schedule.t ->
-  Schedule.t * stats
-
 (** [refined problem] is GOMCDS followed by {!refine} to a fixed point. *)
 val refined : Problem.t -> Schedule.t
-
-(** @deprecated [gomcds_refined ?capacity mesh trace] is the pre-{!Problem}
-    shim over {!refined}. *)
-val gomcds_refined :
-  ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
 
 (** [best_schedule problem] is the portfolio flagship: it refines each of
     GOMCDS, LOMCDS and both grouping variants to a fixed point and returns
@@ -57,6 +42,3 @@ val gomcds_refined :
     the context's cost-vector cache. *)
 val best_schedule : Problem.t -> Schedule.t
 
-(** @deprecated [best ?capacity mesh trace] is the pre-{!Problem} shim over
-    {!best_schedule}. *)
-val best : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t

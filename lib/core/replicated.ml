@@ -48,7 +48,7 @@ let run ?capacity ?(max_copies = 2) mesh trace =
   and yd = Pim.Mesh.y_distance_table mesh in
   let cols = Pim.Mesh.cols mesh in
   (* the primary copy follows the exact GOMCDS trajectory *)
-  let primary = Gomcds.run ?capacity mesh trace in
+  let primary = Gomcds.schedule (Problem.of_capacity ?capacity mesh trace) in
   let loads = Array.make_matrix n_windows m 0 in
   for w = 0 to n_windows - 1 do
     for d = 0 to n_data - 1 do

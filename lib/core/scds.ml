@@ -1,5 +1,5 @@
 let placement problem =
-  Problem.check_feasible problem ~who:"Scds.run";
+  Problem.check_feasible problem ~who:"Scds.schedule";
   match Problem.policy problem with
   | Problem.Unbounded ->
       (* Vector-free fast path: with unbounded memories [assign] always
@@ -30,8 +30,4 @@ let schedule problem =
     ~n_windows:(Problem.n_windows problem)
     (placement problem)
 
-let run ?capacity mesh trace =
-  schedule (Problem.of_capacity ?capacity mesh trace)
-
-let center_of ?capacity mesh trace ~data =
-  (placement (Problem.of_capacity ?capacity mesh trace)).(data)
+let center_of problem ~data = (placement problem).(data)

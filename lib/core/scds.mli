@@ -17,13 +17,7 @@ val schedule : Problem.t -> Schedule.t
     ([placement.(data) = rank]). *)
 val placement : Problem.t -> int array
 
-(** @deprecated [run ?capacity mesh trace] is the pre-{!Problem} entry
-    point, kept as a thin shim over {!schedule} (builds a serial one-shot
-    context). *)
-val run : ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> Schedule.t
-
-(** [center_of ?capacity mesh trace ~data] is just the chosen center of one
-    datum — rank of the first processor in its (capacity-respecting)
-    processor list. Exposed for the worked example and tests. *)
-val center_of :
-  ?capacity:int -> Pim.Mesh.t -> Reftrace.Trace.t -> data:int -> int
+(** [center_of problem ~data] is just the chosen center of one datum —
+    rank of the first processor in its (capacity-respecting) processor
+    list. Exposed for the worked example and tests. *)
+val center_of : Problem.t -> data:int -> int

@@ -17,3 +17,20 @@ val to_channel : out_channel -> t -> unit
 
 (** [write_file path v] writes [v] followed by a newline to [path]. *)
 val write_file : string -> t -> unit
+
+type error = { offset : int; message : string }
+(** A parse failure: [offset] is the byte position in the input where the
+    problem was detected (0-based), [message] says what was expected. *)
+
+(** [parse s] reads one JSON value from [s] — objects, arrays, strings,
+    numbers, [true]/[false]/[null] — strictly per RFC 8259: no trailing
+    commas, no comments, no unquoted keys, nothing but whitespace after
+    the value. Numbers without fraction or exponent that fit in [int]
+    become [Int]; all others become [Float]. String escapes, including
+    [\uXXXX] (and surrogate pairs, re-encoded as UTF-8), are decoded.
+    The serve protocol's request decoder — errors carry the byte offset
+    so clients can point at the offending span. *)
+val parse : string -> (t, error) result
+
+(** [error_to_string e] is ["<message> at byte <offset>"]. *)
+val error_to_string : error -> string

@@ -1,0 +1,218 @@
+let version = "pim-sched-serve/1"
+
+type mesh_spec = { rows : int; cols : int; torus : bool }
+
+type fault_spec =
+  | Fault_explicit of {
+      dead_nodes : int list;
+      dead_links : (int * int) list;
+    }
+  | Fault_seeded of { seed : int; node_rate : float; link_rate : float }
+
+type instance = {
+  workload : string;
+  trace_text : string option;
+  size : int;
+  partition : string;
+  mesh : mesh_spec;
+  unbounded : bool;
+  kernel : Sched.Problem.kernel;
+}
+
+type op =
+  | Solve of {
+      instance : instance;
+      algorithm : string;
+      fault : fault_spec option;
+    }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Obs.Json.t; op : op }
+type error = { code : string; message : string; offset : int option }
+
+let bad ?offset message = { code = "bad-request"; message; offset }
+
+exception Reject of error
+
+let reject ?offset message = raise (Reject (bad ?offset message))
+
+(* ---- field accessors over a decoded object ---- *)
+
+let field fields k = List.assoc_opt k fields
+
+let get_string fields k ~default =
+  match field fields k with
+  | None -> default
+  | Some (Obs.Json.String s) -> s
+  | Some _ -> reject (Printf.sprintf "field %S must be a string" k)
+
+let get_opt_string fields k =
+  match field fields k with
+  | None -> None
+  | Some (Obs.Json.String s) -> Some s
+  | Some _ -> reject (Printf.sprintf "field %S must be a string" k)
+
+let get_int fields k ~default =
+  match field fields k with
+  | None -> default
+  | Some (Obs.Json.Int i) -> i
+  | Some _ -> reject (Printf.sprintf "field %S must be an integer" k)
+
+let get_bool fields k ~default =
+  match field fields k with
+  | None -> default
+  | Some (Obs.Json.Bool b) -> b
+  | Some _ -> reject (Printf.sprintf "field %S must be a boolean" k)
+
+let get_float fields k ~default =
+  match field fields k with
+  | None -> default
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | Some _ -> reject (Printf.sprintf "field %S must be a number" k)
+
+let get_obj fields k =
+  match field fields k with
+  | None -> None
+  | Some (Obs.Json.Obj o) -> Some o
+  | Some _ -> reject (Printf.sprintf "field %S must be an object" k)
+
+let get_int_list fields k =
+  match field fields k with
+  | None -> []
+  | Some (Obs.Json.List xs) ->
+      List.map
+        (function
+          | Obs.Json.Int i -> i
+          | _ -> reject (Printf.sprintf "field %S must hold integers" k))
+        xs
+  | Some _ -> reject (Printf.sprintf "field %S must be a list" k)
+
+let get_pair_list fields k =
+  match field fields k with
+  | None -> []
+  | Some (Obs.Json.List xs) ->
+      List.map
+        (function
+          | Obs.Json.List [ Obs.Json.Int a; Obs.Json.Int b ] -> (a, b)
+          | _ ->
+              reject
+                (Printf.sprintf "field %S must hold [src,dst] pairs" k))
+        xs
+  | Some _ -> reject (Printf.sprintf "field %S must be a list" k)
+
+(* ---- request decoding ---- *)
+
+let decode_mesh fields =
+  match get_obj fields "mesh" with
+  | None -> { rows = 4; cols = 4; torus = false }
+  | Some m ->
+      let rows = get_int m "rows" ~default:4 in
+      let cols = get_int m "cols" ~default:4 in
+      if rows < 1 || cols < 1 then reject "mesh shape must be positive";
+      { rows; cols; torus = get_bool m "torus" ~default:false }
+
+let decode_kernel fields =
+  match get_string fields "kernel" ~default:"separable" with
+  | "separable" -> `Separable
+  | "naive" -> `Naive
+  | s ->
+      reject
+        (Printf.sprintf "unknown kernel %S (expected separable or naive)" s)
+
+let decode_fault fields =
+  match get_obj fields "fault" with
+  | None -> None
+  | Some f ->
+      if field f "seed" <> None then
+        Some
+          (Fault_seeded
+             {
+               seed = get_int f "seed" ~default:0;
+               node_rate = get_float f "node_rate" ~default:0.;
+               link_rate = get_float f "link_rate" ~default:0.;
+             })
+      else
+        Some
+          (Fault_explicit
+             {
+               dead_nodes = get_int_list f "dead_nodes";
+               dead_links = get_pair_list f "dead_links";
+             })
+
+let decode_instance fields =
+  let trace_text = get_opt_string fields "trace" in
+  let workload = get_string fields "workload" ~default:"1" in
+  let size = get_int fields "size" ~default:8 in
+  if size < 1 then reject "field \"size\" must be positive";
+  {
+    workload;
+    trace_text;
+    size;
+    partition = get_string fields "partition" ~default:"block-2d";
+    mesh = decode_mesh fields;
+    unbounded = get_bool fields "unbounded" ~default:false;
+    kernel = decode_kernel fields;
+  }
+
+let decode line =
+  match Obs.Json.parse line with
+  | Error e ->
+      Error
+        ( Obs.Json.Null,
+          {
+            code = "parse-error";
+            message = e.Obs.Json.message;
+            offset = Some e.Obs.Json.offset;
+          } )
+  | Ok (Obs.Json.Obj fields) -> (
+      let id =
+        match field fields "id" with Some v -> v | None -> Obs.Json.Null
+      in
+      match
+        match get_string fields "op" ~default:"solve" with
+        | "solve" ->
+            Solve
+              {
+                instance = decode_instance fields;
+                algorithm = get_string fields "algorithm" ~default:"gomcds";
+                fault = decode_fault fields;
+              }
+        | "ping" -> Ping
+        | "stats" -> Stats
+        | "shutdown" -> Shutdown
+        | s -> reject (Printf.sprintf "unknown op %S" s)
+      with
+      | op -> Ok { id; op }
+      | exception Reject e -> Error (id, e))
+  | Ok _ ->
+      Error (Obs.Json.Null, bad "request must be a JSON object")
+
+(* ---- response encoding ---- *)
+
+let ok_response id result =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("id", id); ("ok", Obs.Json.Bool true); ("result", Obs.Json.Obj result);
+       ])
+
+let error_response id (e : error) =
+  let fields =
+    [
+      ("code", Obs.Json.String e.code);
+      ("message", Obs.Json.String e.message);
+    ]
+    @ match e.offset with
+      | None -> []
+      | Some o -> [ ("offset", Obs.Json.Int o) ]
+  in
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("id", id);
+         ("ok", Obs.Json.Bool false);
+         ("error", Obs.Json.Obj fields);
+       ])

@@ -1,0 +1,81 @@
+(** The [pim-sched-serve/1] wire protocol: line-delimited JSON.
+
+    Each request is one JSON object on one line; each response is one JSON
+    object on one line, in request order. A request carries an [id]
+    (echoed verbatim in the response — any JSON value) and an [op]:
+
+    - ["solve"] (the default): schedule one instance. Instance fields
+      mirror the CLI: [workload]/[size]/[partition] name a generated
+      workload, or [trace] carries an inline {!Reftrace.Serial} v1 text;
+      [mesh] is [{"rows":R,"cols":C,"torus":bool}]; [unbounded] lifts the
+      paper's headroom-2 capacity; [algorithm] and [kernel] are the CLI
+      spellings; [fault] is either [{"dead_nodes":[...],
+      "dead_links":[[a,b],...]}] or [{"seed":s,"node_rate":f,
+      "link_rate":f}].
+    - ["ping"] — liveness probe, returns the protocol version.
+    - ["stats"] — server counters.
+    - ["shutdown"] — acknowledge and stop the daemon after this batch.
+
+    A solve response's [result] holds the algorithm name, the cost
+    breakdown ([total]/[reference]/[movement]/[moves]) and [plan], the
+    {!Sched.Schedule_serial} v1 text — byte-identical to what the
+    one-shot CLI writes with [--plan-out]. Failures come back as
+    [{"id":..,"ok":false,"error":{"code","message","offset"?}}] with
+    codes [parse-error], [bad-request], [over-budget] or [solve-error]. *)
+
+val version : string
+
+type mesh_spec = { rows : int; cols : int; torus : bool }
+
+type fault_spec =
+  | Fault_explicit of {
+      dead_nodes : int list;
+      dead_links : (int * int) list;
+    }
+  | Fault_seeded of { seed : int; node_rate : float; link_rate : float }
+
+type instance = {
+  workload : string;  (** CLI workload spelling; ignored with [trace_text] *)
+  trace_text : string option;  (** inline {!Reftrace.Serial} v1 text *)
+  size : int;
+  partition : string;
+  mesh : mesh_spec;
+  unbounded : bool;
+  kernel : Sched.Problem.kernel;
+}
+
+type op =
+  | Solve of {
+      instance : instance;
+      algorithm : string;
+      fault : fault_spec option;
+    }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Obs.Json.t; op : op }
+
+type error = { code : string; message : string; offset : int option }
+
+val bad : ?offset:int -> string -> error
+(** [bad message] is a [bad-request] error. *)
+
+exception Reject of error
+(** How decoding and solving abort on a malformed or unservable request;
+    the server turns it into an error response. *)
+
+(** [reject message] raises {!Reject} with a [bad-request] error. *)
+val reject : ?offset:int -> string -> 'a
+
+(** [decode line] parses one request line. On failure the returned [id] is
+    whatever could be recovered from the line ([Null] if none) so the
+    error response can still be correlated. *)
+val decode : string -> (request, Obs.Json.t * error) result
+
+(** [ok_response id result] / [error_response id e] render one response
+    line (no trailing newline). Field order is fixed, so responses are
+    byte-deterministic. *)
+val ok_response : Obs.Json.t -> (string * Obs.Json.t) list -> string
+
+val error_response : Obs.Json.t -> error -> string

@@ -1,0 +1,426 @@
+type config = {
+  jobs : int;
+  batch : int;
+  max_arena_bytes : int option;
+  memo : bool;
+}
+
+let default_config () =
+  {
+    jobs = Sched.Engine.default_jobs ();
+    batch = 16;
+    max_arena_bytes = None;
+    memo = true;
+  }
+
+type t = {
+  config : config;
+  (* shared immutable halves, keyed by canonical instance key; every
+     request with the same mesh/trace/policy/kernel reuses the entry *)
+  contexts : (string, Sched.Context.t) Hashtbl.t;
+  (* response memo: raw request line -> response line (solve ops only).
+     Solves are pure functions of the request, so a repeat costs one
+     Hashtbl probe. *)
+  memo_tbl : (string, string) Hashtbl.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable rejected : int;
+  mutable batches : int;
+  mutable memo_hits : int;
+  mutable stopping : bool;
+}
+
+let create ?config () =
+  let config = match config with Some c -> c | None -> default_config () in
+  if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if config.batch < 1 then invalid_arg "Server.create: batch must be >= 1";
+  {
+    config;
+    contexts = Hashtbl.create 16;
+    memo_tbl = Hashtbl.create 64;
+    requests = 0;
+    errors = 0;
+    rejected = 0;
+    batches = 0;
+    memo_hits = 0;
+    stopping = false;
+  }
+
+let hit name = if !Obs.enabled then Obs.Metrics.incr name
+
+(* ---------------------------------------------------------------- *)
+(* Instance construction (mirrors the CLI's build_mesh/build_trace)  *)
+(* ---------------------------------------------------------------- *)
+
+let build_mesh (m : Protocol.mesh_spec) =
+  if m.torus then Pim.Mesh.torus ~rows:m.rows ~cols:m.cols
+  else Pim.Mesh.create ~rows:m.rows ~cols:m.cols
+
+let partition_of_name = function
+  | "block-2d" -> Workloads.Iteration_space.Block_2d
+  | "row-blocks" -> Workloads.Iteration_space.Row_blocks
+  | "col-blocks" -> Workloads.Iteration_space.Col_blocks
+  | "cyclic-2d" -> Workloads.Iteration_space.Cyclic_2d
+  | s -> Protocol.reject (Printf.sprintf "unknown partition %S" s)
+
+let build_trace (spec : Protocol.instance) mesh =
+  match spec.trace_text with
+  | Some text -> (
+      match Reftrace.Serial.of_string text with
+      | t -> (
+          match Reftrace.Trace.validate t mesh with
+          | () -> t
+          | exception Invalid_argument m -> Protocol.reject m)
+      | exception Failure m ->
+          Protocol.reject (Printf.sprintf "inline trace: %s" m))
+  | None -> (
+      let partition = partition_of_name spec.partition in
+      let n = spec.size in
+      match spec.workload with
+      | "stencil" -> Workloads.Stencil.trace ~partition ~n ~sweeps:8 mesh
+      | "tc" | "transitive-closure" ->
+          Workloads.Transitive_closure.trace ~partition ~n mesh
+      | "fft" -> Workloads.Fft_transpose.trace ~partition ~n mesh
+      | "cholesky" -> Workloads.Cholesky.trace ~partition ~n mesh
+      | "reduction" ->
+          Workloads.Reduction.trace ~partition ~n
+            ~bins:(Pim.Mesh.size mesh) mesh
+      | label -> (
+          match Workloads.Benchmarks.of_label label with
+          | b -> Workloads.Benchmarks.trace ~partition b ~n mesh
+          | exception Invalid_argument _ ->
+              Protocol.reject
+                (Printf.sprintf
+                   "unknown workload %S (expected 1..5, stencil, tc, fft, \
+                    cholesky or reduction)"
+                   label)))
+
+let policy_of trace mesh (spec : Protocol.instance) =
+  if spec.unbounded then Sched.Problem.Unbounded
+  else
+    Sched.Problem.Bounded
+      (Pim.Memory.capacity_for
+         ~data_count:
+           (Reftrace.Data_space.size (Reftrace.Trace.space trace))
+         ~mesh ~headroom:2)
+
+let kernel_name = function `Separable -> "separable" | `Naive -> "naive"
+
+(* The canonical key naming a shared context: everything the immutable
+   half depends on. Inline traces key by content digest, so two clients
+   shipping the same trace text share one context. *)
+let context_key (spec : Protocol.instance) =
+  let source =
+    match spec.trace_text with
+    | Some text -> Printf.sprintf "trace:%s" (Digest.to_hex (Digest.string text))
+    | None ->
+        Printf.sprintf "w:%s;n:%d;p:%s" spec.workload spec.size
+          spec.partition
+  in
+  Printf.sprintf "%s;mesh:%dx%d;torus:%b;unb:%b;k:%s" source spec.mesh.rows
+    spec.mesh.cols spec.mesh.torus spec.unbounded
+    (kernel_name spec.kernel)
+
+let find_context t (spec : Protocol.instance) =
+  let key = context_key spec in
+  match Hashtbl.find_opt t.contexts key with
+  | Some ctx ->
+      hit "serve.context_hits";
+      ctx
+  | None ->
+      hit "serve.context_misses";
+      let mesh = build_mesh spec.mesh in
+      let trace = build_trace spec mesh in
+      let policy = policy_of trace mesh spec in
+      let ctx =
+        Sched.Context.create ~policy ~jobs:t.config.jobs
+          ~kernel:spec.kernel mesh trace
+      in
+      Hashtbl.add t.contexts key ctx;
+      ctx
+
+let build_fault mesh = function
+  | None -> Pim.Fault.none
+  | Some (Protocol.Fault_explicit { dead_nodes; dead_links }) -> (
+      match Pim.Fault.create ~dead_nodes ~dead_links () with
+      | f -> f
+      | exception Invalid_argument m -> Protocol.reject m)
+  | Some (Protocol.Fault_seeded { seed; node_rate; link_rate }) -> (
+      match Pim.Fault.inject ~seed ~node_rate ~link_rate mesh with
+      | f -> f
+      | exception Invalid_argument m -> Protocol.reject m)
+
+(* ---------------------------------------------------------------- *)
+(* Solving                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let admit t ctx =
+  match t.config.max_arena_bytes with
+  | None -> ()
+  | Some budget ->
+      let need = ctx.Sched.Context.max_arena_bytes in
+      if need > budget then
+        raise
+          (Protocol.Reject
+             {
+               code = "over-budget";
+               message =
+                 Printf.sprintf
+                   "instance needs %d arena bytes, budget is %d" need budget;
+               offset = None;
+             })
+
+let solve t id (instance : Protocol.instance) algorithm fault_spec =
+  let algorithm =
+    match Sched.Scheduler.of_name algorithm with
+    | a -> a
+    | exception Invalid_argument m -> Protocol.reject m
+  in
+  let ctx = find_context t instance in
+  admit t ctx;
+  let fault = build_fault ctx.Sched.Context.mesh fault_spec in
+  (* request-scoped session: private arenas and caches over the shared
+     context, torn down when this response is built *)
+  let problem =
+    match Sched.Problem.of_context ~fault ctx with
+    | p -> p
+    | exception Invalid_argument m -> Protocol.reject m
+  in
+  match Sched.Scheduler.solve problem algorithm with
+  | schedule ->
+      let trace = ctx.Sched.Context.trace in
+      let breakdown = Sched.Schedule.cost schedule trace in
+      Protocol.ok_response id
+        [
+          ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+          ("total", Obs.Json.Int breakdown.Sched.Schedule.total);
+          ("reference", Obs.Json.Int breakdown.Sched.Schedule.reference);
+          ("movement", Obs.Json.Int breakdown.Sched.Schedule.movement);
+          ("moves", Obs.Json.Int (Sched.Schedule.moves schedule));
+          ("plan", Obs.Json.String (Sched.Schedule_serial.to_string schedule));
+        ]
+  | exception Invalid_argument m ->
+      raise
+        (Protocol.Reject
+           { code = "solve-error"; message = m; offset = None })
+
+let stats_fields t =
+  [
+    ("protocol", Obs.Json.String Protocol.version);
+    ("requests", Obs.Json.Int t.requests);
+    ("errors", Obs.Json.Int t.errors);
+    ("rejected", Obs.Json.Int t.rejected);
+    ("batches", Obs.Json.Int t.batches);
+    ("contexts", Obs.Json.Int (Hashtbl.length t.contexts));
+    ("memo_entries", Obs.Json.Int (Hashtbl.length t.memo_tbl));
+    ("memo_hits", Obs.Json.Int t.memo_hits);
+    ("jobs", Obs.Json.Int t.config.jobs);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Batch execution                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* What the serial prepare pass leaves for the parallel wave: either a
+   finished response, or a solve closure still to run. Everything that
+   mutates server state (cache fills, counters, memo probes) happens in
+   prepare; the fan-out only runs pure per-request solves. *)
+type prepared =
+  | Done of string
+  | Todo of {
+      line : string;
+      id : Obs.Json.t;
+      instance : Protocol.instance;
+      algorithm : string;
+      fault : Protocol.fault_spec option;
+    }
+
+let prepare t line =
+  t.requests <- t.requests + 1;
+  hit "serve.requests";
+  match Protocol.decode line with
+  | Error (id, e) ->
+      t.errors <- t.errors + 1;
+      hit "serve.errors";
+      Done (Protocol.error_response id e)
+  | Ok { id; op } -> (
+      match op with
+      | Ping ->
+          Done
+            (Protocol.ok_response id
+               [ ("protocol", Obs.Json.String Protocol.version) ])
+      | Stats -> Done (Protocol.ok_response id (stats_fields t))
+      | Shutdown ->
+          t.stopping <- true;
+          Done (Protocol.ok_response id [ ("stopping", Obs.Json.Bool true) ])
+      | Solve { instance; algorithm; fault } -> (
+          match
+            if t.config.memo then Hashtbl.find_opt t.memo_tbl line else None
+          with
+          | Some response ->
+              t.memo_hits <- t.memo_hits + 1;
+              hit "serve.memo_hits";
+              Done response
+          | None -> (
+              (* context resolution (and its possible rejection) is part
+                 of prepare so the cache has a single writer *)
+              match admit t (find_context t instance) with
+              | () -> Todo { line; id; instance; algorithm; fault }
+              | exception Protocol.Reject e ->
+                  (if e.Protocol.code = "over-budget" then begin
+                     t.rejected <- t.rejected + 1;
+                     hit "serve.rejected"
+                   end
+                   else begin
+                     t.errors <- t.errors + 1;
+                     hit "serve.errors"
+                   end);
+                  Done (Protocol.error_response id e))))
+
+let now () = Unix.gettimeofday ()
+
+type outcome = Passthrough | Solved of string | Failed
+
+let run_prepared t = function
+  | Done response -> (response, 0., Passthrough)
+  | Todo { line; id; instance; algorithm; fault } -> (
+      let t0 = now () in
+      match solve t id instance algorithm fault with
+      | response -> (response, now () -. t0, Solved line)
+      | exception Protocol.Reject e ->
+          (Protocol.error_response id e, now () -. t0, Failed))
+
+(* [process_batch t lines] answers one wave of request lines, in order.
+   Decode, admission control and cache management run serially; the
+   per-request solves fan out on the engine's domain pool. Returns each
+   response paired with its solve latency in seconds (0 for non-solve
+   ops). Responses depend only on the request, never on batching or
+   [jobs], so a client cannot observe the wave boundaries. *)
+let process_batch t lines =
+  t.batches <- t.batches + 1;
+  hit "serve.batches";
+  let prepared = Array.of_list (List.map (prepare t) lines) in
+  let results =
+    Sched.Engine.map ~jobs:t.config.jobs (Array.length prepared) (fun i ->
+        run_prepared t prepared.(i))
+  in
+  (* memo inserts and failure accounting back on the single writer *)
+  Array.iter
+    (fun (response, dt, outcome) ->
+      match outcome with
+      | Passthrough -> ()
+      | Solved line ->
+          if !Obs.enabled then Obs.Metrics.observe "serve.solve_us" (int_of_float (dt *. 1e6));
+          if t.config.memo then Hashtbl.replace t.memo_tbl line response
+      | Failed ->
+          if !Obs.enabled then Obs.Metrics.observe "serve.solve_us" (int_of_float (dt *. 1e6));
+          t.errors <- t.errors + 1;
+          hit "serve.errors")
+    results;
+  List.map (fun (r, dt, _) -> (r, dt)) (Array.to_list results)
+
+let handle_line t line =
+  match process_batch t [ line ] with
+  | [ (response, _) ] -> response
+  | _ -> assert false
+
+let stopping t = t.stopping
+let stats_json t = Obs.Json.Obj (stats_fields t)
+
+(* ---------------------------------------------------------------- *)
+(* The daemon loop                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* Raw-fd line reader: [in_channel] cannot tell us whether more input is
+   already buffered, and greedy batching needs exactly that — drain what
+   has arrived, block only when idle. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536; eof = false }
+
+let buffered_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+
+let refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 ->
+      r.eof <- true;
+      false
+  | n ->
+      Buffer.add_subbytes r.buf r.chunk 0 n;
+      true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+
+(* Blocking read of one line; [None] at end of input. A final line
+   without a trailing newline still counts. *)
+let rec read_line_block r =
+  match buffered_line r with
+  | Some l -> Some l
+  | None ->
+      if r.eof then
+        if Buffer.length r.buf > 0 then begin
+          let l = Buffer.contents r.buf in
+          Buffer.clear r.buf;
+          Some l
+        end
+        else None
+      else begin
+        ignore (refill r);
+        read_line_block r
+      end
+
+(* One line only if it is already available without blocking. *)
+let rec read_line_avail r =
+  match buffered_line r with
+  | Some l -> Some l
+  | None ->
+      if r.eof then None
+      else begin
+        match Unix.select [ r.fd ] [] [] 0. with
+        | [], _, _ -> None
+        | _ ->
+            if refill r then read_line_avail r
+            else None
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line_avail r
+      end
+
+(* [run t ~input oc] is the daemon: read request lines from [input],
+   write response lines to [oc] in order, batching whatever has already
+   arrived (up to [config.batch]) onto one wave so compatible requests
+   share hot contexts and the domain pool. Returns on end of input or
+   after answering a shutdown op. *)
+let run t ~input oc =
+  let r = reader input in
+  let rec loop () =
+    if not (stopping t) then
+      match read_line_block r with
+      | None -> ()
+      | Some first ->
+          let rec gather acc k =
+            if k >= t.config.batch then List.rev acc
+            else
+              match read_line_avail r with
+              | None -> List.rev acc
+              | Some l -> gather (l :: acc) (k + 1)
+          in
+          let lines = gather [ first ] 1 in
+          List.iter
+            (fun (response, _) ->
+              output_string oc response;
+              output_char oc '\n')
+            (process_batch t lines);
+          flush oc;
+          loop ()
+  in
+  loop ()

@@ -1,0 +1,56 @@
+(** The long-lived scheduling daemon behind [pimsched serve].
+
+    One server owns a cache of shared immutable {!Sched.Context.t}s keyed
+    by instance (mesh, trace source, capacity policy, kernel) and answers
+    {!Protocol} requests. Each solve opens a private request-scoped
+    session ({!Sched.Problem.of_context}) over the cached context, so
+    thousands of requests on one instance reuse the axis tables and trace
+    preprocessing while never sharing a mutable slab. Request waves fan
+    out across the {!Sched.Engine} domain pool; responses depend only on
+    the request — never on batching, wave boundaries or [jobs] — so a
+    served answer is byte-identical to the one-shot CLI solve.
+
+    Admission control is by arena footprint: a request whose context
+    would need more than [max_arena_bytes] cost-arena bytes if fully
+    forced ({!Sched.Context.t.max_arena_bytes}) is rejected with code
+    [over-budget] before any slab is allocated.
+
+    Obs metrics (when {!Obs.enabled}): [serve.requests], [serve.errors],
+    [serve.rejected], [serve.batches], [serve.context_hits],
+    [serve.context_misses], [serve.memo_hits], histogram
+    [serve.solve_us]. *)
+
+type config = {
+  jobs : int;  (** domain pool size for waves and within sessions *)
+  batch : int;  (** max requests answered per wave *)
+  max_arena_bytes : int option;  (** admission budget; [None] = unlimited *)
+  memo : bool;  (** cache responses by raw request line *)
+}
+
+(** Machine-fitted jobs, batch 16, no budget, memo on. *)
+val default_config : unit -> config
+
+type t
+
+(** @raise Invalid_argument if [jobs < 1] or [batch < 1]. *)
+val create : ?config:config -> unit -> t
+
+(** [process_batch t lines] answers one wave of request lines, in request
+    order, fanning solves out on the domain pool. Each response is paired
+    with its solve latency in seconds ([0.] for non-solve ops). *)
+val process_batch : t -> string list -> (string * float) list
+
+(** [handle_line t line] is a one-request wave. *)
+val handle_line : t -> string -> string
+
+(** [stopping t] is true once a shutdown op has been answered. *)
+val stopping : t -> bool
+
+(** [stats_json t] is the same object a [stats] op returns. *)
+val stats_json : t -> Obs.Json.t
+
+(** [run t ~input oc] is the daemon loop: block for a request line on the
+    raw [input] fd, greedily drain whatever else has already arrived (up
+    to [config.batch]), answer the wave in order, flush, repeat. Returns
+    on end of input or after answering a [shutdown] op. *)
+val run : t -> input:Unix.file_descr -> out_channel -> unit

@@ -73,7 +73,7 @@ let prop_sandwiched_between_static_and_optimal =
           (Sched.Baseline.schedule initial mesh t)
           t
       in
-      let optimal = Sched.Bounds.lower_bound mesh t in
+      let optimal = Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t) in
       optimal <= adaptive && adaptive <= static)
 
 let prop_capacity_respected =
@@ -94,7 +94,7 @@ let prop_free_gomcds_never_worse =
       let adaptive =
         adaptive_total ~initial t (Sched.Adapt.run ~initial mesh t)
       in
-      Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t <= adaptive)
+      Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t <= adaptive)
 
 let suite =
   [

@@ -96,7 +96,7 @@ let test_schedulers_accept_adaptive_windows () =
       (Reftrace.Trace.space t) events
   in
   let cost =
-    Sched.Schedule.total_cost (Sched.Gomcds.run mesh adaptive) adaptive
+    Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh adaptive)) adaptive
   in
   check_bool "schedulable" true (cost > 0)
 

@@ -53,12 +53,12 @@ let prop_respects_lower_bound =
   QCheck.Test.make ~name:"annealed cost >= lower bound" ~count:30 arb
     (fun t ->
       let s, _ = Sched.Annealing.run ~iterations:3_000 mesh t in
-      Sched.Schedule.total_cost s t >= Sched.Bounds.lower_bound mesh t)
+      Sched.Schedule.total_cost s t >= Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t))
 
 let test_gomcds_beats_annealing_on_lu () =
   let t = Workloads.Lu.trace ~n:12 mesh in
   let _, stats = Sched.Annealing.run ~iterations:60_000 mesh t in
-  let gomcds = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let gomcds = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   check_bool "structure beats search" true
     (gomcds <= stats.Sched.Annealing.final_cost)
 

@@ -88,6 +88,105 @@ let test_plan_roundtrip () =
       let plan = Sched.Schedule_serial.load path in
       Alcotest.(check int) "plan windows" 7 (Sched.Schedule.n_windows plan))
 
+(* Drive `pimsched serve` as a real daemon over a pipe. *)
+let run_serve_cli flags requests =
+  let infile = Filename.temp_file "pimsched_serve" ".in" in
+  let out = Filename.temp_file "pimsched_serve" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove infile;
+      Sys.remove out)
+    (fun () ->
+      let oc = open_out infile in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        requests;
+      close_out oc;
+      let cmd =
+        Printf.sprintf "%s serve %s < %s > %s 2>&1" (Filename.quote binary)
+          flags (Filename.quote infile) (Filename.quote out)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in out in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, String.split_on_char '\n' (String.trim text)))
+
+let test_serve_smoke () =
+  let code, lines =
+    run_serve_cli "--jobs 2 --batch 4"
+      [
+        {|{"id":1,"op":"ping"}|};
+        {|{"id":2,"workload":"1","size":8,"algorithm":"gomcds"}|};
+        {|{"id":3,"op":"stats"}|};
+        {|{"id":4,"op":"shutdown"}|};
+      ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  Alcotest.(check int) "one response per request" 4 (List.length lines);
+  Alcotest.(check string)
+    "ping" {|{"id":1,"ok":true,"result":{"protocol":"pim-sched-serve/1"}}|}
+    (List.nth lines 0);
+  List.iter
+    (fun (i, needle) ->
+      if not (contains (List.nth lines i) needle) then
+        Alcotest.failf "response %d missing %S in:\n%s" i needle
+          (List.nth lines i))
+    [
+      (1, {|"ok":true|});
+      (1, {|"algorithm":"gomcds"|});
+      (2, {|"requests":3|});
+      (3, {|"stopping":true|});
+    ]
+
+(* The served plan must be byte-identical to what the one-shot CLI writes
+   with --plan-out for the same instance. *)
+let test_serve_matches_plan_out () =
+  let path = Filename.temp_file "pimsched_cli" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "plan-out"
+        (Printf.sprintf "schedule -b 1 -n 8 -a gomcds --plan-out %s" path)
+        [ "plan written" ];
+      let ic = open_in_bin path in
+      let file_plan =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let code, lines =
+        run_serve_cli ""
+          [ {|{"id":1,"workload":"1","size":8,"algorithm":"gomcds"}|} ]
+      in
+      Alcotest.(check int) "exit code" 0 code;
+      match Obs.Json.parse (List.nth lines 0) with
+      | Ok (Obs.Json.Obj fields) -> (
+          match List.assoc_opt "result" fields with
+          | Some (Obs.Json.Obj r) -> (
+              match List.assoc_opt "plan" r with
+              | Some (Obs.Json.String served_plan) ->
+                  Alcotest.(check string)
+                    "served plan = --plan-out bytes" file_plan served_plan
+              | _ -> Alcotest.fail "no plan in served result")
+          | _ -> Alcotest.fail "no result in served response")
+      | _ -> Alcotest.failf "unparseable response: %s" (List.nth lines 0))
+
+let test_serve_rejects_over_budget () =
+  let code, lines =
+    run_serve_cli "--max-arena-mb 0"
+      [ {|{"id":1,"workload":"1","size":8}|}; {|{"id":2,"op":"shutdown"}|} ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  if not (contains (List.nth lines 0) {|"code":"over-budget"|}) then
+    Alcotest.failf "expected over-budget rejection, got:\n%s"
+      (List.nth lines 0)
+
 let test_torus_flag () =
   check_ok "torus" "schedule -b 1 -n 8 -a gomcds --torus" [ "torus" ]
 
@@ -300,4 +399,7 @@ let suite =
     Gen.case "faults --json-out" test_faults_json;
     Gen.case "faults: reschedule beats, monotone" test_faults_reschedule_beats;
     Gen.case "--jobs is output-invariant" test_jobs_flag_deterministic;
+    Gen.case "serve smoke over a pipe" test_serve_smoke;
+    Gen.case "serve plan = --plan-out bytes" test_serve_matches_plan_out;
+    Gen.case "serve --max-arena-mb rejects" test_serve_rejects_over_budget;
   ]

@@ -59,7 +59,7 @@ let prop_everything_agrees mesh =
     ~count:40 (rich_arbitrary mesh)
     (fun t ->
       let capacity = capacity_for mesh t in
-      let bound = Sched.Bounds.lower_bound mesh t in
+      let bound = Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t) in
       List.for_all
         (fun algo ->
           let s = Sched.Scheduler.run ~capacity algo mesh t in
@@ -90,7 +90,7 @@ let prop_serialization_composes mesh =
       (* round-trip the trace, schedule the copy, round-trip the schedule,
          and price everything against the original *)
       let t' = Reftrace.Serial.of_string (Reftrace.Serial.to_string t) in
-      let s = Sched.Gomcds.run mesh t' in
+      let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t') in
       let s' =
         Sched.Schedule_serial.of_string (Sched.Schedule_serial.to_string s)
       in
@@ -107,8 +107,8 @@ let prop_composition_reversal mesh =
          scheduling reverse t ++ t, by symmetry of the construction *)
       let ab = Reftrace.Trace.append t (Reftrace.Trace.reversed t) in
       let ba = Reftrace.Trace.append (Reftrace.Trace.reversed t) t in
-      Sched.Schedule.total_cost (Sched.Gomcds.run mesh ab) ab
-      = Sched.Schedule.total_cost (Sched.Gomcds.run mesh ba) ba)
+      Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh ab)) ab
+      = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh ba)) ba)
 
 let suite =
   List.concat_map

@@ -75,7 +75,7 @@ let prop_random_matrices_factor_exactly =
     (fun (n, seed) ->
       let matrix = Exec.Distributed_lu.random_matrix ~seed n in
       let trace = Workloads.Lu.trace ~n mesh in
-      let schedule = Sched.Gomcds.run mesh trace in
+      let schedule = Sched.Gomcds.schedule (Sched.Problem.create mesh trace) in
       let r = Exec.Distributed_lu.run mesh ~matrix schedule in
       r.Exec.Distributed_lu.max_error < 1e-9
       && r.Exec.Distributed_lu.traffic = r.Exec.Distributed_lu.analytic)

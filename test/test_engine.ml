@@ -88,11 +88,11 @@ let test_bounds_agree () =
       let problem = Sched.Problem.create ~jobs:4 mesh8 trace in
       Alcotest.(check int)
         ("lower bound B" ^ label)
-        (Sched.Bounds.lower_bound mesh8 trace)
+        (Sched.Bounds.lower_bound_in (Sched.Problem.create mesh8 trace))
         (Sched.Bounds.lower_bound_in problem);
       Alcotest.(check int)
         ("static lower bound B" ^ label)
-        (Sched.Bounds.static_lower_bound mesh8 trace)
+        (Sched.Bounds.static_lower_bound_in (Sched.Problem.create mesh8 trace))
         (Sched.Bounds.static_lower_bound_in problem))
     bench_instances
 

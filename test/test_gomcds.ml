@@ -7,7 +7,7 @@ let test_stays_when_moving_is_dearer () =
   let t =
     Gen.trace mesh ~n_data:1 [ [ (0, 0, 5) ]; [ (0, 15, 1) ]; [ (0, 0, 5) ] ]
   in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   Alcotest.(check (list int))
     "stays home" [ 0; 0; 0 ]
     (Array.to_list (Sched.Schedule.centers_of_data s ~data:0))
@@ -16,7 +16,7 @@ let test_moves_when_pull_is_strong () =
   let t =
     Gen.trace mesh ~n_data:1 [ [ (0, 0, 1) ]; [ (0, 15, 9) ] ]
   in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   check_int "migrates" 15 (Sched.Schedule.center s ~window:1 ~data:0)
 
 let test_optimal_centers_cost_matches_schedule () =
@@ -47,8 +47,8 @@ let test_capacity_infeasible_rejected () =
   let t = Gen.trace mesh ~n_data:33 [ [ (0, 0, 1) ] ] in
   Alcotest.check_raises "too small"
     (Invalid_argument
-       "Gomcds.run: 33 data cannot fit in 16 processors of capacity 2")
-    (fun () -> ignore (Sched.Gomcds.run ~capacity:2 mesh t))
+       "Gomcds.schedule: 33 data cannot fit in 16 processors of capacity 2")
+    (fun () -> ignore (Sched.Gomcds.schedule (Sched.Problem.of_capacity ~capacity:2 mesh t)))
 
 let prop_matches_brute_force =
   let arb =
@@ -72,9 +72,9 @@ let prop_dominates_lomcds_and_scds =
     ~name:"unbounded GOMCDS <= LOMCDS and SCDS total cost" ~count:100 arb
     (fun t ->
       let total algo = Sched.Schedule.total_cost (algo mesh t) t in
-      let g = total (fun m t -> Sched.Gomcds.run m t) in
-      g <= total (fun m t -> Sched.Lomcds.run m t)
-      && g <= total (fun m t -> Sched.Scds.run m t))
+      let g = total (fun m t -> Sched.Gomcds.schedule (Sched.Problem.create m t)) in
+      g <= total (fun m t -> Sched.Lomcds.schedule (Sched.Problem.create m t))
+      && g <= total (fun m t -> Sched.Scds.schedule (Sched.Problem.create m t)))
 
 let prop_dp_equals_explicit_cost_graph =
   let arb = Gen.trace_arbitrary ~max_data:2 ~max_windows:4 ~max_count:4 () in
@@ -97,7 +97,7 @@ let prop_capacity_never_violated =
   QCheck.Test.make ~name:"GOMCDS respects capacity" ~count:100 arb (fun t ->
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let capacity = Pim.Memory.capacity_for ~data_count:n ~mesh ~headroom:2 in
-      let s = Sched.Gomcds.run ~capacity mesh t in
+      let s = Sched.Gomcds.schedule (Sched.Problem.of_capacity ~capacity mesh t) in
       Option.is_none (Sched.Schedule.check_capacity s ~capacity))
 
 let suite =

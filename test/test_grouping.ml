@@ -12,7 +12,7 @@ let test_identical_windows_merge () =
   (* same profile every window: one big group, no movement *)
   let spec = [ (0, 6, 2); (0, 9, 1) ] in
   let t = Gen.trace mesh ~n_data:1 [ spec; spec; spec; spec ] in
-  let groups = Sched.Grouping.partition mesh t ~data:0 ~centers:`Local in
+  let groups = Sched.Grouping.groups (Sched.Problem.create mesh t) ~data:0 ~centers:`Local in
   check_int "single group" 1 (List.length groups);
   let g = List.hd groups in
   check_int "covers all" 0 g.Sched.Grouping.first;
@@ -23,7 +23,7 @@ let test_opposed_windows_stay_apart () =
   let t =
     Gen.trace mesh ~n_data:1 [ [ (0, 0, 9) ]; [ (0, 15, 9) ] ]
   in
-  let groups = Sched.Grouping.partition mesh t ~data:0 ~centers:`Local in
+  let groups = Sched.Grouping.groups (Sched.Problem.create mesh t) ~data:0 ~centers:`Local in
   check_int "two groups" 2 (List.length groups);
   Alcotest.(check (list group_t))
     "each window its own center"
@@ -37,14 +37,14 @@ let test_unreferenced_datum_empty_partition () =
   let t = Gen.trace mesh ~n_data:2 [ [ (0, 3, 1) ] ] in
   Alcotest.(check (list group_t))
     "empty" []
-    (Sched.Grouping.partition mesh t ~data:1 ~centers:`Local)
+    (Sched.Grouping.groups (Sched.Problem.create mesh t) ~data:1 ~centers:`Local)
 
 let test_gap_windows_excluded_from_groups () =
   let t =
     Gen.trace mesh ~n_data:2
       [ [ (0, 4, 2) ]; [ (1, 0, 1) ]; [ (0, 4, 2) ] ]
   in
-  let groups = Sched.Grouping.partition mesh t ~data:0 ~centers:`Local in
+  let groups = Sched.Grouping.groups (Sched.Problem.create mesh t) ~data:0 ~centers:`Local in
   (* identical profiles with a gap: still groupable into one *)
   check_int "one group" 1 (List.length groups);
   let g = List.hd groups in
@@ -56,7 +56,7 @@ let test_schedule_keeps_datum_during_gap () =
     Gen.trace mesh ~n_data:2
       [ [ (0, 4, 2) ]; [ (1, 0, 1) ]; [ (0, 4, 2) ] ]
   in
-  let s = Sched.Grouping.run mesh t in
+  let s = Sched.Grouping.schedule (Sched.Problem.create mesh t) in
   Alcotest.(check (list int))
     "no movement" [ 4; 4; 4 ]
     (Array.to_list (Sched.Schedule.centers_of_data s ~data:0))
@@ -66,8 +66,8 @@ let prop_never_worse_than_lomcds =
   QCheck.Test.make
     ~name:"grouping (unbounded) never costs more than ungrouped LOMCDS"
     ~count:100 arb (fun t ->
-      let grouped = Sched.Grouping.run mesh t in
-      let plain = Sched.Lomcds.run mesh t in
+      let grouped = Sched.Grouping.schedule (Sched.Problem.create mesh t) in
+      let plain = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
       Sched.Schedule.total_cost grouped t <= Sched.Schedule.total_cost plain t)
 
 let prop_global_centers_never_worse_than_local =
@@ -75,8 +75,8 @@ let prop_global_centers_never_worse_than_local =
   QCheck.Test.make
     ~name:"grouping with global centers <= grouping with local centers"
     ~count:100 arb (fun t ->
-      let local = Sched.Grouping.run ~centers:`Local mesh t in
-      let global = Sched.Grouping.run ~centers:`Global mesh t in
+      let local = Sched.Grouping.schedule ~centers:`Local (Sched.Problem.create mesh t) in
+      let global = Sched.Grouping.schedule ~centers:`Global (Sched.Problem.create mesh t) in
       Sched.Schedule.total_cost global t <= Sched.Schedule.total_cost local t)
 
 let prop_groups_partition_referenced_windows =
@@ -87,7 +87,7 @@ let prop_groups_partition_referenced_windows =
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let ok = ref true in
       for data = 0 to n - 1 do
-        let groups = Sched.Grouping.partition mesh t ~data ~centers:`Local in
+        let groups = Sched.Grouping.groups (Sched.Problem.create mesh t) ~data ~centers:`Local in
         let rec check prev = function
           | [] -> ()
           | g :: rest ->
@@ -114,7 +114,7 @@ let prop_capacity_never_violated =
   QCheck.Test.make ~name:"grouping respects capacity" ~count:100 arb (fun t ->
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let capacity = Pim.Memory.capacity_for ~data_count:n ~mesh ~headroom:2 in
-      let s = Sched.Grouping.run ~capacity mesh t in
+      let s = Sched.Grouping.schedule (Sched.Problem.of_capacity ~capacity mesh t) in
       Option.is_none (Sched.Schedule.check_capacity s ~capacity))
 
 let suite =

@@ -83,7 +83,7 @@ let test_hierarchy_on_paper_benchmarks_unbounded () =
 let test_gomcds_equals_per_datum_optimum_on_lu () =
   (* whole-schedule total must equal the sum of per-datum DP optima *)
   let t = Workloads.Lu.trace ~n:6 mesh in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
   let expected = ref 0 in
   for data = 0 to n - 1 do
@@ -104,7 +104,7 @@ let test_window_granularity_tradeoff_runs () =
         (Printf.sprintf "refs preserved at k=%d" k)
         (Reftrace.Trace.total_references t)
         (Reftrace.Trace.total_references coarse);
-      let s = Sched.Gomcds.run mesh coarse in
+      let s = Sched.Gomcds.schedule (Sched.Problem.create mesh coarse) in
       Alcotest.(check bool)
         "cost non-negative" true
         (Sched.Schedule.total_cost s coarse >= 0))

@@ -1,0 +1,168 @@
+(* The strict Jsonx parser: unit goldens, typed-error offsets, and QCheck
+   roundtrips against the Jsonx printer. *)
+
+let json =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Obs.Json.to_string v))
+    ( = )
+
+let parse_ok name src expected =
+  match Obs.Json.parse src with
+  | Ok v -> Alcotest.check json name expected v
+  | Error e ->
+      Alcotest.failf "%s: parse failed: %s" name
+        (Obs.Json.error_to_string e)
+
+let parse_err name src expected_offset =
+  match Obs.Json.parse src with
+  | Ok v ->
+      Alcotest.failf "%s: expected failure, parsed %s" name
+        (Obs.Json.to_string v)
+  | Error e ->
+      Alcotest.(check int) (name ^ ": error offset") expected_offset e.offset
+
+let test_scalars () =
+  let open Obs.Json in
+  parse_ok "null" "null" Null;
+  parse_ok "true" "true" (Bool true);
+  parse_ok "false" "false" (Bool false);
+  parse_ok "int" "42" (Int 42);
+  parse_ok "negative int" "-7" (Int (-7));
+  parse_ok "zero" "0" (Int 0);
+  parse_ok "float" "1.5" (Float 1.5);
+  parse_ok "exponent" "2e3" (Float 2000.);
+  parse_ok "negative exponent" "25e-1" (Float 2.5);
+  parse_ok "string" {|"hello"|} (String "hello");
+  parse_ok "surrounding whitespace" "  17 \n" (Int 17)
+
+let test_containers () =
+  let open Obs.Json in
+  parse_ok "empty list" "[]" (List []);
+  parse_ok "empty obj" "{}" (Obj []);
+  parse_ok "list" "[1,2,3]" (List [ Int 1; Int 2; Int 3 ]);
+  parse_ok "nested" {|{"a":[true,null],"b":{"c":-1}}|}
+    (Obj
+       [
+         ("a", List [ Bool true; Null ]);
+         ("b", Obj [ ("c", Int (-1)) ]);
+       ]);
+  parse_ok "whitespace everywhere" "{ \"a\" : [ 1 , 2 ] }"
+    (Obj [ ("a", List [ Int 1; Int 2 ]) ])
+
+let test_string_escapes () =
+  let open Obs.Json in
+  parse_ok "escapes" {|"a\"b\\c\/d\ne\tf"|} (String "a\"b\\c/d\ne\tf");
+  parse_ok "unicode escape" {|"A"|} (String "A");
+  parse_ok "two-byte utf8" {|"é"|} (String "\xc3\xa9");
+  parse_ok "three-byte utf8" {|"€"|} (String "\xe2\x82\xac");
+  parse_ok "surrogate pair" {|"😀"|} (String "\xf0\x9f\x98\x80")
+
+let test_errors () =
+  parse_err "empty input" "" 0;
+  parse_err "bare word" "nope" 0;
+  parse_err "trailing garbage" "1 x" 2;
+  parse_err "trailing comma in list" "[1,]" 3;
+  parse_err "trailing comma in obj" {|{"a":1,}|} 7;
+  parse_err "unquoted key" "{a:1}" 1;
+  parse_err "missing colon" {|{"a" 1}|} 5;
+  parse_err "unterminated string" {|"abc|} 4;
+  parse_err "control char in string" "\"a\nb\"" 2;
+  parse_err "leading plus" "+1" 0;
+  parse_err "lone dot" "1." 2;
+  parse_err "bad escape" {|"\q"|} 2;
+  parse_err "unpaired high surrogate" {|"\ud83d"|} 7;
+  parse_err "nan is not json" "nan" 0
+
+let test_int_overflow_becomes_float () =
+  (* 19 nines does not fit a 63-bit int; the parser keeps the value *)
+  match Obs.Json.parse "9999999999999999999" with
+  | Ok (Obs.Json.Float f) ->
+      Alcotest.(check bool) "close" true (Float.abs (f -. 1e19) < 1e5)
+  | Ok v -> Alcotest.failf "expected Float, got %s" (Obs.Json.to_string v)
+  | Error e -> Alcotest.failf "parse failed: %s" (Obs.Json.error_to_string e)
+
+(* Generator for trees the printer emits losslessly: no floats (printing
+   [Float 3.] yields ["3"], which correctly reparses as [Int 3]) and no
+   bytes >= 0x80 in strings (the printer passes raw bytes through; escape
+   decoding only produces valid UTF-8, so arbitrary bytes are out of
+   scope for exact equality). *)
+let exact_tree_gen =
+  let open QCheck.Gen in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 0 6) in
+  let str = string_size ~gen:(char_range '\000' '\127') (int_range 0 12) in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) small_signed_int;
+        map (fun s -> Obs.Json.String s) str;
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            ( 1,
+              map
+                (fun l -> Obs.Json.List l)
+                (list_size (int_range 0 4) (self (depth - 1))) );
+            ( 1,
+              map
+                (fun fields -> Obs.Json.Obj fields)
+                (list_size (int_range 0 4)
+                   (pair key (self (depth - 1)))) );
+          ])
+    3
+
+let tree_print v = Obs.Json.to_string v
+
+(* Emitted floats can lose precision ("0.0000001" prints as "0.000000",
+   which re-parses as zero and re-prints as "0"), so print ∘ parse is not
+   the identity on raw printer output — but it must converge: after one
+   parse/print normalization round, another round is byte-stable. *)
+let float_tree_gen =
+  let open QCheck.Gen in
+  let anyfloat =
+    oneof [ float; return Float.nan; return Float.infinity; return 3.0 ]
+  in
+  map2
+    (fun f rest -> Obs.Json.List (Obs.Json.Float f :: rest))
+    anyfloat
+    (list_size (int_range 0 3) (map (fun f -> Obs.Json.Float f) float))
+
+let roundtrip_exact =
+  QCheck.Test.make ~name:"parse (to_string v) = v (float-free trees)"
+    ~count:500
+    (QCheck.make ~print:tree_print exact_tree_gen)
+    (fun v ->
+      match Obs.Json.parse (Obs.Json.to_string v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
+let roundtrip_print_stable =
+  QCheck.Test.make
+    ~name:"print/parse converges in one round (float trees)" ~count:500
+    (QCheck.make ~print:tree_print float_tree_gen)
+    (fun v ->
+      match Obs.Json.parse (Obs.Json.to_string v) with
+      | Error _ -> false
+      | Ok v1 -> (
+          let s1 = Obs.Json.to_string v1 in
+          match Obs.Json.parse s1 with
+          | Error _ -> false
+          | Ok v2 -> Obs.Json.to_string v2 = s1))
+
+let suite =
+  [
+    Gen.case "scalars" test_scalars;
+    Gen.case "containers" test_containers;
+    Gen.case "string escapes" test_string_escapes;
+    Gen.case "typed errors with offsets" test_errors;
+    Gen.case "int overflow becomes float" test_int_overflow_becomes_float;
+    Gen.to_alcotest roundtrip_exact;
+    Gen.to_alcotest roundtrip_print_stable;
+  ]

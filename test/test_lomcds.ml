@@ -3,7 +3,7 @@ let mesh = Gen.mesh44
 
 let test_chases_local_optima () =
   let t = Gen.trace mesh ~n_data:1 [ [ (0, 0, 5) ]; [ (0, 15, 5) ] ] in
-  let s = Sched.Lomcds.run mesh t in
+  let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
   check_int "w0 center" 0 (Sched.Schedule.center s ~window:0 ~data:0);
   check_int "w1 center" 15 (Sched.Schedule.center s ~window:1 ~data:0)
 
@@ -12,7 +12,7 @@ let test_unreferenced_window_keeps_position () =
     Gen.trace mesh ~n_data:2
       [ [ (0, 9, 2) ]; [ (1, 3, 1) ]; [ (0, 9, 2) ] ]
   in
-  let s = Sched.Lomcds.run mesh t in
+  let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
   Alcotest.(check (list int))
     "datum 0 stays through idle window" [ 9; 9; 9 ]
     (Array.to_list (Sched.Schedule.centers_of_data s ~data:0))
@@ -21,7 +21,7 @@ let test_late_datum_preplaced () =
   (* datum 0 first referenced in window 1: it should sit at that window's
      center from the start, paying no movement. *)
   let t = Gen.trace mesh ~n_data:2 [ [ (1, 0, 1) ]; [ (0, 12, 3) ] ] in
-  let s = Sched.Lomcds.run mesh t in
+  let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
   Alcotest.(check (list int))
     "pre-placed at its first center" [ 12; 12 ]
     (Array.to_list (Sched.Schedule.centers_of_data s ~data:0))
@@ -33,7 +33,10 @@ let test_local_centers_accessor () =
   Alcotest.(check (array (option int))) "centers" [| Some 4; None |] cs
 
 let test_example_matches_paper_structure () =
-  let o = Sched.Lomcds.run Sched.Example.mesh Sched.Example.trace in
+  let o =
+    Sched.Lomcds.schedule
+      (Sched.Problem.create Sched.Example.mesh Sched.Example.trace)
+  in
   (* LOMCDS must pick each window's local optimum for D *)
   List.iteri
     (fun w window ->
@@ -48,7 +51,7 @@ let prop_reference_cost_is_pointwise_minimal =
   QCheck.Test.make
     ~name:"LOMCDS pays minimal reference cost in every window (unbounded)"
     ~count:100 arb (fun t ->
-      let s = Sched.Lomcds.run mesh t in
+      let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
       let ok = ref true in
       List.iteri
         (fun w window ->
@@ -72,7 +75,7 @@ let prop_capacity_never_violated =
   QCheck.Test.make ~name:"LOMCDS respects capacity" ~count:100 arb (fun t ->
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let capacity = Pim.Memory.capacity_for ~data_count:n ~mesh ~headroom:2 in
-      let s = Sched.Lomcds.run ~capacity mesh t in
+      let s = Sched.Lomcds.schedule (Sched.Problem.of_capacity ~capacity mesh t) in
       Option.is_none (Sched.Schedule.check_capacity s ~capacity))
 
 let prop_no_gratuitous_movement =
@@ -80,7 +83,7 @@ let prop_no_gratuitous_movement =
   QCheck.Test.make
     ~name:"LOMCDS only moves data into windows that reference them"
     ~count:100 arb (fun t ->
-      let s = Sched.Lomcds.run mesh t in
+      let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let ok = ref true in
       List.iteri

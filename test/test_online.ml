@@ -66,7 +66,7 @@ let prop_above_global_lower_bound =
   QCheck.Test.make ~name:"online cost >= per-datum lower bound" ~count:60 arb
     (fun t ->
       Sched.Schedule.total_cost (Sched.Online.run mesh t) t
-      >= Sched.Bounds.lower_bound mesh t)
+      >= Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t))
 
 let test_hysteresis_monotone_on_drifting_workload () =
   (* on the CODE kernel, too little theta under-moves and huge theta

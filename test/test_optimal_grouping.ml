@@ -24,7 +24,7 @@ let partition_cost mesh trace ~data groups =
 
 let test_single_window_trivial () =
   let t = Gen.trace mesh ~n_data:1 [ [ (0, 9, 3) ] ] in
-  match Sched.Grouping.optimal_partition mesh t ~data:0 with
+  match Sched.Grouping.optimal_groups (Sched.Problem.create mesh t) ~data:0 with
   | [ g ] ->
       Alcotest.(check int) "covers window" 0 g.Sched.Grouping.first;
       Alcotest.(check int) "center" 9 g.Sched.Grouping.center
@@ -34,7 +34,7 @@ let test_unreferenced_empty () =
   let t = Gen.trace mesh ~n_data:2 [ [ (0, 1, 1) ] ] in
   Alcotest.(check int)
     "empty" 0
-    (List.length (Sched.Grouping.optimal_partition mesh t ~data:1))
+    (List.length (Sched.Grouping.optimal_groups (Sched.Problem.create mesh t) ~data:1))
 
 let prop_optimal_equals_gomcds_per_datum =
   (* the structural fact from the interface: optimal grouping attains the
@@ -45,7 +45,7 @@ let prop_optimal_equals_gomcds_per_datum =
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let ok = ref true in
       for data = 0 to n - 1 do
-        let groups = Sched.Grouping.optimal_partition mesh t ~data in
+        let groups = Sched.Grouping.optimal_groups (Sched.Problem.create mesh t) ~data in
         if groups <> [] then begin
           let dp_cost, _ = Sched.Gomcds.optimal_centers mesh t ~data in
           if partition_cost mesh t ~data groups <> dp_cost then ok := false
@@ -60,8 +60,8 @@ let prop_optimal_never_worse_than_greedy =
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let ok = ref true in
       for data = 0 to n - 1 do
-        let optimal = Sched.Grouping.optimal_partition mesh t ~data in
-        let greedy = Sched.Grouping.partition mesh t ~data ~centers:`Local in
+        let optimal = Sched.Grouping.optimal_groups (Sched.Problem.create mesh t) ~data in
+        let greedy = Sched.Grouping.groups (Sched.Problem.create mesh t) ~data ~centers:`Local in
         match (optimal, greedy) with
         | [], [] -> ()
         | o, g ->
@@ -86,7 +86,7 @@ let prop_groups_well_formed =
                 ok := false;
               check g.Sched.Grouping.last rest
         in
-        check (-1) (Sched.Grouping.optimal_partition mesh t ~data)
+        check (-1) (Sched.Grouping.optimal_groups (Sched.Problem.create mesh t) ~data)
       done;
       !ok)
 
@@ -94,8 +94,8 @@ let test_optimal_run_matches_gomcds_unbounded () =
   let t = Workloads.Code_kernel.trace ~n:8 mesh in
   Alcotest.(check int)
     "whole-schedule equality"
-    (Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t)
-    (Sched.Schedule.total_cost (Sched.Grouping.optimal_run mesh t) t)
+    (Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t)
+    (Sched.Schedule.total_cost (Sched.Grouping.optimal_schedule (Sched.Problem.create mesh t)) t)
 
 let prop_optimal_run_capacity_respected =
   let arb = Gen.trace_arbitrary ~max_data:12 ~max_windows:4 ~max_count:3 () in
@@ -103,7 +103,7 @@ let prop_optimal_run_capacity_respected =
     (fun t ->
       let n = Reftrace.Data_space.size (Reftrace.Trace.space t) in
       let capacity = Pim.Memory.capacity_for ~data_count:n ~mesh ~headroom:2 in
-      let s = Sched.Grouping.optimal_run ~capacity mesh t in
+      let s = Sched.Grouping.optimal_schedule (Sched.Problem.of_capacity ~capacity mesh t) in
       Option.is_none (Sched.Schedule.check_capacity s ~capacity))
 
 let suite =

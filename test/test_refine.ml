@@ -6,8 +6,8 @@ let capacity_for t =
 
 let test_noop_on_unconstrained_gomcds () =
   let t = Workloads.Code_kernel.trace ~n:8 mesh in
-  let g = Sched.Gomcds.run mesh t in
-  let refined, stats = Sched.Refine.run mesh t g in
+  let g = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
+  let refined, stats = Sched.Refine.refine (Sched.Problem.create mesh t) g in
   Alcotest.(check int) "no improvement possible" 0 stats.Sched.Refine.improved;
   Alcotest.(check bool) "schedule unchanged" true
     (Sched.Schedule.equal g refined)
@@ -15,17 +15,17 @@ let test_noop_on_unconstrained_gomcds () =
 let test_input_not_mutated () =
   let t = Workloads.Lu.trace ~n:8 mesh in
   let capacity = capacity_for t in
-  let seed = Sched.Grouping.run ~capacity mesh t in
+  let seed = Sched.Grouping.schedule (Sched.Problem.of_capacity ~capacity mesh t) in
   let before = Sched.Schedule.total_cost seed t in
-  let _refined, _ = Sched.Refine.run ~capacity mesh t seed in
+  let _refined, _ = Sched.Refine.refine (Sched.Problem.of_capacity ~capacity mesh t) seed in
   Alcotest.(check int) "seed untouched" before
     (Sched.Schedule.total_cost seed t)
 
 let test_improves_grouped_lu () =
   let t = Workloads.Lu.trace ~n:16 mesh in
   let capacity = capacity_for t in
-  let seed = Sched.Grouping.run ~capacity mesh t in
-  let refined, stats = Sched.Refine.run ~capacity mesh t seed in
+  let seed = Sched.Grouping.schedule (Sched.Problem.of_capacity ~capacity mesh t) in
+  let refined, stats = Sched.Refine.refine (Sched.Problem.of_capacity ~capacity mesh t) seed in
   Alcotest.(check bool) "strictly better" true
     (Sched.Schedule.total_cost refined t < Sched.Schedule.total_cost seed t);
   Alcotest.(check bool) "stats recorded" true (stats.Sched.Refine.saved > 0);
@@ -36,8 +36,8 @@ let test_improves_grouped_lu () =
 let test_saved_matches_cost_delta () =
   let t = Workloads.Lu.trace ~n:8 mesh in
   let capacity = capacity_for t in
-  let seed = Sched.Grouping.run ~capacity mesh t in
-  let refined, stats = Sched.Refine.run ~capacity mesh t seed in
+  let seed = Sched.Grouping.schedule (Sched.Problem.of_capacity ~capacity mesh t) in
+  let refined, stats = Sched.Refine.refine (Sched.Problem.of_capacity ~capacity mesh t) seed in
   Alcotest.(check int)
     "saved = before - after" stats.Sched.Refine.saved
     (Sched.Schedule.total_cost seed t - Sched.Schedule.total_cost refined t)
@@ -47,15 +47,15 @@ let test_rejects_infeasible_input () =
   let bad = Sched.Schedule.constant mesh ~n_windows:1 [| 0; 0; 0 |] in
   Alcotest.check_raises "violating seed"
     (Invalid_argument
-       "Refine.run: input schedule already violates capacity (window 0, \
+       "Refine.refine: input schedule already violates capacity (window 0, \
         rank 0, load 3 > 1)") (fun () ->
-      ignore (Sched.Refine.run ~capacity:1 mesh t bad))
+      ignore (Sched.Refine.refine (Sched.Problem.of_capacity ~capacity:1 mesh t) bad))
 
 let test_fixed_point_is_idempotent () =
   let t = Workloads.Lu.trace ~n:8 mesh in
   let capacity = capacity_for t in
-  let refined = Sched.Refine.best ~capacity mesh t in
-  let again, stats = Sched.Refine.run ~capacity mesh t refined in
+  let refined = Sched.Refine.best_schedule (Sched.Problem.of_capacity ~capacity mesh t) in
+  let again, stats = Sched.Refine.refine (Sched.Problem.of_capacity ~capacity mesh t) refined in
   Alcotest.(check int) "no further gain" 0 stats.Sched.Refine.improved;
   Alcotest.(check bool) "stable" true (Sched.Schedule.equal refined again)
 
@@ -67,7 +67,7 @@ let prop_never_worse_and_feasible =
       List.for_all
         (fun seed_algo ->
           let seed = Sched.Scheduler.run ~capacity seed_algo mesh t in
-          let refined, _ = Sched.Refine.run ~capacity mesh t seed in
+          let refined, _ = Sched.Refine.refine (Sched.Problem.of_capacity ~capacity mesh t) seed in
           Sched.Schedule.total_cost refined t
           <= Sched.Schedule.total_cost seed t
           && Option.is_none (Sched.Schedule.check_capacity refined ~capacity))
@@ -80,7 +80,7 @@ let prop_best_refined_dominates_components =
     ~count:50 arb (fun t ->
       let capacity = capacity_for t in
       let best =
-        Sched.Schedule.total_cost (Sched.Refine.best ~capacity mesh t) t
+        Sched.Schedule.total_cost (Sched.Refine.best_schedule (Sched.Problem.of_capacity ~capacity mesh t)) t
       in
       List.for_all
         (fun a ->
@@ -93,8 +93,8 @@ let prop_refined_respects_lower_bound =
   QCheck.Test.make ~name:"refined cost >= per-datum lower bound" ~count:50 arb
     (fun t ->
       let capacity = capacity_for t in
-      let best = Sched.Refine.best ~capacity mesh t in
-      Sched.Schedule.total_cost best t >= Sched.Bounds.lower_bound mesh t)
+      let best = Sched.Refine.best_schedule (Sched.Problem.of_capacity ~capacity mesh t) in
+      Sched.Schedule.total_cost best t >= Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t))
 
 let suite =
   [

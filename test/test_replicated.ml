@@ -9,7 +9,7 @@ let total ?capacity ?max_copies trace =
 let test_single_copy_equals_gomcds () =
   let t = Workloads.Code_kernel.trace ~n:8 mesh in
   check_int "max_copies=1 is GOMCDS"
-    (Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t)
+    (Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t)
     (total ~max_copies:1 t)
 
 let test_broadcast_window_replicates () =
@@ -21,7 +21,7 @@ let test_broadcast_window_replicates () =
   let r = Sched.Replicated.run ~max_copies:4 mesh t in
   check_bool "replicated" true (Sched.Replicated.max_live_copies r ~data:0 > 1);
   check_bool "beats single-copy optimum" true
-    (total ~max_copies:4 t < Sched.Bounds.lower_bound mesh t)
+    (total ~max_copies:4 t < Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t))
 
 let test_no_benefit_no_copies () =
   (* all reads at one processor: a second copy can never pay *)
@@ -51,7 +51,7 @@ let prop_never_worse_than_gomcds =
   let arb = Gen.trace_arbitrary ~max_data:5 ~max_windows:4 ~max_count:5 () in
   QCheck.Test.make ~name:"replication never costs more than GOMCDS"
     ~count:100 arb (fun t ->
-      let gomcds = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+      let gomcds = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
       total ~max_copies:3 t <= gomcds)
 
 let prop_simulated_equals_analytic =
@@ -89,7 +89,7 @@ let test_matmul_pivot_row_benefits () =
   (* window k of C = A*A broadcasts row/column k of A: replication should
      strictly beat single-copy scheduling *)
   let t = Workloads.Matmul.trace ~n:8 mesh in
-  let single = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let single = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   let replicated = total ~max_copies:4 t in
   check_bool "strict win" true (replicated < single)
 
@@ -145,7 +145,7 @@ let test_lu_replication_limited_by_writes () =
   (* LU writes most touched elements every window; replication should gain
      far less than on the read-only matmul inputs *)
   let lu = Workloads.Lu.trace ~n:8 mesh in
-  let single = Sched.Schedule.total_cost (Sched.Gomcds.run mesh lu) lu in
+  let single = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh lu)) lu in
   let r = Sched.Replicated.run ~max_copies:8 mesh lu in
   let replicated = (Sched.Replicated.cost r mesh lu).Sched.Replicated.total in
   Alcotest.(check bool) "still helps a bit" true (replicated <= single);
@@ -183,7 +183,7 @@ module Pricing_oracle = struct
     let n_windows = Reftrace.Trace.n_windows trace in
     let m = Pim.Mesh.size mesh in
     let windows = Array.of_list (Reftrace.Trace.windows trace) in
-    let primary = Sched.Gomcds.run ?capacity mesh trace in
+    let primary = Sched.Gomcds.schedule (Sched.Problem.of_capacity ?capacity mesh trace) in
     let loads = Array.make_matrix n_windows m 0 in
     for w = 0 to n_windows - 1 do
       for d = 0 to n_data - 1 do

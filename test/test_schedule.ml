@@ -120,7 +120,7 @@ let prop_prefetch_cost_identity =
   QCheck.Test.make
     ~name:"prefetch lowering carries identical hop-volume" ~count:60 arb
     (fun t ->
-      let s = Sched.Lomcds.run mesh t in
+      let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
       let total prefetch =
         (Pim.Simulator.run mesh (Sched.Schedule.to_rounds ~prefetch s t))
           .Pim.Simulator.total_cost

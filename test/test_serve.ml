@@ -1,0 +1,331 @@
+(* The scheduling daemon: protocol goldens, differential byte-identity
+   against one-shot solves, admission control and batch semantics. *)
+
+open Serve
+
+let fresh ?(jobs = 1) ?(batch = 16) ?max_arena_bytes ?(memo = true) () =
+  Server.create
+    ~config:{ Server.jobs; batch; max_arena_bytes; memo }
+    ()
+
+(* Pull a field out of a response line. *)
+let parse_response line =
+  match Obs.Json.parse line with
+  | Ok (Obs.Json.Obj fields) -> fields
+  | Ok _ -> Alcotest.failf "response is not an object: %s" line
+  | Error e ->
+      Alcotest.failf "response is not JSON (%s): %s"
+        (Obs.Json.error_to_string e) line
+
+let result_field line k =
+  match List.assoc_opt "result" (parse_response line) with
+  | Some (Obs.Json.Obj r) -> List.assoc_opt k r
+  | _ -> Alcotest.failf "response has no result object: %s" line
+
+let error_code line =
+  match List.assoc_opt "error" (parse_response line) with
+  | Some (Obs.Json.Obj e) -> (
+      match List.assoc_opt "code" e with
+      | Some (Obs.Json.String c) -> c
+      | _ -> Alcotest.failf "error without code: %s" line)
+  | _ -> Alcotest.failf "response has no error object: %s" line
+
+let is_ok line =
+  match List.assoc_opt "ok" (parse_response line) with
+  | Some (Obs.Json.Bool b) -> b
+  | _ -> Alcotest.failf "response has no ok field: %s" line
+
+(* ---- protocol goldens ---- *)
+
+let test_ping () =
+  let t = fresh () in
+  Alcotest.(check string)
+    "ping golden"
+    {|{"id":1,"ok":true,"result":{"protocol":"pim-sched-serve/1"}}|}
+    (Server.handle_line t {|{"id":1,"op":"ping"}|})
+
+let test_parse_error () =
+  let t = fresh () in
+  let r = Server.handle_line t "{bad json" in
+  Alcotest.(check bool) "not ok" false (is_ok r);
+  Alcotest.(check string) "code" "parse-error" (error_code r);
+  (match List.assoc_opt "error" (parse_response r) with
+  | Some (Obs.Json.Obj e) ->
+      Alcotest.(check bool)
+        "offset present" true
+        (List.assoc_opt "offset" e <> None)
+  | _ -> Alcotest.fail "no error object");
+  (* id is still correlated when the line is valid JSON but a bad request *)
+  let r = Server.handle_line t {|{"id":7,"op":"launch-missiles"}|} in
+  Alcotest.(check string) "unknown op" "bad-request" (error_code r);
+  Alcotest.(check bool)
+    "id echoed" true
+    (List.assoc_opt "id" (parse_response r) = Some (Obs.Json.Int 7))
+
+let test_bad_requests () =
+  let t = fresh () in
+  let check_code name line expected =
+    let r = Server.handle_line t line in
+    Alcotest.(check string) name expected (error_code r)
+  in
+  check_code "non-object" {|[1,2]|} "bad-request";
+  check_code "unknown workload" {|{"id":1,"workload":"lu"}|} "bad-request";
+  check_code "unknown algorithm"
+    {|{"id":2,"workload":"1","algorithm":"magic"}|}
+    "bad-request";
+  check_code "unknown partition"
+    {|{"id":3,"workload":"1","partition":"diagonal"}|}
+    "bad-request";
+  check_code "bad mesh" {|{"id":4,"mesh":{"rows":0}}|} "bad-request";
+  check_code "bad fault node"
+    {|{"id":5,"workload":"1","fault":{"dead_nodes":[99]}}|}
+    "bad-request";
+  check_code "typed field" {|{"id":6,"size":"big"}|} "bad-request"
+
+let test_shutdown () =
+  let t = fresh () in
+  Alcotest.(check bool) "not stopping" false (Server.stopping t);
+  let r = Server.handle_line t {|{"id":1,"op":"shutdown"}|} in
+  Alcotest.(check string)
+    "shutdown golden" {|{"id":1,"ok":true,"result":{"stopping":true}}|} r;
+  Alcotest.(check bool) "stopping" true (Server.stopping t)
+
+let test_solve_response_shape () =
+  let t = fresh () in
+  let r =
+    Server.handle_line t
+      {|{"id":42,"workload":"1","size":8,"algorithm":"scds"}|}
+  in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  Alcotest.(check bool)
+    "algorithm" true
+    (result_field r "algorithm" = Some (Obs.Json.String "scds"));
+  List.iter
+    (fun k ->
+      match result_field r k with
+      | Some (Obs.Json.Int _) -> ()
+      | _ -> Alcotest.failf "result field %s missing or not an int" k)
+    [ "total"; "reference"; "movement"; "moves" ];
+  match result_field r "plan" with
+  | Some (Obs.Json.String plan) ->
+      (* the plan is a loadable Schedule_serial v1 text *)
+      let s = Sched.Schedule_serial.of_string plan in
+      Alcotest.(check int) "plan data" 64 (Sched.Schedule.n_data s)
+  | _ -> Alcotest.fail "result has no plan string"
+
+(* ---- differential byte-identity vs one-shot solves ---- *)
+
+(* The served plan and cost must equal what a direct in-process solve of
+   the same instance produces, for both kernels, with and without faults,
+   and independently of the server's jobs setting. *)
+let test_differential () =
+  let mesh = Pim.Mesh.create ~rows:4 ~cols:4 in
+  let trace =
+    Workloads.Benchmarks.trace
+      ~partition:Workloads.Iteration_space.Block_2d Workloads.Benchmarks.B1
+      ~n:8 mesh
+  in
+  let policy =
+    Sched.Problem.Bounded
+      (Pim.Memory.capacity_for
+         ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+         ~mesh ~headroom:2)
+  in
+  let dead_nodes = [ 5 ] in
+  List.iter
+    (fun (kernel, kernel_name) ->
+      List.iter
+        (fun faulty ->
+          List.iter
+            (fun alg_name ->
+              let fault_json =
+                if faulty then {|,"fault":{"dead_nodes":[5]}|} else ""
+              in
+              let line =
+                Printf.sprintf
+                  {|{"id":1,"workload":"1","size":8,"algorithm":"%s","kernel":"%s"%s}|}
+                  alg_name kernel_name fault_json
+              in
+              let responses =
+                List.map
+                  (fun jobs -> Server.handle_line (fresh ~jobs ()) line)
+                  [ 1; 4 ]
+              in
+              (match responses with
+              | [ r1; r4 ] ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s/%s/fault=%b: jobs-independent"
+                       alg_name kernel_name faulty)
+                    r1 r4
+              | _ -> assert false);
+              let r = List.hd responses in
+              let fault =
+                if faulty then
+                  Pim.Fault.create ~dead_nodes ~dead_links:[] ()
+                else Pim.Fault.none
+              in
+              let problem =
+                Sched.Problem.create ~policy ~kernel ~fault mesh trace
+              in
+              let schedule =
+                Sched.Scheduler.solve problem
+                  (Sched.Scheduler.of_name alg_name)
+              in
+              let expect_plan = Sched.Schedule_serial.to_string schedule in
+              let breakdown = Sched.Schedule.cost schedule trace in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s/fault=%b: plan bytes" alg_name
+                   kernel_name faulty)
+                true
+                (result_field r "plan"
+                = Some (Obs.Json.String expect_plan));
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s/fault=%b: total" alg_name kernel_name
+                   faulty)
+                true
+                (result_field r "total"
+                = Some (Obs.Json.Int breakdown.Sched.Schedule.total)))
+            [ "scds"; "gomcds" ])
+        [ false; true ])
+    [ (`Separable, "separable"); (`Naive, "naive") ]
+
+(* An inline serialized trace must solve identically to the generated
+   workload it came from. *)
+let test_inline_trace () =
+  let mesh = Pim.Mesh.create ~rows:4 ~cols:4 in
+  let trace =
+    Workloads.Stencil.trace ~partition:Workloads.Iteration_space.Block_2d
+      ~n:8 ~sweeps:8 mesh
+  in
+  let text = Reftrace.Serial.to_string trace in
+  let line =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("id", Obs.Json.Int 1);
+           ("trace", Obs.Json.String text);
+           ("algorithm", Obs.Json.String "lomcds");
+         ])
+  in
+  let r = Server.handle_line (fresh ()) line in
+  let generated =
+    Server.handle_line (fresh ())
+      {|{"id":1,"workload":"stencil","size":8,"algorithm":"lomcds"}|}
+  in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  Alcotest.(check bool)
+    "inline plan = generated plan" true
+    (result_field r "plan" = result_field generated "plan")
+
+(* ---- admission control ---- *)
+
+let test_admission () =
+  let t = fresh ~max_arena_bytes:64 () in
+  let r = Server.handle_line t {|{"id":1,"workload":"1","size":8}|} in
+  Alcotest.(check bool) "rejected" false (is_ok r);
+  Alcotest.(check string) "code" "over-budget" (error_code r);
+  (* non-solve ops are never admission-controlled *)
+  Alcotest.(check bool)
+    "ping still fine" true
+    (is_ok (Server.handle_line t {|{"id":2,"op":"ping"}|}));
+  (match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "rejected counter" true
+        (List.assoc_opt "rejected" fields = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "stats is not an object");
+  (* a generous budget admits the same request *)
+  let t = fresh ~max_arena_bytes:(1 lsl 30) () in
+  Alcotest.(check bool)
+    "admitted" true
+    (is_ok (Server.handle_line t {|{"id":1,"workload":"1","size":8}|}))
+
+(* ---- batching ---- *)
+
+(* One wave with mixed compatible/incompatible requests answers in request
+   order, each response byte-identical to a lone solve on a fresh server. *)
+let test_batch_order_and_identity () =
+  let lines =
+    [
+      {|{"id":"a","workload":"1","size":8,"algorithm":"scds"}|};
+      {|{"id":"b","op":"ping"}|};
+      {|{"id":"c","workload":"1","size":8,"algorithm":"gomcds"}|};
+      {|{"id":"d","workload":"stencil","size":8,"algorithm":"scds"}|};
+      {|{"id":"e","workload":"1","size":8,"algorithm":"scds"}|};
+    ]
+  in
+  let batched =
+    List.map fst (Server.process_batch (fresh ~jobs:4 ()) lines)
+  in
+  let lone = List.map (fun l -> Server.handle_line (fresh ()) l) lines in
+  List.iteri
+    (fun i (b, l) ->
+      Alcotest.(check string) (Printf.sprintf "request %d" i) l b)
+    (List.combine batched lone);
+  (* responses come back in request order: ids are echoed in sequence *)
+  List.iteri
+    (fun i r ->
+      let expect = String.make 1 (Char.chr (Char.code 'a' + i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "order %d" i)
+        true
+        (List.assoc_opt "id" (parse_response r)
+        = Some (Obs.Json.String expect)))
+    batched
+
+let test_memo_and_context_reuse () =
+  let t = fresh () in
+  let line = {|{"id":1,"workload":"1","size":8,"algorithm":"gomcds"}|} in
+  let r1 = Server.handle_line t line in
+  let r2 = Server.handle_line t line in
+  Alcotest.(check string) "memoized repeat" r1 r2;
+  (match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "memo hit" true
+        (List.assoc_opt "memo_hits" fields = Some (Obs.Json.Int 1));
+      Alcotest.(check bool)
+        "one context" true
+        (List.assoc_opt "contexts" fields = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "stats is not an object");
+  (* same instance, different algorithm: context is shared, memo is not *)
+  let r3 =
+    Server.handle_line t {|{"id":1,"workload":"1","size":8,"algorithm":"scds"}|}
+  in
+  Alcotest.(check bool) "different algorithm solves" true (is_ok r3);
+  match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "still one context" true
+        (List.assoc_opt "contexts" fields = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "stats is not an object"
+
+(* memo off: repeats recompute but must still answer identically *)
+let test_no_memo () =
+  let t = fresh ~memo:false () in
+  let line = {|{"id":1,"workload":"1","size":8,"algorithm":"scds"}|} in
+  let r1 = Server.handle_line t line in
+  let r2 = Server.handle_line t line in
+  Alcotest.(check string) "deterministic without memo" r1 r2;
+  match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "no memo hits" true
+        (List.assoc_opt "memo_hits" fields = Some (Obs.Json.Int 0))
+  | _ -> Alcotest.fail "stats is not an object"
+
+let suite =
+  [
+    Gen.case "ping golden" test_ping;
+    Gen.case "parse and op errors" test_parse_error;
+    Gen.case "bad requests" test_bad_requests;
+    Gen.case "shutdown" test_shutdown;
+    Gen.case "solve response shape" test_solve_response_shape;
+    Gen.case "differential vs one-shot (kernels x faults x jobs)"
+      test_differential;
+    Gen.case "inline trace matches generated" test_inline_trace;
+    Gen.case "admission control" test_admission;
+    Gen.case "batch order and identity" test_batch_order_and_identity;
+    Gen.case "memo and context reuse" test_memo_and_context_reuse;
+    Gen.case "no-memo determinism" test_no_memo;
+  ]

@@ -77,8 +77,8 @@ let prop_single_window_traces_are_stationary =
     arb (fun t ->
       let p = Reftrace.Stats.profile mesh t in
       p.Reftrace.Stats.drift = 0.
-      && Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t
-         = Sched.Schedule.total_cost (Sched.Scds.run mesh t) t)
+      && Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t
+         = Sched.Schedule.total_cost (Sched.Scds.schedule (Sched.Problem.create mesh t)) t)
 
 let suite =
   [

@@ -90,9 +90,9 @@ let prop_theorem3_via_grouping_module =
     ~count:200 arb (fun t ->
       QCheck.assume (Reftrace.Trace.n_windows t = 2);
       let total s = Sched.Schedule.total_cost s t in
-      let grouped = total (Sched.Grouping.run mesh t) in
-      let plain = total (Sched.Lomcds.run mesh t) in
-      let optimal = total (Sched.Gomcds.run mesh t) in
+      let grouped = total (Sched.Grouping.schedule (Sched.Problem.create mesh t)) in
+      let plain = total (Sched.Lomcds.schedule (Sched.Problem.create mesh t)) in
+      let optimal = total (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) in
       optimal <= grouped && grouped <= plain)
 
 let test_monotonicity_concrete () =

@@ -59,7 +59,7 @@ let test_run_aggregates_rounds () =
 
 let test_volume_hops_match_analytic () =
   let t = Workloads.Code_kernel.trace ~n:8 mesh in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let rounds = Sched.Schedule.to_rounds s t in
   let timed = Pim.Timed_simulator.run mesh rounds in
   check_int "analytic cost recovered"

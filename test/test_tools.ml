@@ -8,7 +8,7 @@ let check_bool = Alcotest.(check bool)
 
 let test_schedule_roundtrip () =
   let t = Workloads.Code_kernel.trace ~n:8 mesh in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let s' = Sched.Schedule_serial.of_string (Sched.Schedule_serial.to_string s) in
   check_bool "equal" true (Sched.Schedule.equal s s');
   check_int "same cost" (Sched.Schedule.total_cost s t)
@@ -17,7 +17,7 @@ let test_schedule_roundtrip () =
 let test_schedule_roundtrip_torus () =
   let torus = Pim.Mesh.square ~wrap:true 4 in
   let t = Workloads.Code_kernel.trace ~n:8 torus in
-  let s = Sched.Gomcds.run torus t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create torus t) in
   let s' = Sched.Schedule_serial.of_string (Sched.Schedule_serial.to_string s) in
   check_bool "torus preserved" true
     (Pim.Mesh.wraps (Sched.Schedule.mesh s'));
@@ -25,7 +25,7 @@ let test_schedule_roundtrip_torus () =
 
 let test_schedule_file_roundtrip () =
   let t = Workloads.Lu.trace ~n:6 mesh in
-  let s = Sched.Lomcds.run mesh t in
+  let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
   let path = Filename.temp_file "pimsched" ".plan" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -56,7 +56,7 @@ let prop_schedule_roundtrip_random =
   let arb = Gen.trace_arbitrary ~max_data:6 ~max_windows:4 ~max_count:3 () in
   QCheck.Test.make ~name:"schedule serialization roundtrip" ~count:50 arb
     (fun t ->
-      let s = Sched.Lomcds.run mesh t in
+      let s = Sched.Lomcds.schedule (Sched.Problem.create mesh t) in
       Sched.Schedule.equal s
         (Sched.Schedule_serial.of_string (Sched.Schedule_serial.to_string s)))
 

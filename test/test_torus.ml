@@ -97,7 +97,7 @@ let prop_torus_simulation_matches_analytic =
 
 let test_torus_never_costs_more_than_mesh () =
   let t = Workloads.Code_kernel.trace ~n:8 mesh in
-  let on m = Sched.Schedule.total_cost (Sched.Gomcds.run m t) t in
+  let on m = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create m t)) t in
   check_bool "wrap links can only help" true (on torus <= on mesh)
 
 let suite =

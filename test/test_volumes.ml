@@ -59,7 +59,7 @@ let test_mixed_volumes_weighted_correctly () =
 
 let test_movement_weighted () =
   let t = weighted_trace ~volume:3 [ [ (0, 0, 9) ]; [ (0, 15, 9) ] ] in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let b = Sched.Schedule.cost s t in
   (* corner-to-corner migration of a volume-3 datum: 6 hops * 3 *)
   check_int "movement" 18 b.Sched.Schedule.movement
@@ -117,15 +117,15 @@ let test_heavy_data_win_contended_slots () =
   Reftrace.Window.add w ~data:1 ~proc:5 ~count:5;
   (* light: 5 refs x vol 1 *)
   let t = Reftrace.Trace.create space [ w ] in
-  let s = Sched.Scds.run ~capacity:1 mesh t in
+  let s = Sched.Scds.schedule (Sched.Problem.of_capacity ~capacity:1 mesh t) in
   check_int "heavy datum keeps the hot slot" 5
     (Sched.Schedule.center s ~window:0 ~data:0)
 
 let test_bounds_weighted () =
   let t = weighted_trace ~volume:4 [ [ (0, 0, 1) ]; [ (0, 15, 1) ] ] in
   let unit = weighted_trace ~volume:1 [ [ (0, 0, 1) ]; [ (0, 15, 1) ] ] in
-  check_int "bound scales" (4 * Sched.Bounds.lower_bound mesh unit)
-    (Sched.Bounds.lower_bound mesh t)
+  check_int "bound scales" (4 * Sched.Bounds.lower_bound_in (Sched.Problem.create mesh unit))
+    (Sched.Bounds.lower_bound_in (Sched.Problem.create mesh t))
 
 let prop_scaling_preserves_decisions =
   let arb = Gen.trace_arbitrary ~max_data:4 ~max_windows:4 ~max_count:4 () in
@@ -154,8 +154,8 @@ let prop_scaling_preserves_decisions =
           (Reftrace.Trace.windows t)
       in
       let heavy = Reftrace.Trace.create space windows in
-      let a = Sched.Gomcds.run mesh t in
-      let b = Sched.Gomcds.run mesh heavy in
+      let a = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
+      let b = Sched.Gomcds.schedule (Sched.Problem.create mesh heavy) in
       Sched.Schedule.equal a b
       && Sched.Schedule.total_cost b heavy
          = 3 * Sched.Schedule.total_cost a t)

@@ -125,8 +125,8 @@ let test_code_rewards_movement () =
   (* the defining property of the substitute kernel: multi-center scheduling
      strictly beats the best static scheduling *)
   let t = Workloads.Code_kernel.trace ~n:16 mesh in
-  let static = Sched.Schedule.total_cost (Sched.Scds.run mesh t) t in
-  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let static = Sched.Schedule.total_cost (Sched.Scds.schedule (Sched.Problem.create mesh t)) t in
+  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   check_bool "movement pays off" true (dynamic < static)
 
 (* -- Stencil -------------------------------------------------------------- *)
@@ -145,8 +145,8 @@ let test_stencil_is_uniform () =
 
 let test_stencil_movement_buys_nothing () =
   let t = Workloads.Stencil.trace ~n:8 ~sweeps:3 mesh in
-  let static = Sched.Schedule.total_cost (Sched.Scds.run mesh t) t in
-  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let static = Sched.Schedule.total_cost (Sched.Scds.schedule (Sched.Problem.create mesh t)) t in
+  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   check_int "equal cost" static dynamic
 
 (* -- Benchmarks ----------------------------------------------------------- *)

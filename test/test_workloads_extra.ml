@@ -31,8 +31,8 @@ let test_tc_hot_row_col () =
 
 let test_tc_movement_helps () =
   let t = Workloads.Transitive_closure.trace ~n:16 mesh in
-  let static = Sched.Schedule.total_cost (Sched.Scds.run mesh t) t in
-  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let static = Sched.Schedule.total_cost (Sched.Scds.schedule (Sched.Problem.create mesh t)) t in
+  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   check_bool "multi-center wins" true (dynamic < static)
 
 (* -- FFT transpose -------------------------------------------------------- *)
@@ -63,7 +63,7 @@ let test_fft_fft_phases_local_under_block_partition () =
   (* with block-2d owner-computes, phase 0 references are all local to the
      owner, so a good schedule pays only for the transpose *)
   let t = Workloads.Fft_transpose.trace ~n:8 mesh in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let breakdown = Sched.Schedule.cost s t in
   check_bool "cost dominated by transpose+movement" true
     (breakdown.Sched.Schedule.total

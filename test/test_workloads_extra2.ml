@@ -44,7 +44,7 @@ let test_cholesky_cheaper_than_lu () =
   let n = 12 in
   let lu = Workloads.Lu.trace ~n mesh in
   let ch = Workloads.Cholesky.trace ~n mesh in
-  let cost t = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let cost t = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   check_bool "triangular is cheaper" true (cost ch < cost lu)
 
 (* -- Reduction -------------------------------------------------------------- *)
@@ -71,7 +71,7 @@ let test_reduction_x_reads_local () =
   (* X is only read, and only by its owner: GOMCDS serves every X element
      locally, so the whole cost comes from the shared histogram *)
   let t = Workloads.Reduction.trace ~n:16 ~bins:4 mesh in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let space = Reftrace.Trace.space t in
   let free = ref true in
   for row = 0 to 15 do
@@ -90,7 +90,7 @@ let test_reduction_x_reads_local () =
 let test_reduction_replication_useless () =
   (* every histogram access is a write: write-invalidate pins each bin *)
   let t = Workloads.Reduction.trace ~n:16 ~bins:4 mesh in
-  let single = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let single = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   let r = Sched.Replicated.run ~max_copies:8 mesh t in
   check_int "no replication win" single
     (Sched.Replicated.cost r mesh t).Sched.Replicated.total
@@ -105,7 +105,7 @@ let test_reduction_deterministic () =
 let test_reduction_movement_follows_writers () =
   (* the active band sweeps down the array; bins should migrate with it *)
   let t = Workloads.Reduction.trace ~n:32 ~bins:2 mesh in
-  let s = Sched.Gomcds.run mesh t in
+  let s = Sched.Gomcds.schedule (Sched.Problem.create mesh t) in
   let space = Reftrace.Trace.space t in
   let h = Reftrace.Data_space.id space ~array_name:"H" ~row:0 ~col:0 in
   check_bool "bin migrates" false (Sched.Schedule.is_static s ~data:h)
@@ -141,8 +141,8 @@ let test_wavefront_validates () =
 
 let test_wavefront_movement_helps () =
   let t = Workloads.Wavefront.trace ~n:16 ~diags_per_window:4 mesh in
-  let static = Sched.Schedule.total_cost (Sched.Scds.run mesh t) t in
-  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.run mesh t) t in
+  let static = Sched.Schedule.total_cost (Sched.Scds.schedule (Sched.Problem.create mesh t)) t in
+  let dynamic = Sched.Schedule.total_cost (Sched.Gomcds.schedule (Sched.Problem.create mesh t)) t in
   check_bool "front-following wins" true (dynamic <= static)
 
 let suite =
