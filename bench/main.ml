@@ -812,7 +812,8 @@ let kernel_bench () =
    because on a host the engine caps to one domain they differ only by
    timer noise). *)
 let serve_bench () =
-  section "Serve throughput (pimsched serve, LU 16x16 on 4x4)";
+  section "Serve throughput (pimsched serve, LU 16x16 on 16x16)";
+  let serve_mesh = "16x16" in
   let algos =
     [ "scds"; "lomcds"; "gomcds"; "lomcds-grouped"; "gomcds-grouped" ]
   in
@@ -820,7 +821,8 @@ let serve_bench () =
   let lines =
     List.init n_requests (fun i ->
         Printf.sprintf
-          {|{"id":%d,"workload":"1","size":16,"algorithm":"%s"}|} i
+          {|{"id":%d,"workload":"1","size":16,"mesh":{"rows":16,"cols":16},"algorithm":"%s"}|}
+          i
           (List.nth algos (i mod List.length algos)))
   in
   let measure jobs =
@@ -867,6 +869,7 @@ let serve_bench () =
     Obs.Json.Obj
       [
         ("jobs", Obs.Json.Int jobs);
+        ("mesh", Obs.Json.String serve_mesh);
         ("requests", Obs.Json.Int n_requests);
         ("requests_per_sec", Obs.Json.Float t);
         ("p50_ms", Obs.Json.Float (p50 *. 1e3));
@@ -888,9 +891,144 @@ let serve_bench () =
   Obs.Json.Obj
     [
       ("workload", Obs.Json.String "lu-16x16");
-      ("mesh", Obs.Json.String "4x4");
+      ("mesh", Obs.Json.String serve_mesh);
       ("algorithms", Obs.Json.List (List.map (fun a -> Obs.Json.String a) algos));
       ("runs", Obs.Json.List rows);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-array scheduling (Array_group tier)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Two facts about the group tier, the first gated:
+
+   - degenerate overhead: solving LU 16x16 through a 1-member group must
+     not regress the plain single-mesh solve. The group path delegates
+     wholesale ([Group_solver] hands the member session to
+     [Sched.Scheduler.solve]), so the only admissible cost is
+     [Group_problem.create]'s thin wrapper. Gate: group wall <= 1.15x
+     plain wall, best-of reps with the serve_bench retry loop to damp
+     timer noise; the lifted schedule must also be identical, because a
+     timing gate on a different answer proves nothing.
+   - 2x2of8x8 info rows: the migration DP (gomcds) and the static
+     two-level path (scds) on LU 16x16 laid out on the group's virtual
+     mesh, against the group-metric lower bound. Not gated; the numbers
+     are the regression trail for the cross-array machinery. *)
+let multi_bench () =
+  section "Multi-array scheduling (Array_group tier, LU 16x16)";
+  let n = 16 in
+  let big = Pim.Mesh.square n in
+  let trace = Workloads.Lu.trace ~n big in
+  let capacity =
+    Pim.Memory.capacity_for
+      ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+      ~mesh:big ~headroom:2
+  in
+  let policy = Sched.Problem.Bounded capacity in
+  let reps = if quick then 3 else 5 in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let plain () =
+    let problem = Sched.Problem.create ~policy big trace in
+    ignore (Sched.Scheduler.solve problem Sched.Scheduler.Gomcds)
+  in
+  let group1 = Multi.Array_group.line [ big ] in
+  let grouped () =
+    let gp = Multi.Group_problem.create ~policy group1 trace in
+    ignore (Multi.Group_solver.solve gp Sched.Scheduler.Gomcds)
+  in
+  let plain_sched =
+    Sched.Scheduler.solve
+      (Sched.Problem.create ~policy big trace)
+      Sched.Scheduler.Gomcds
+  in
+  let lifted =
+    Multi.Group_solver.solve
+      (Multi.Group_problem.create ~policy group1 trace)
+      Sched.Scheduler.Gomcds
+  in
+  (match Multi.Group_schedule.to_mesh_schedule lifted with
+  | Some s when Sched.Schedule.equal s plain_sched -> ()
+  | _ ->
+      Printf.eprintf
+        "FAIL: degenerate 1-array group schedule differs from the plain \
+         mesh schedule\n";
+      exit 1);
+  let t_plain = ref (time plain) and t_group = ref (time grouped) in
+  let attempts = ref 1 in
+  while !t_group > 1.15 *. !t_plain && !attempts < 8 do
+    incr attempts;
+    t_plain := Float.min !t_plain (time plain);
+    t_group := Float.min !t_group (time grouped)
+  done;
+  let overhead = !t_group /. !t_plain in
+  Printf.printf
+    "degenerate 1-array: plain %.2f ms, group %.2f ms (%.2fx, best of %d \
+     attempt(s))\n"
+    (!t_plain *. 1e3) (!t_group *. 1e3) overhead !attempts;
+  if !t_group > 1.15 *. !t_plain then begin
+    Printf.eprintf
+      "FAIL: degenerate group solve regressed the plain solve (%.2f ms vs \
+       %.2f ms, %.2fx > 1.15x)\n"
+      (!t_group *. 1e3) (!t_plain *. 1e3) overhead;
+    exit 1
+  end;
+  let spec = "2x2of8x8" in
+  let group = Multi.Array_group.of_spec spec in
+  let gtrace =
+    Multi.Array_group.remap_virtual_trace group
+      (Workloads.Lu.trace ~n (Multi.Array_group.virtual_mesh group))
+  in
+  let gp = Multi.Group_problem.create group gtrace in
+  let run algo =
+    let t0 = Unix.gettimeofday () in
+    let plan, breakdown = Multi.Group_solver.evaluate gp algo in
+    (plan, breakdown, Unix.gettimeofday () -. t0)
+  in
+  let dp_plan, dp_cost, dp_wall = run Sched.Scheduler.Gomcds in
+  let _, st_cost, st_wall = run Sched.Scheduler.Scds in
+  let bound =
+    Option.value ~default:0 (Multi.Group_solver.lower_bound gp)
+  in
+  Printf.printf
+    "%s (inter-cost 10): gomcds total=%d, %d array move(s), %.1f ms; scds \
+     total=%d, %.1f ms; lower bound %d\n"
+    spec dp_cost.Multi.Group_schedule.total
+    (Multi.Group_schedule.array_moves dp_plan)
+    (dp_wall *. 1e3) st_cost.Multi.Group_schedule.total (st_wall *. 1e3)
+    bound;
+  Obs.Json.Obj
+    [
+      ("workload", Obs.Json.String "lu-16x16");
+      ( "degenerate",
+        Obs.Json.Obj
+          [
+            ("plain_ms", Obs.Json.Float (!t_plain *. 1e3));
+            ("group_ms", Obs.Json.Float (!t_group *. 1e3));
+            ("overhead", Obs.Json.Float overhead);
+            ("attempts", Obs.Json.Int !attempts);
+          ] );
+      ( "group",
+        Obs.Json.Obj
+          [
+            ("arrays", Obs.Json.String spec);
+            ("inter_cost", Obs.Json.Int 10);
+            ("gomcds_total", Obs.Json.Int dp_cost.Multi.Group_schedule.total);
+            ( "gomcds_array_moves",
+              Obs.Json.Int (Multi.Group_schedule.array_moves dp_plan) );
+            ("gomcds_ms", Obs.Json.Float (dp_wall *. 1e3));
+            ("scds_total", Obs.Json.Int st_cost.Multi.Group_schedule.total);
+            ("scds_ms", Obs.Json.Float (st_wall *. 1e3));
+            ("lower_bound", Obs.Json.Int bound);
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -914,7 +1052,7 @@ let git_rev () =
         | _ -> "local"
       with _ -> "local")
 
-let json_snapshot ~kernel ~serve () =
+let json_snapshot ~kernel ~serve ~multi () =
   section "Machine-readable snapshot";
   let n = if quick then 8 else 16 in
   let reps = if quick then 1 else 3 in
@@ -1009,6 +1147,7 @@ let json_snapshot ~kernel ~serve () =
          ("mesh", Obs.Json.String "4x4");
          ("kernel_bench", kernel);
          ("serve_bench", serve);
+         ("multi_bench", multi);
          ("entries", Obs.Json.List (List.rev !entries));
        ]);
   Printf.printf "wrote %d entries to %s\n" (List.length !entries) path
@@ -1021,7 +1160,8 @@ let () =
     figure1 ();
     let kernel = kernel_bench () in
     let serve = serve_bench () in
-    json_snapshot ~kernel ~serve ();
+    let multi = multi_bench () in
+    json_snapshot ~kernel ~serve ~multi ();
     print_endline "\nQuick benches complete."
   end
   else begin
@@ -1043,6 +1183,7 @@ let () =
     engine_scaling ();
     let kernel = kernel_bench () in
     let serve = serve_bench () in
-    json_snapshot ~kernel ~serve ();
+    let multi = multi_bench () in
+    json_snapshot ~kernel ~serve ~multi ();
     print_endline "\nAll benches complete."
   end

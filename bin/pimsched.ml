@@ -184,6 +184,35 @@ let kernel_arg =
            $(b,naive) (direct walk over a private distance table, the \
            cross-check oracle). Both produce identical schedules.")
 
+let arrays_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "arrays" ] ~docv:"SPEC"
+        ~doc:
+          "Schedule on a group of PIM arrays instead of one mesh: \
+           $(b,RxCofAxB) tiles RxC identical AxB arrays on a grid \
+           interconnect (e.g. $(b,2x2of8x8)), or a comma list \
+           $(b,AxB,CxD,...) joins heterogeneous arrays on a line. \
+           $(b,--mesh) is ignored; $(b,--torus) wraps the member arrays.")
+
+let inter_cost_arg =
+  let pos_cost =
+    let parse s =
+      match Cmdliner.Arg.conv_parser Arg.int s with
+      | Ok k when k >= 1 -> Ok k
+      | Ok k -> Error (`Msg (Printf.sprintf "expected K >= 1, got %d" k))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Cmdliner.Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value & opt pos_cost 10
+    & info [ "inter-cost" ] ~docv:"K"
+        ~doc:
+          "Per-hop cost multiplier of the inter-array interconnect (group \
+           instances only; default 10).")
+
 let simulate_arg =
   Arg.(
     value & flag
@@ -274,69 +303,199 @@ let describe_instance ?trace_file workload mesh trace capacity =
     | Some c -> Printf.sprintf ", capacity %d" c)
 
 (* ---------------------------------------------------------------- *)
+(* Multi-array (group) instances                                     *)
+(* ---------------------------------------------------------------- *)
+
+let build_group spec inter_cost torus =
+  try Multi.Array_group.of_spec ~inter_cost ~torus spec
+  with Invalid_argument m -> failwith m
+
+(* Generated workloads are laid out on the group's virtual mesh (members
+   tiled onto the interconnect) and remapped to global ranks; loaded
+   traces already reference global ranks. *)
+let build_group_trace workload size partition group trace_file =
+  match trace_file with
+  | Some path ->
+      let t = Reftrace.Serial.load path in
+      Multi.Array_group.validate_trace group t;
+      t
+  | None ->
+      let vm = Multi.Array_group.virtual_mesh group in
+      Multi.Array_group.remap_virtual_trace group
+        (build_trace workload size partition vm None)
+
+(* The paper's headroom-2 rule over the group's aggregate size. *)
+let group_capacity_of trace group unbounded =
+  if unbounded then None
+  else
+    Some
+      (Pim.Memory.capacity_for
+         ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+         ~mesh:(Pim.Mesh.create ~rows:1 ~cols:(Multi.Array_group.size group))
+         ~headroom:2)
+
+let group_policy_of = function
+  | None -> Sched.Problem.Unbounded
+  | Some c -> Sched.Problem.Bounded c
+
+let describe_group_instance ?trace_file workload group trace capacity =
+  Printf.printf "workload %s: %s on %s%s\n"
+    (match trace_file with
+    | Some path -> Printf.sprintf "from %s" path
+    | None -> workload_to_string workload)
+    (Format.asprintf "%a" Reftrace.Trace.pp trace)
+    (Format.asprintf "%a" Multi.Array_group.pp group)
+    (match capacity with
+    | None -> ", unbounded memory"
+    | Some c -> Printf.sprintf ", capacity %d" c)
+
+(* ---------------------------------------------------------------- *)
 (* Subcommand implementations                                        *)
 (* ---------------------------------------------------------------- *)
 
-let run_schedule workload size mesh_shape torus partition unbounded
-    trace_file algorithm jobs kernel simulate plan_out metrics_json =
-  obs_begin metrics_json;
-  let mesh = build_mesh mesh_shape torus in
-  let trace = build_trace workload size partition mesh trace_file in
-  let capacity = capacity_of trace mesh unbounded in
-  describe_instance ?trace_file workload mesh trace capacity;
-  let problem =
-    Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+let run_schedule_group spec inter_cost workload size torus partition
+    unbounded trace_file algorithm jobs kernel simulate plan_out =
+  if simulate then
+    failwith "--simulate is not supported with --arrays (no group simulator)";
+  let group = build_group spec inter_cost torus in
+  let trace = build_group_trace workload size partition group trace_file in
+  let capacity = group_capacity_of trace group unbounded in
+  describe_group_instance ?trace_file workload group trace capacity;
+  let gp =
+    Multi.Group_problem.create
+      ~policy:(group_policy_of capacity)
+      ~jobs ~kernel group trace
   in
-  let schedule = Sched.Scheduler.solve problem algorithm in
+  let plan, breakdown = Multi.Group_solver.evaluate gp algorithm in
   (match plan_out with
   | Some path ->
-      Sched.Schedule_serial.save schedule path;
+      Multi.Group_serial.save plan path;
       Printf.printf "plan written to %s\n" path
   | None -> ());
-  let breakdown = Sched.Schedule.cost schedule trace in
-  Printf.printf "%-16s total=%6d  reference=%6d  movement=%6d  moves=%d\n"
+  Printf.printf
+    "%-16s total=%6d  reference=%6d  movement=%6d  moves=%d  array-moves=%d\n"
     (Sched.Scheduler.name algorithm)
-    breakdown.Sched.Schedule.total breakdown.Sched.Schedule.reference
-    breakdown.Sched.Schedule.movement
-    (Sched.Schedule.moves schedule);
-  if simulate then begin
-    let report =
-      Pim.Simulator.run mesh (Sched.Schedule.to_rounds schedule trace)
-    in
-    Format.printf "%a@." Pim.Simulator.pp_report report
-  end;
+    breakdown.Multi.Group_schedule.total
+    breakdown.Multi.Group_schedule.reference
+    breakdown.Multi.Group_schedule.movement
+    (Multi.Group_schedule.moves plan)
+    (Multi.Group_schedule.array_moves plan)
+
+let run_schedule workload size mesh_shape torus partition unbounded
+    trace_file algorithm jobs kernel simulate plan_out metrics_json arrays
+    inter_cost =
+  obs_begin metrics_json;
+  (match arrays with
+  | Some spec ->
+      run_schedule_group spec inter_cost workload size torus partition
+        unbounded trace_file algorithm jobs kernel simulate plan_out
+  | None ->
+      let mesh = build_mesh mesh_shape torus in
+      let trace = build_trace workload size partition mesh trace_file in
+      let capacity = capacity_of trace mesh unbounded in
+      describe_instance ?trace_file workload mesh trace capacity;
+      let problem =
+        Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+      in
+      let schedule = Sched.Scheduler.solve problem algorithm in
+      (match plan_out with
+      | Some path ->
+          Sched.Schedule_serial.save schedule path;
+          Printf.printf "plan written to %s\n" path
+      | None -> ());
+      let breakdown = Sched.Schedule.cost schedule trace in
+      Printf.printf "%-16s total=%6d  reference=%6d  movement=%6d  moves=%d\n"
+        (Sched.Scheduler.name algorithm)
+        breakdown.Sched.Schedule.total breakdown.Sched.Schedule.reference
+        breakdown.Sched.Schedule.movement
+        (Sched.Schedule.moves schedule);
+      if simulate then begin
+        let report =
+          Pim.Simulator.run mesh (Sched.Schedule.to_rounds schedule trace)
+        in
+        Format.printf "%a@." Pim.Simulator.pp_report report
+      end);
   obs_finish ~command:"schedule" ~jobs metrics_json
 
-let run_compare workload size mesh_shape torus partition unbounded trace_file
-    jobs kernel metrics_json =
-  obs_begin metrics_json;
-  let mesh = build_mesh mesh_shape torus in
-  let trace = build_trace workload size partition mesh trace_file in
-  let capacity = capacity_of trace mesh unbounded in
-  describe_instance ?trace_file workload mesh trace capacity;
-  (* one context: the bound and all twelve algorithms share its caches *)
-  let problem =
-    Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+let run_compare_group spec inter_cost workload size torus partition unbounded
+    trace_file jobs kernel =
+  let group = build_group spec inter_cost torus in
+  let trace = build_group_trace workload size partition group trace_file in
+  let capacity = group_capacity_of trace group unbounded in
+  describe_group_instance ?trace_file workload group trace capacity;
+  (* one group problem: member sessions and weight tables are shared by
+     every algorithm *)
+  let gp =
+    Multi.Group_problem.create
+      ~policy:(group_policy_of capacity)
+      ~jobs ~kernel group trace
   in
-  let bound = Sched.Bounds.lower_bound_in problem in
+  let bound = Multi.Group_solver.lower_bound gp in
   let baseline =
-    Sched.Schedule.total_cost
-      (Sched.Scheduler.solve problem Sched.Scheduler.Row_wise)
+    Multi.Group_schedule.total_cost
+      (Multi.Group_solver.solve gp Sched.Scheduler.Row_wise)
       trace
   in
   List.iter
     (fun algorithm ->
-      let schedule = Sched.Scheduler.solve problem algorithm in
-      let total = Sched.Schedule.total_cost schedule trace in
-      Printf.printf
-        "%-16s total=%6d  improvement=%5.1f%%  gap-to-bound=%5.1f%%\n"
-        (Sched.Scheduler.name algorithm)
-        total
-        (Sched.Scheduler.improvement ~baseline ~cost:total)
-        (Sched.Bounds.gap ~bound ~cost:total))
+      let _, breakdown = Multi.Group_solver.evaluate gp algorithm in
+      let total = breakdown.Multi.Group_schedule.total in
+      match bound with
+      | Some bound ->
+          Printf.printf
+            "%-16s total=%6d  improvement=%5.1f%%  gap-to-bound=%5.1f%%\n"
+            (Sched.Scheduler.name algorithm)
+            total
+            (Sched.Scheduler.improvement ~baseline ~cost:total)
+            (Sched.Bounds.gap ~bound ~cost:total)
+      | None ->
+          Printf.printf "%-16s total=%6d  improvement=%5.1f%%\n"
+            (Sched.Scheduler.name algorithm)
+            total
+            (Sched.Scheduler.improvement ~baseline ~cost:total))
     Sched.Scheduler.all;
-  Printf.printf "%-16s total=%6d  (sum of per-datum optima)\n" "lower-bound"
-    bound;
+  match bound with
+  | Some bound ->
+      Printf.printf
+        "%-16s total=%6d  (sum of per-datum optima, group metric)\n"
+        "lower-bound" bound
+  | None -> ()
+
+let run_compare workload size mesh_shape torus partition unbounded trace_file
+    jobs kernel metrics_json arrays inter_cost =
+  obs_begin metrics_json;
+  (match arrays with
+  | Some spec ->
+      run_compare_group spec inter_cost workload size torus partition
+        unbounded trace_file jobs kernel
+  | None ->
+      let mesh = build_mesh mesh_shape torus in
+      let trace = build_trace workload size partition mesh trace_file in
+      let capacity = capacity_of trace mesh unbounded in
+      describe_instance ?trace_file workload mesh trace capacity;
+      (* one context: the bound and all twelve algorithms share its caches *)
+      let problem =
+        Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace
+      in
+      let bound = Sched.Bounds.lower_bound_in problem in
+      let baseline =
+        Sched.Schedule.total_cost
+          (Sched.Scheduler.solve problem Sched.Scheduler.Row_wise)
+          trace
+      in
+      List.iter
+        (fun algorithm ->
+          let schedule = Sched.Scheduler.solve problem algorithm in
+          let total = Sched.Schedule.total_cost schedule trace in
+          Printf.printf
+            "%-16s total=%6d  improvement=%5.1f%%  gap-to-bound=%5.1f%%\n"
+            (Sched.Scheduler.name algorithm)
+            total
+            (Sched.Scheduler.improvement ~baseline ~cost:total)
+            (Sched.Bounds.gap ~bound ~cost:total))
+        Sched.Scheduler.all;
+      Printf.printf "%-16s total=%6d  (sum of per-datum optima)\n"
+        "lower-bound" bound);
   obs_finish ~command:"compare" ~jobs metrics_json
 
 let run_table which mesh_shape sizes jobs =
@@ -480,9 +639,112 @@ let run_profile algorithm workload size mesh_shape torus partition unbounded
       Printf.printf "metrics written to %s\n" path
   | None -> ()
 
+let run_faults_group spec inter_cost array_rate algorithm workload size torus
+    partition unbounded trace_file jobs kernel seed rates link_rate at
+    json_out =
+  let group = build_group spec inter_cost torus in
+  let trace = build_group_trace workload size partition group trace_file in
+  let capacity = group_capacity_of trace group unbounded in
+  describe_group_instance ?trace_file workload group trace capacity;
+  let gp =
+    Multi.Group_problem.create
+      ~policy:(group_policy_of capacity)
+      ~jobs ~kernel group trace
+  in
+  let n_windows = Reftrace.Trace.n_windows trace in
+  let at =
+    match at with
+    | Some w -> w
+    | None -> if n_windows <= 1 then 0 else max 1 (n_windows / 2)
+  in
+  Printf.printf
+    "group degradation ablation: %s, faults arrive before window %d (seed \
+     %d, array-rate %.3f, link-rate %.3f)\n"
+    (Sched.Scheduler.name algorithm)
+    at seed array_rate link_rate;
+  Printf.printf "%-6s %-6s %-5s %-5s %8s %10s %12s %7s %7s\n" "rate"
+    "arrays" "dead" "links" "planned" "rescheduled" "no-resched" "evict"
+    "resched";
+  let rows =
+    List.map
+      (fun node_rate ->
+        let fault =
+          Multi.Group_fault.inject ~seed ~array_rate ~node_rate ~link_rate
+            group
+        in
+        let events = [ { Multi.Group_resilience.window = at; fault } ] in
+        let re =
+          Multi.Group_resilience.run ~reschedule:true ~events gp algorithm
+        and keep =
+          Multi.Group_resilience.run ~reschedule:false ~events gp algorithm
+        in
+        Printf.printf "%-6.3f %-6d %-5d %-5d %8d %10d %12d %7d %7d\n"
+          node_rate
+          (Multi.Group_fault.n_dead_arrays fault)
+          (List.length
+             (Pim.Fault.dead_nodes (Multi.Group_fault.node_fault fault)))
+          (List.length
+             (Pim.Fault.dead_links (Multi.Group_fault.node_fault fault)))
+          re.Multi.Group_resilience.planned_cost
+          re.Multi.Group_resilience.paid_cost
+          keep.Multi.Group_resilience.paid_cost
+          re.Multi.Group_resilience.evicted
+          re.Multi.Group_resilience.reschedules;
+        Obs.Json.Obj
+          [
+            ("node_rate", Obs.Json.Float node_rate);
+            ("array_rate", Obs.Json.Float array_rate);
+            ("link_rate", Obs.Json.Float link_rate);
+            ( "dead_arrays",
+              Obs.Json.Int (Multi.Group_fault.n_dead_arrays fault) );
+            ( "dead_nodes",
+              Obs.Json.Int
+                (List.length
+                   (Pim.Fault.dead_nodes (Multi.Group_fault.node_fault fault)))
+            );
+            ( "planned_cost",
+              Obs.Json.Int re.Multi.Group_resilience.planned_cost );
+            ( "paid_rescheduled",
+              Obs.Json.Int re.Multi.Group_resilience.paid_cost );
+            ( "paid_no_reschedule",
+              Obs.Json.Int keep.Multi.Group_resilience.paid_cost );
+            ("evicted", Obs.Json.Int re.Multi.Group_resilience.evicted);
+            ( "evicted_cost",
+              Obs.Json.Int re.Multi.Group_resilience.evicted_cost );
+            ( "reschedules",
+              Obs.Json.Int re.Multi.Group_resilience.reschedules );
+          ])
+      rates
+  in
+  match json_out with
+  | Some path ->
+      Obs.Json.write_file path
+        (Obs.Json.Obj
+           [
+             ("schema", Obs.Json.String "pim-sched-group-faults/1");
+             ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+             ("workload", Obs.Json.String (workload_to_string workload));
+             ("arrays", Obs.Json.String spec);
+             ("inter_cost", Obs.Json.Int inter_cost);
+             ("seed", Obs.Json.Int seed);
+             ("event_window", Obs.Json.Int at);
+             ("rows", Obs.Json.List rows);
+           ]);
+      Printf.printf "ablation written to %s\n" path
+  | None -> ()
+
 let run_faults algorithm workload size mesh_shape torus partition unbounded
-    trace_file jobs kernel seed rates link_rate at json_out metrics_json =
+    trace_file jobs kernel seed rates link_rate at json_out metrics_json
+    arrays inter_cost array_rate =
   obs_begin metrics_json;
+  match arrays with
+  | Some spec ->
+      run_faults_group spec inter_cost array_rate algorithm workload size
+        torus partition unbounded trace_file jobs kernel seed rates link_rate
+        at json_out;
+      obs_finish ~command:"faults" ~jobs metrics_json
+  | None ->
+  if array_rate <> 0. then failwith "--array-rate requires --arrays";
   let mesh = build_mesh mesh_shape torus in
   let trace = build_trace workload size partition mesh trace_file in
   let capacity = capacity_of trace mesh unbounded in
@@ -598,7 +860,7 @@ let schedule_cmd =
       const run_schedule $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ algorithm_arg
       $ jobs_arg $ kernel_arg $ simulate_arg $ plan_out_arg
-      $ metrics_json_arg)
+      $ metrics_json_arg $ arrays_arg $ inter_cost_arg)
 
 let compare_cmd =
   Cmd.v
@@ -606,7 +868,7 @@ let compare_cmd =
     Term.(
       const run_compare $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg
-      $ kernel_arg $ metrics_json_arg)
+      $ kernel_arg $ metrics_json_arg $ arrays_arg $ inter_cost_arg)
 
 let profile_cmd =
   let algorithm_pos_arg =
@@ -752,6 +1014,15 @@ let faults_cmd =
       & info [ "json-out" ] ~docv:"PATH"
           ~doc:"Write the ablation table as JSON here.")
   in
+  let array_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "array-rate" ] ~docv:"R"
+          ~doc:
+            "Whole-array fault rate applied at every sweep point (requires \
+             $(b,--arrays); a dead array's processors stop hosting data but \
+             its routers and fabric port stay alive).")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
@@ -762,7 +1033,8 @@ let faults_cmd =
       const run_faults $ algorithm_pos_arg $ workload_arg $ size_arg
       $ mesh_arg $ torus_arg $ partition_arg $ unbounded_arg $ trace_file_arg
       $ jobs_arg $ kernel_arg $ seed_arg $ rates_arg $ link_rate_arg $ at_arg
-      $ json_out_arg $ metrics_json_arg)
+      $ json_out_arg $ metrics_json_arg $ arrays_arg $ inter_cost_arg
+      $ array_rate_arg)
 
 let export_cmd =
   let output_arg =

@@ -7,6 +7,13 @@ type problem = {
   step_cost : layer:int -> int -> int -> int;
 }
 
+type group_member = {
+  g_xdist : int array array;
+  g_ydist : int array array;
+  g_vectors : buffer;
+  g_offsets : int array;
+}
+
 let validate p =
   if p.n_layers <= 0 then invalid_arg "Layered: n_layers must be positive";
   if p.width <= 0 then invalid_arg "Layered: width must be positive"
@@ -252,6 +259,161 @@ let solve_axes_filtered ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
     ~allowed () =
   solve_axes_general ?offsets ~xdist ~ydist ~vectors ~width ~n_layers
     ~allowed ()
+
+(* Multi-array form of [solve_axes_general]: the layer is the disjoint
+   union of member blocks (one per PIM array), each with its own axis
+   tables and arena slab, concatenated in member order so a global node
+   index is [base.(i) + local]. Within a block the relaxation is exactly
+   the per-member copy of [solve_axes_general]'s inner loops. Between
+   blocks the inter-array fabric is a flat metric — every node of member
+   [jm] reaches every node of member [i] at the same price
+   [move_cost jm i] — so the cross product of block nodes collapses to
+   one scalar edge per ordered member pair: take each source member's
+   entry minimum (lowest global rank on ties), add the member-pair move
+   cost, and offer it to every node of the target block. Cross edges are
+   applied after the intra pass with the same strict [<], sources
+   visited in ascending member order, so staying inside the member wins
+   every tie and a 1-member group is byte-identical to [solve_axes]. *)
+let solve_group_general ~members ~move_cost ~consts ~n_layers ~allowed () =
+  let n_members = Array.length members in
+  if n_members <= 0 then invalid_arg "Layered: members must be nonempty";
+  if n_layers <= 0 then invalid_arg "Layered: n_layers must be positive";
+  let widths =
+    Array.map
+      (fun m ->
+        let cols = Array.length m.g_xdist and rows = Array.length m.g_ydist in
+        if cols <= 0 || rows <= 0 then
+          invalid_arg "Layered: member axis tables must be nonempty";
+        cols * rows)
+      members
+  in
+  let bases = Array.make (n_members + 1) 0 in
+  for i = 0 to n_members - 1 do
+    bases.(i + 1) <- bases.(i) + widths.(i)
+  done;
+  let total = bases.(n_members) in
+  Array.iteri
+    (fun i m ->
+      let dim = Bigarray.Array1.dim m.g_vectors in
+      if Array.length m.g_offsets < n_layers then
+        invalid_arg "Layered: member offset table shorter than n_layers";
+      Array.iter
+        (fun off ->
+          if off < 0 || off + widths.(i) > dim then
+            invalid_arg "Layered: member layer offset outside the vector buffer")
+        m.g_offsets)
+    members;
+  Obs.Span.with_ ~name:"layered.solve_group" @@ fun () ->
+  let inf = max_int in
+  let cur = Array.make total inf in
+  let choice = Array.make_matrix n_layers total (-1) in
+  for i = 0 to n_members - 1 do
+    let m = members.(i) in
+    let off0 = m.g_offsets.(0) and b = bases.(i) in
+    let c0 = consts ~layer:0 ~member:i in
+    for j = 0 to widths.(i) - 1 do
+      if allowed ~layer:0 (b + j) then cur.(b + j) <- m.g_vectors.{off0 + j} + c0
+    done
+  done;
+  let best = Array.make total inf in
+  let from = Array.make total (-1) in
+  let minv = Array.make n_members inf in
+  let minr = Array.make n_members (-1) in
+  let nodes = ref 0 in
+  for layer = 1 to n_layers - 1 do
+    Array.fill best 0 total inf;
+    (* per-member entry minima over the previous layer: the single source
+       every outgoing cross edge of that member reroots at (lowest global
+       rank on ties, matching the ascending scans everywhere else) *)
+    for i = 0 to n_members - 1 do
+      minv.(i) <- inf;
+      minr.(i) <- -1;
+      let b = bases.(i) in
+      for j = 0 to widths.(i) - 1 do
+        let d = cur.(b + j) in
+        if d < minv.(i) then begin
+          minv.(i) <- d;
+          minr.(i) <- b + j
+        end
+      done
+    done;
+    for i = 0 to n_members - 1 do
+      let m = members.(i) in
+      let cols = Array.length m.g_xdist and rows = Array.length m.g_ydist in
+      let b = bases.(i) in
+      for j = 0 to widths.(i) - 1 do
+        let dj = cur.(b + j) in
+        if dj <> inf then begin
+          incr nodes;
+          let xrow = m.g_xdist.(j mod cols) and yrow = m.g_ydist.(j / cols) in
+          let k = ref b in
+          for ky = 0 to rows - 1 do
+            let basey = dj + yrow.(ky) in
+            for kx = 0 to cols - 1 do
+              let c = basey + xrow.(kx) in
+              if c < best.(!k) then begin
+                best.(!k) <- c;
+                from.(!k) <- b + j
+              end;
+              incr k
+            done
+          done
+        end
+      done
+    done;
+    for i = 0 to n_members - 1 do
+      let cv = ref inf and cf = ref (-1) in
+      for jm = 0 to n_members - 1 do
+        if jm <> i && minv.(jm) <> inf then begin
+          let c = minv.(jm) + move_cost jm i in
+          if c < !cv then begin
+            cv := c;
+            cf := minr.(jm)
+          end
+        end
+      done;
+      if !cf >= 0 then begin
+        let b = bases.(i) in
+        for k = 0 to widths.(i) - 1 do
+          if !cv < best.(b + k) then begin
+            best.(b + k) <- !cv;
+            from.(b + k) <- !cf
+          end
+        done
+      end
+    done;
+    let ch = choice.(layer) in
+    for i = 0 to n_members - 1 do
+      let m = members.(i) in
+      let voff = m.g_offsets.(layer) and b = bases.(i) in
+      let ci = consts ~layer ~member:i in
+      for k = 0 to widths.(i) - 1 do
+        let g = b + k in
+        if best.(g) <> inf && allowed ~layer g then begin
+          cur.(g) <- best.(g) + m.g_vectors.{voff + k} + ci;
+          ch.(g) <- from.(g)
+        end
+        else cur.(g) <- inf
+      done
+    done
+  done;
+  report_solve ~nodes:!nodes ~edges:(!nodes * total);
+  let best_node = ref (-1) in
+  for j = 0 to total - 1 do
+    if cur.(j) <> inf && (!best_node = -1 || cur.(j) < cur.(!best_node)) then
+      best_node := j
+  done;
+  if !best_node = -1 then None
+  else begin
+    let centers = Array.make n_layers (-1) in
+    centers.(n_layers - 1) <- !best_node;
+    for layer = n_layers - 1 downto 1 do
+      centers.(layer - 1) <- choice.(layer).(centers.(layer))
+    done;
+    Some (cur.(!best_node), centers)
+  end
+
+let solve_group = solve_group_general
 
 let solve_dense ~dist ~vectors =
   match solve_dense_general ~dist ~vectors ~allowed:(fun ~layer:_ _ -> true)

@@ -91,6 +91,51 @@ val solve_axes_filtered :
   unit ->
   (int * int array) option
 
+(** One member block of a multi-array layered problem (see
+    {!solve_group}): the member's two per-axis distance tables, its flat
+    arena slab and the per-layer offset table into it — exactly the
+    inputs {!solve_axes} takes for a single array. *)
+type group_member = {
+  g_xdist : int array array;  (** [cols]×[cols] x-axis distance table *)
+  g_ydist : int array array;  (** [rows]×[rows] y-axis distance table *)
+  g_vectors : buffer;  (** the member's flat layer-vector slab *)
+  g_offsets : int array;  (** row offset of each layer in [g_vectors] *)
+}
+
+(** [solve_group ~members ~move_cost ~consts ~n_layers ~allowed ()] is the
+    layered DP over a {e group} of PIM arrays: each layer is the disjoint
+    union of the member blocks concatenated in member order (the global
+    node index of member [i]'s local node [j] is
+    [Σ_{i' < i} width(i') + j] — the {!Multi.Array_group} rank), and a
+    trajectory may either step within its member (priced by the member's
+    axis tables, exactly as {!solve_axes}) or migrate to any node of
+    another member at the flat inter-array price [move_cost src dst]
+    ([src]/[dst] are {e member} indices, only read for [src <> dst]).
+    Because the inter-array metric is flat, the block-to-block cross
+    product collapses to one scalar edge per ordered member pair — per
+    layer the DP costs O(Σ width(i)² + n_members²), never
+    O((Σ width)²). [consts ~layer ~member] is added to every node of the
+    member in that layer (the cross-array reference cost of hosting the
+    datum there — a constant per member, see DESIGN.md §12).
+
+    Tie-breaking: the intra-member relaxation runs first with the usual
+    ascending scans; cross edges are applied after with the same strict
+    [<] (the source is each member's previous-layer entry minimum,
+    lowest global rank on ties, members visited ascending), so staying
+    inside a member beats migrating at equal cost, and a 1-member group
+    with zero [consts] is byte-identical to {!solve_axes}. Returns
+    [None] when [allowed] empties some layer.
+    @raise Invalid_argument on empty [members], non-positive [n_layers],
+    empty member axis tables, or an offset row outside a member slab. *)
+val solve_group :
+  members:group_member array ->
+  move_cost:(int -> int -> int) ->
+  consts:(layer:int -> member:int -> int) ->
+  n_layers:int ->
+  allowed:(layer:int -> int -> bool) ->
+  unit ->
+  (int * int array) option
+
 (** [to_digraph p] materializes the cost-graph exactly as the paper describes
     (pseudo source node, pseudo destination node, zero-weight edges into the
     sink) and returns [(graph, source, sink, node_id)] where

@@ -1,0 +1,189 @@
+(* Array-level failures ride next to an ordinary global-rank fault set:
+   the member tier consumes its slice of the latter through
+   [member_fault], the group tier consumes [arrays] directly. *)
+type t = { arrays : int list; fault : Pim.Fault.t }
+
+let none = { arrays = []; fault = Pim.Fault.none }
+let is_none t = t.arrays = [] && Pim.Fault.is_none t.fault
+
+let create ?(dead_arrays = []) ?(dead_nodes = []) ?(dead_links = []) () =
+  {
+    arrays = List.sort_uniq Int.compare dead_arrays;
+    fault = Pim.Fault.create ~dead_nodes ~dead_links ();
+  }
+
+let dead_arrays t = t.arrays
+let array_dead t i = List.mem i t.arrays
+let n_dead_arrays t = List.length t.arrays
+let node_fault t = t.fault
+
+let kill_array t i =
+  if array_dead t i then t
+  else { t with arrays = List.sort Int.compare (i :: t.arrays) }
+
+let union a b =
+  {
+    arrays = List.sort_uniq Int.compare (a.arrays @ b.arrays);
+    fault = Pim.Fault.union a.fault b.fault;
+  }
+
+let member_fault t group m =
+  if array_dead t m then Pim.Fault.none
+  else begin
+    let b = Array_group.base group m in
+    let sz = Pim.Mesh.size (Array_group.member group m) in
+    let local g = g - b in
+    let dead_nodes =
+      List.filter_map
+        (fun g -> if g >= b && g < b + sz then Some (local g) else None)
+        (Pim.Fault.dead_nodes t.fault)
+    in
+    let dead_links =
+      List.filter_map
+        (fun (a, c) ->
+          if a >= b && a < b + sz && c >= b && c < b + sz then
+            Some (local a, local c)
+          else None)
+        (Pim.Fault.dead_links t.fault)
+    in
+    Pim.Fault.create ~dead_nodes ~dead_links ()
+  end
+
+let rank_alive t group g =
+  let m = Array_group.member_of_rank group g in
+  (not (array_dead t m)) && not (Pim.Fault.node_dead t.fault g)
+
+let alive_members t group =
+  List.filter
+    (fun m ->
+      (not (array_dead t m))
+      &&
+      let b = Array_group.base group m in
+      let sz = Pim.Mesh.size (Array_group.member group m) in
+      let dead_in =
+        List.length
+          (List.filter
+             (fun g -> g >= b && g < b + sz)
+             (Pim.Fault.dead_nodes t.fault))
+      in
+      dead_in < sz)
+    (List.init (Array_group.n_members group) Fun.id)
+
+let validate t group =
+  let n = Array_group.n_members group in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg
+          (Printf.sprintf "Group_fault: dead array %d out of bounds (%d members)"
+             i n))
+    t.arrays;
+  let sz = Array_group.size group in
+  List.iter
+    (fun g ->
+      if g < 0 || g >= sz then
+        invalid_arg
+          (Printf.sprintf "Group_fault: dead rank %d out of bounds (size %d)" g
+             sz))
+    (Pim.Fault.dead_nodes t.fault);
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= sz || b < 0 || b >= sz then
+        invalid_arg
+          (Printf.sprintf "Group_fault: dead link %d-%d out of bounds" a b);
+      let ma, la = Array_group.local_of_rank group a in
+      let mb, lb = Array_group.local_of_rank group b in
+      if ma <> mb then
+        invalid_arg
+          (Printf.sprintf
+             "Group_fault: dead link %d-%d crosses members %d and %d — the \
+              fabric has no failable links; kill the array instead"
+             a b ma mb);
+      if not (List.mem lb (Pim.Mesh.neighbours (Array_group.member group ma) la))
+      then
+        invalid_arg
+          (Printf.sprintf "Group_fault: dead link %d-%d is not a member link" a
+             b))
+    (Pim.Fault.dead_links t.fault);
+  if alive_members t group = [] then
+    invalid_arg "Group_fault: fault leaves no member able to host data"
+
+let inject ~seed ~array_rate ~node_rate ~link_rate group =
+  let check who r =
+    if r < 0. || r > 1. then
+      invalid_arg (Printf.sprintf "Group_fault.inject: %s must be in [0, 1]" who)
+  in
+  check "array_rate" array_rate;
+  check "node_rate" node_rate;
+  check "link_rate" link_rate;
+  let st = Random.State.make [| seed |] in
+  let n = Array_group.n_members group in
+  let sz = Array_group.size group in
+  (* fixed draw order — arrays, global ranks, member links — so every
+     dead set is monotone in its rate, as in Pim.Fault.inject *)
+  let array_draws = Array.init n (fun _ -> Random.State.float st 1.) in
+  let node_draws = Array.init sz (fun _ -> Random.State.float st 1.) in
+  let link_draws =
+    List.concat
+      (List.init n (fun m ->
+           let mesh = Array_group.member group m in
+           let b = Array_group.base group m in
+           List.filter_map
+             (fun (a, c) ->
+               if a < c then Some ((b + a, b + c), Random.State.float st 1.)
+               else None)
+             (Pim.Mesh.links mesh)))
+  in
+  let array_dead = Array.map (fun d -> d < array_rate) array_draws in
+  if Array.for_all Fun.id array_dead then begin
+    let best = ref 0 in
+    Array.iteri
+      (fun i d -> if d > array_draws.(!best) then best := i)
+      array_draws;
+    array_dead.(!best) <- false
+  end;
+  let node_dead = Array.map (fun d -> d < node_rate) node_draws in
+  (* every surviving array keeps at least one alive rank *)
+  for m = 0 to n - 1 do
+    if not array_dead.(m) then begin
+      let b = Array_group.base group m in
+      let msz = Pim.Mesh.size (Array_group.member group m) in
+      let all_dead = ref true in
+      for g = b to b + msz - 1 do
+        if not node_dead.(g) then all_dead := false
+      done;
+      if !all_dead then begin
+        let best = ref b in
+        for g = b to b + msz - 1 do
+          if node_draws.(g) > node_draws.(!best) then best := g
+        done;
+        node_dead.(!best) <- false
+      end
+    end
+  done;
+  let arrays = ref [] in
+  for m = n - 1 downto 0 do
+    if array_dead.(m) then arrays := m :: !arrays
+  done;
+  let dead_nodes = ref [] in
+  for g = sz - 1 downto 0 do
+    if node_dead.(g) then dead_nodes := g :: !dead_nodes
+  done;
+  let dead_links =
+    List.filter_map
+      (fun (l, d) -> if d < link_rate then Some l else None)
+      link_draws
+  in
+  {
+    arrays = !arrays;
+    fault = Pim.Fault.create ~dead_nodes:!dead_nodes ~dead_links ();
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "group-faults(%d dead arrays%s, %a)"
+    (List.length t.arrays)
+    (match t.arrays with
+    | [] -> ""
+    | l ->
+        Printf.sprintf " [%s]" (String.concat ";" (List.map string_of_int l)))
+    Pim.Fault.pp t.fault

@@ -1,0 +1,89 @@
+(** Fault model for a group of PIM arrays.
+
+    Extends {!Pim.Fault} one tier up with {e whole-array} failures: a
+    dead array is a dead rank set ([lib/pim/fault.ml] already
+    generalizes), so member-level machinery needs nothing new — but the
+    group keeps the array-level intent explicit so injection, reporting
+    and resurrection rules work at the right granularity.
+
+    Failure semantics, mirroring the single-array model:
+    - a {e dead array}'s processors can no longer host data, but their
+      routers — and the member's fabric port — stay alive: references
+      issued from a dead array still count and still price against the
+      group metric, and distances are unchanged;
+    - {e node} and {e link} faults are ordinary {!Pim.Fault} failures at
+      {e global} ranks, each confined to one member (the fabric has no
+      individually-failable links — to lose it, kill the array). *)
+
+type t
+
+(** The healthy group. *)
+val none : t
+
+val is_none : t -> bool
+
+(** [create ?dead_arrays ?dead_nodes ?dead_links ()] builds a static
+    fault set: [dead_arrays] are member indices, [dead_nodes] global
+    ranks, [dead_links] global-rank pairs that must both sit in one
+    member and be a link of its mesh (checked by {!validate}). *)
+val create :
+  ?dead_arrays:int list ->
+  ?dead_nodes:int list ->
+  ?dead_links:(int * int) list ->
+  unit ->
+  t
+
+(** [inject ~seed ~array_rate ~node_rate ~link_rate group] is the seeded
+    deterministic injection, drawing in a fixed order (arrays, then
+    global ranks ascending, then member links in member-ascending
+    canonical order) so dead sets are monotone in every rate, exactly
+    like {!Pim.Fault.inject}. Resurrection keeps the group solvable: if
+    every array would die the luckiest array survives, and within each
+    surviving array the luckiest rank is revived if node faults would
+    kill the whole member.
+    @raise Invalid_argument unless all rates are in [0, 1]. *)
+val inject :
+  seed:int ->
+  array_rate:float ->
+  node_rate:float ->
+  link_rate:float ->
+  Array_group.t ->
+  t
+
+val dead_arrays : t -> int list
+val array_dead : t -> int -> bool
+val n_dead_arrays : t -> int
+
+(** [node_fault t] is the group-global node/link failure set (dead
+    arrays {e not} folded in — see {!member_fault}). *)
+val node_fault : t -> Pim.Fault.t
+
+(** [kill_array t i] / [union a b] — persistent extension, as in
+    {!Pim.Fault}. *)
+val kill_array : t -> int -> t
+
+val union : t -> t -> t
+
+(** [member_fault t group m] lowers the group fault onto member [m]'s
+    local ranks: its share of the global node and link faults, as a
+    {!Pim.Fault.t} the member's {!Sched.Problem} session is opened over.
+    For a {e dead} array this is {!Pim.Fault.none} — dead arrays are
+    excluded at the group tier (assignment and DP masks), not by killing
+    every member rank, so the member problem stays constructible. *)
+val member_fault : t -> Array_group.t -> int -> Pim.Fault.t
+
+(** [rank_alive t group g] is [false] iff global rank [g] cannot host
+    data (its array is dead, or its node is). *)
+val rank_alive : t -> Array_group.t -> int -> bool
+
+(** [alive_members t group] lists member indices that are not dead and
+    still have at least one alive rank, ascending. *)
+val alive_members : t -> Array_group.t -> int list
+
+(** [validate t group] checks arrays/ranks are in range, every dead link
+    joins two ranks of one member that are mesh-adjacent there, and at
+    least one member survives with an alive rank.
+    @raise Invalid_argument otherwise. *)
+val validate : t -> Array_group.t -> unit
+
+val pp : Format.formatter -> t -> unit

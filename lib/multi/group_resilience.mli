@@ -1,0 +1,47 @@
+(** Reschedule-on-failure execution for multi-array groups.
+
+    The group-tier analogue of {!Sched.Resilience}: execute a planned
+    group schedule window by window while fault {e events} land mid-run
+    (typically whole-array deaths from {!Group_fault.inject}), and
+    account what is actually paid under the group metric.
+
+    At an event, every datum residing on a now-dead rank is {e evicted}
+    — moved, at the group distance (routers and fabric ports outlive the
+    compute, as in the single-array model) — and the remaining plan is
+    {e repaired}: each dead center is remapped, per window, to the
+    cheapest surviving global center for that (datum, window) (member
+    cross cost + member-local cost row). With [reschedule] (the
+    default), the suffix is additionally {e re-solved} — a fresh
+    {!Group_problem} over the remaining windows under the accumulated
+    fault, same algorithm — and each datum independently takes the
+    cheaper of {e repaired} and {e re-solved} continuation, both priced
+    by one routine (entry move from the datum's current position +
+    suffix references + suffix movement). Because the ride-out run
+    executes exactly the repaired continuation, rescheduling never pays
+    more than riding it out on any single-event run; with multiple
+    events the comparison is applied greedily at each event. *)
+
+type event = { window : int; fault : Group_fault.t }
+
+type report = {
+  algorithm : Sched.Scheduler.algorithm;
+  reschedule : bool;
+  planned_cost : int;  (** cost of the original plan, no faults *)
+  paid_cost : int;  (** what execution actually paid *)
+  evicted : int;  (** data moved off dead ranks/arrays *)
+  evicted_cost : int;  (** volume-weighted eviction movement *)
+  reschedules : int;  (** events where >= 1 datum took the re-solve *)
+}
+
+(** [run ?reschedule ?events gp algorithm] plans on [gp] (whose own
+    fault is the day-0 state) and executes through [events]. Events are
+    applied before their window runs; several events on one window are
+    unioned. Deterministic in the inputs.
+    @raise Invalid_argument on an out-of-range event window or an event
+    fault that leaves no member alive. *)
+val run :
+  ?reschedule:bool ->
+  ?events:event list ->
+  Group_problem.t ->
+  Sched.Scheduler.algorithm ->
+  report

@@ -30,6 +30,11 @@ let kill_node t rank =
   if node_dead t rank then t
   else { t with nodes = List.sort Int.compare (rank :: t.nodes) }
 
+let kill_nodes t ranks =
+  match List.filter (fun r -> not (node_dead t r)) ranks with
+  | [] -> t
+  | fresh -> { t with nodes = List.sort_uniq Int.compare (fresh @ t.nodes) }
+
 let kill_link t ~src ~dst =
   if link_dead t ~src ~dst then t
   else { t with links = List.sort compare (canon (src, dst) :: t.links) }

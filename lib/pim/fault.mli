@@ -56,6 +56,12 @@ val inject :
     element is a no-op. *)
 val kill_node : t -> int -> t
 
+(** [kill_nodes t ranks] kills a whole rank set at once — how a
+    {e whole-array} failure in a multi-array group ({!Multi.Group_fault})
+    lowers onto this model: an array is just a set of dead ranks.
+    Duplicates and already-dead ranks are ignored. *)
+val kill_nodes : t -> int list -> t
+
 val kill_link : t -> src:int -> dst:int -> t
 
 (** [union a b] fails everything failed in either. *)

@@ -4,10 +4,16 @@ type mesh_spec = { rows : int; cols : int; torus : bool }
 
 type fault_spec =
   | Fault_explicit of {
+      dead_arrays : int list;
       dead_nodes : int list;
       dead_links : (int * int) list;
     }
-  | Fault_seeded of { seed : int; node_rate : float; link_rate : float }
+  | Fault_seeded of {
+      seed : int;
+      array_rate : float;
+      node_rate : float;
+      link_rate : float;
+    }
 
 type instance = {
   workload : string;
@@ -15,6 +21,8 @@ type instance = {
   size : int;
   partition : string;
   mesh : mesh_spec;
+  arrays : string option;
+  inter_cost : int;
   unbounded : bool;
   kernel : Sched.Problem.kernel;
 }
@@ -131,6 +139,7 @@ let decode_fault fields =
           (Fault_seeded
              {
                seed = get_int f "seed" ~default:0;
+               array_rate = get_float f "array_rate" ~default:0.;
                node_rate = get_float f "node_rate" ~default:0.;
                link_rate = get_float f "link_rate" ~default:0.;
              })
@@ -138,6 +147,7 @@ let decode_fault fields =
         Some
           (Fault_explicit
              {
+               dead_arrays = get_int_list f "dead_arrays";
                dead_nodes = get_int_list f "dead_nodes";
                dead_links = get_pair_list f "dead_links";
              })
@@ -147,12 +157,16 @@ let decode_instance fields =
   let workload = get_string fields "workload" ~default:"1" in
   let size = get_int fields "size" ~default:8 in
   if size < 1 then reject "field \"size\" must be positive";
+  let inter_cost = get_int fields "inter_cost" ~default:10 in
+  if inter_cost < 1 then reject "field \"inter_cost\" must be >= 1";
   {
     workload;
     trace_text;
     size;
     partition = get_string fields "partition" ~default:"block-2d";
     mesh = decode_mesh fields;
+    arrays = get_opt_string fields "arrays";
+    inter_cost;
     unbounded = get_bool fields "unbounded" ~default:false;
     kernel = decode_kernel fields;
   }

@@ -9,9 +9,16 @@
       workload, or [trace] carries an inline {!Reftrace.Serial} v1 text;
       [mesh] is [{"rows":R,"cols":C,"torus":bool}]; [unbounded] lifts the
       paper's headroom-2 capacity; [algorithm] and [kernel] are the CLI
-      spellings; [fault] is either [{"dead_nodes":[...],
-      "dead_links":[[a,b],...]}] or [{"seed":s,"node_rate":f,
-      "link_rate":f}].
+      spellings; [fault] is either [{"dead_arrays":[...],
+      "dead_nodes":[...], "dead_links":[[a,b],...]}] or [{"seed":s,
+      "array_rate":f, "node_rate":f, "link_rate":f}]. An [arrays] group
+      spec ("2x2of8x8" or "8x8,4x4", {!Multi.Array_group.of_spec})
+      switches the instance to the multi-array tier: [mesh] is ignored
+      except that [torus] wraps the members, [inter_cost] prices a
+      fabric hop (default 10), inline traces reference {e global} ranks,
+      generated workloads are laid out on the group's virtual mesh, and
+      the [dead_arrays]/[array_rate] fault fields come alive (they are
+      rejected on single-mesh instances).
     - ["ping"] — liveness probe, returns the protocol version.
     - ["stats"] — server counters.
     - ["shutdown"] — acknowledge and stop the daemon after this batch.
@@ -19,7 +26,9 @@
     A solve response's [result] holds the algorithm name, the cost
     breakdown ([total]/[reference]/[movement]/[moves]) and [plan], the
     {!Sched.Schedule_serial} v1 text — byte-identical to what the
-    one-shot CLI writes with [--plan-out]. Failures come back as
+    one-shot CLI writes with [--plan-out]. Group solves add [arrays]
+    (member count) and [array_moves], and their [plan] is the
+    {!Multi.Group_serial} group-plan text. Failures come back as
     [{"id":..,"ok":false,"error":{"code","message","offset"?}}] with
     codes [parse-error], [bad-request], [over-budget] or [solve-error]. *)
 
@@ -29,10 +38,16 @@ type mesh_spec = { rows : int; cols : int; torus : bool }
 
 type fault_spec =
   | Fault_explicit of {
+      dead_arrays : int list;  (** member indices; group instances only *)
       dead_nodes : int list;
       dead_links : (int * int) list;
     }
-  | Fault_seeded of { seed : int; node_rate : float; link_rate : float }
+  | Fault_seeded of {
+      seed : int;
+      array_rate : float;  (** whole-array rate; group instances only *)
+      node_rate : float;
+      link_rate : float;
+    }
 
 type instance = {
   workload : string;  (** CLI workload spelling; ignored with [trace_text] *)
@@ -40,6 +55,8 @@ type instance = {
   size : int;
   partition : string;
   mesh : mesh_spec;
+  arrays : string option;  (** {!Multi.Array_group.of_spec} group spec *)
+  inter_cost : int;  (** fabric hop price; group instances only *)
   unbounded : bool;
   kernel : Sched.Problem.kernel;
 }

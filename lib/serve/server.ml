@@ -141,24 +141,126 @@ let find_context t (spec : Protocol.instance) =
 
 let build_fault mesh = function
   | None -> Pim.Fault.none
-  | Some (Protocol.Fault_explicit { dead_nodes; dead_links }) -> (
+  | Some (Protocol.Fault_explicit { dead_arrays; dead_nodes; dead_links }) -> (
+      if dead_arrays <> [] then
+        Protocol.reject "\"dead_arrays\" requires an \"arrays\" group instance";
       match Pim.Fault.create ~dead_nodes ~dead_links () with
       | f -> f
       | exception Invalid_argument m -> Protocol.reject m)
-  | Some (Protocol.Fault_seeded { seed; node_rate; link_rate }) -> (
+  | Some (Protocol.Fault_seeded { seed; array_rate; node_rate; link_rate }) -> (
+      if array_rate <> 0. then
+        Protocol.reject "\"array_rate\" requires an \"arrays\" group instance";
       match Pim.Fault.inject ~seed ~node_rate ~link_rate mesh with
       | f -> f
       | exception Invalid_argument m -> Protocol.reject m)
 
 (* ---------------------------------------------------------------- *)
+(* Group instances (the multi-array tier)                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Group problems are request-scoped, not context-cached: per-member
+   sessions own mutable arenas that one batch wave could race on, and
+   the group tier's construction cost is dwarfed by its solves. The
+   line-keyed response memo still absorbs exact repeats. *)
+
+let build_group (spec : Protocol.instance) arrays =
+  match
+    Multi.Array_group.of_spec ~inter_cost:spec.inter_cost
+      ~torus:spec.mesh.torus arrays
+  with
+  | g -> g
+  | exception Invalid_argument m -> Protocol.reject m
+
+let build_group_trace (spec : Protocol.instance) group =
+  match spec.trace_text with
+  | Some text -> (
+      match Reftrace.Serial.of_string text with
+      | t -> (
+          match Multi.Array_group.validate_trace group t with
+          | () -> t
+          | exception Invalid_argument m -> Protocol.reject m)
+      | exception Failure m ->
+          Protocol.reject (Printf.sprintf "inline trace: %s" m))
+  | None ->
+      (* generated workloads are laid out on the virtual mesh (the
+         members tiled onto the interconnect) and remapped to global
+         ranks; a 1-member group's virtual mesh is the member itself *)
+      let vm = Multi.Array_group.virtual_mesh group in
+      Multi.Array_group.remap_virtual_trace group (build_trace spec vm)
+
+let group_policy trace group (spec : Protocol.instance) =
+  if spec.unbounded then Sched.Problem.Unbounded
+  else
+    (* same headroom-2 rule, over the group's aggregate processor count *)
+    Sched.Problem.Bounded
+      (Pim.Memory.capacity_for
+         ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+         ~mesh:(Pim.Mesh.create ~rows:1 ~cols:(Multi.Array_group.size group))
+         ~headroom:2)
+
+let build_group_fault group = function
+  | None -> Multi.Group_fault.none
+  | Some (Protocol.Fault_explicit { dead_arrays; dead_nodes; dead_links }) -> (
+      let f =
+        Multi.Group_fault.create ~dead_arrays ~dead_nodes ~dead_links ()
+      in
+      match Multi.Group_fault.validate f group with
+      | () -> f
+      | exception Invalid_argument m -> Protocol.reject m)
+  | Some (Protocol.Fault_seeded { seed; array_rate; node_rate; link_rate })
+    -> (
+      match
+        Multi.Group_fault.inject ~seed ~array_rate ~node_rate ~link_rate group
+      with
+      | f -> f
+      | exception Invalid_argument m -> Protocol.reject m)
+
+let build_group_problem t (instance : Protocol.instance) arrays fault_spec =
+  let group = build_group instance arrays in
+  let trace = build_group_trace instance group in
+  let policy = group_policy trace group instance in
+  let fault = build_group_fault group fault_spec in
+  match
+    Multi.Group_problem.create ~policy ~jobs:t.config.jobs
+      ~kernel:instance.Protocol.kernel ~fault group trace
+  with
+  | gp -> gp
+  | exception Invalid_argument m -> Protocol.reject m
+
+let solve_group id gp algorithm =
+  let algorithm =
+    match Sched.Scheduler.of_name algorithm with
+    | a -> a
+    | exception Invalid_argument m -> Protocol.reject m
+  in
+  match Multi.Group_solver.evaluate gp algorithm with
+  | plan, breakdown ->
+      Protocol.ok_response id
+        [
+          ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+          ( "arrays",
+            Obs.Json.Int
+              (Multi.Array_group.n_members (Multi.Group_problem.group gp)) );
+          ("total", Obs.Json.Int breakdown.Multi.Group_schedule.total);
+          ("reference", Obs.Json.Int breakdown.Multi.Group_schedule.reference);
+          ("movement", Obs.Json.Int breakdown.Multi.Group_schedule.movement);
+          ("moves", Obs.Json.Int (Multi.Group_schedule.moves plan));
+          ( "array_moves",
+            Obs.Json.Int (Multi.Group_schedule.array_moves plan) );
+          ("plan", Obs.Json.String (Multi.Group_serial.to_string plan));
+        ]
+  | exception Invalid_argument m ->
+      raise
+        (Protocol.Reject { code = "solve-error"; message = m; offset = None })
+
+(* ---------------------------------------------------------------- *)
 (* Solving                                                           *)
 (* ---------------------------------------------------------------- *)
 
-let admit t ctx =
+let admit_bytes t need =
   match t.config.max_arena_bytes with
   | None -> ()
   | Some budget ->
-      let need = ctx.Sched.Context.max_arena_bytes in
       if need > budget then
         raise
           (Protocol.Reject
@@ -169,6 +271,8 @@ let admit t ctx =
                    "instance needs %d arena bytes, budget is %d" need budget;
                offset = None;
              })
+
+let admit t ctx = admit_bytes t ctx.Sched.Context.max_arena_bytes
 
 let solve t id (instance : Protocol.instance) algorithm fault_spec =
   let algorithm =
@@ -230,9 +334,7 @@ type prepared =
   | Todo of {
       line : string;
       id : Obs.Json.t;
-      instance : Protocol.instance;
-      algorithm : string;
-      fault : Protocol.fault_spec option;
+      work : unit -> string;  (** the pure per-request solve *)
     }
 
 let prepare t line =
@@ -262,10 +364,22 @@ let prepare t line =
               hit "serve.memo_hits";
               Done response
           | None -> (
-              (* context resolution (and its possible rejection) is part
-                 of prepare so the cache has a single writer *)
-              match admit t (find_context t instance) with
-              | () -> Todo { line; id; instance; algorithm; fault }
+              (* context resolution, group construction and admission
+                 (with their possible rejections) are part of prepare so
+                 server state has a single writer; only the pure solve
+                 closure escapes onto the parallel wave *)
+              match
+                match instance.Protocol.arrays with
+                | Some arrays ->
+                    let gp = build_group_problem t instance arrays fault in
+                    admit_bytes t (Multi.Group_problem.max_arena_bytes gp);
+                    hit "serve.group_requests";
+                    fun () -> solve_group id gp algorithm
+                | None ->
+                    admit t (find_context t instance);
+                    fun () -> solve t id instance algorithm fault
+              with
+              | work -> Todo { line; id; work }
               | exception Protocol.Reject e ->
                   (if e.Protocol.code = "over-budget" then begin
                      t.rejected <- t.rejected + 1;
@@ -281,11 +395,11 @@ let now () = Unix.gettimeofday ()
 
 type outcome = Passthrough | Solved of string | Failed
 
-let run_prepared t = function
+let run_prepared _t = function
   | Done response -> (response, 0., Passthrough)
-  | Todo { line; id; instance; algorithm; fault } -> (
+  | Todo { line; id; work } -> (
       let t0 = now () in
-      match solve t id instance algorithm fault with
+      match work () with
       | response -> (response, now () -. t0, Solved line)
       | exception Protocol.Reject e ->
           (Protocol.error_response id e, now () -. t0, Failed))
