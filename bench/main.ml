@@ -559,7 +559,7 @@ let engine_scaling () =
     ignore (Sched.Bounds.lower_bound_in problem)
   in
   let time f =
-    let reps = 5 in
+    let reps = if quick then 3 else 5 in
     let best = ref infinity in
     for _ = 1 to reps do
       let t0 = Unix.gettimeofday () in
@@ -571,16 +571,48 @@ let engine_scaling () =
   let baseline = time legacy in
   Printf.printf "%-28s %10.1f ms  %8s\n" "legacy (context per run)"
     (baseline *. 1e3) "1.00x";
+  (* jobs=4 vs jobs=1 is the CI gate (>= 0.95x, serve_bench retry idiom):
+     the engine claims chunks of ~n/(k*8) indices, so on a host whose
+     effective pool is one domain the two settings run identical work and
+     differ only by timer noise, while a real pool must not regress *)
+  let t1 = ref (time (engine 1)) and t4 = ref (time (engine 4)) in
+  let t2 = time (engine 2) in
+  let attempts = ref 1 in
+  while (!t1 < !t4 *. 0.95) && !attempts < 8 do
+    incr attempts;
+    t1 := Float.min !t1 (time (engine 1));
+    t4 := Float.min !t4 (time (engine 4))
+  done;
   List.iter
-    (fun jobs ->
-      let s = time (engine jobs) in
+    (fun (jobs, s) ->
       Printf.printf "%-28s %10.1f ms  %7.2fx\n"
         (Printf.sprintf "shared Problem.t, jobs=%d" jobs)
         (s *. 1e3) (baseline /. s))
-    [ 1; 2; 4 ];
-  print_endline
-    "(speedup vs. the legacy path: the shared context computes each\n\
-    \ (datum, window) cost vector once for all algorithms and the bound)"
+    [ (1, !t1); (2, t2); (4, !t4) ];
+  Printf.printf
+    "jobs=4/jobs=1 %.2fx (best of %d attempt(s))\n\
+     (speedup vs. the legacy path: the shared context computes each\n\
+    \ (datum, window) cost vector once for all algorithms and the bound)\n"
+    (!t1 /. !t4) !attempts;
+  if !t1 < !t4 *. 0.95 then begin
+    Printf.eprintf
+      "FAIL: engine at jobs=4 fell behind jobs=1 on LU 16x16 (%.1f ms vs \
+       %.1f ms)\n"
+      (!t4 *. 1e3) (!t1 *. 1e3);
+    exit 1
+  end;
+  Obs.Json.Obj
+    [
+      ("workload", Obs.Json.String "lu-16x16");
+      ("mesh", Obs.Json.String "4x4");
+      ("legacy_ms", Obs.Json.Float (baseline *. 1e3));
+      ("jobs1_ms", Obs.Json.Float (!t1 *. 1e3));
+      ("jobs2_ms", Obs.Json.Float (t2 *. 1e3));
+      ("jobs4_ms", Obs.Json.Float (!t4 *. 1e3));
+      ("speedup_vs_legacy", Obs.Json.Float (baseline /. !t1));
+      ("jobs4_vs_jobs1", Obs.Json.Float (!t1 /. !t4));
+      ("attempts", Obs.Json.Int !attempts);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Kernel dimension: separable vs naive cost-vector construction       *)
@@ -1032,6 +1064,202 @@ let multi_bench () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-solve (warm sessions, dirty rows, batched fills)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Three facts about the incremental core on LU 16x16, the first two CI
+   gates on both topologies (the process exits nonzero on regression):
+
+   - warm re-solve: patching a running session to a node fault
+     ([Problem.with_fault_patch] + [prefetch_all]) must prepare in
+     <= 0.5x the wall of a cold [of_context] + [prefetch_all] under the
+     same fault — a pure node fault reprices no slab row, so the patch
+     carries every filled byte over. The patched session's gomcds plan
+     is checked byte-identical to the cold session's first (a faster
+     wrong answer proves nothing).
+   - batched fills: assembling each window's slab rows through
+     [Cost.fill_window_batch] (axis-cost and prefix-sum scratch shared
+     across the window) must not lose to the per-row
+     [Cost.fill_slab_of_marginals] loop it replaced.
+   - window edit (info rows): [Problem.invalidate] after an in-place
+     [Window.add] edit, then re-prefetch. Not wall-gated — the refill
+     set depends on the edit — but the edited session's plan is checked
+     byte-identical to a cold session over the same edited context. *)
+let incremental_bench_on ~topology kmesh =
+  section
+    (Printf.sprintf "Incremental re-solve (LU 16x16 on 16x16 %s)" topology);
+  let trace = Workloads.Lu.trace ~n:16 kmesh in
+  let n_data = Reftrace.Data_space.size (Reftrace.Trace.space trace) in
+  let capacity =
+    Pim.Memory.capacity_for ~data_count:n_data ~mesh:kmesh ~headroom:2
+  in
+  let policy = Sched.Problem.Bounded capacity in
+  let ctx = Sched.Context.create ~policy kmesh trace in
+  let fault = Pim.Fault.create ~dead_nodes:[ 17; 100; 203 ] () in
+  let reps = if quick then 3 else 5 in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let plan_of problem =
+    Sched.Schedule_serial.to_string
+      (Sched.Scheduler.solve problem Sched.Scheduler.Gomcds)
+  in
+  (* byte-identity first: the warm session must answer like the cold one *)
+  let base = Sched.Problem.of_context ctx in
+  Sched.Problem.prefetch_all base;
+  let cold_session = Sched.Problem.of_context ~fault ctx in
+  if plan_of (Sched.Problem.with_fault_patch base fault) <> plan_of cold_session
+  then begin
+    Printf.eprintf
+      "FAIL: patched warm session plan differs from cold rebuild (%s)\n"
+      topology;
+    exit 1
+  end;
+  let cold () =
+    Sched.Problem.prefetch_all (Sched.Problem.of_context ~fault ctx)
+  in
+  let warm () =
+    Sched.Problem.prefetch_all (Sched.Problem.with_fault_patch base fault)
+  in
+  let cold_t = ref (time cold) and warm_t = ref (time warm) in
+  let attempts = ref 1 in
+  while !warm_t > 0.5 *. !cold_t && !attempts < 8 do
+    incr attempts;
+    cold_t := Float.min !cold_t (time cold);
+    warm_t := Float.min !warm_t (time warm)
+  done;
+  Printf.printf
+    "%-34s %10.3f ms\n%-34s %10.3f ms\n%-34s %9.1fx  (best of %d attempt(s))\n"
+    "cold of_context + prefetch_all" (!cold_t *. 1e3)
+    "warm with_fault_patch + prefetch" (!warm_t *. 1e3) "warm speedup"
+    (!cold_t /. !warm_t) !attempts;
+  if !warm_t > 0.5 *. !cold_t then begin
+    Printf.eprintf
+      "FAIL: warm fault re-solve over 0.5x the cold session on LU 16x16 %s \
+       (%.3f ms vs %.3f ms)\n"
+      topology (!warm_t *. 1e3) (!cold_t *. 1e3);
+    exit 1
+  end;
+  (* window edit: private trace so the shared [ctx] stays pristine *)
+  let edit_trace = Workloads.Lu.trace ~n:16 kmesh in
+  let edit_ctx = Sched.Context.create ~policy kmesh edit_trace in
+  let session = Sched.Problem.of_context edit_ctx in
+  Sched.Problem.prefetch_all session;
+  Reftrace.Window.add
+    (Reftrace.Trace.window edit_trace 3)
+    ~data:0 ~proc:5 ~count:2;
+  Sched.Problem.invalidate session ~window:3;
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  Sched.Problem.prefetch_all session;
+  let edit_warm = Unix.gettimeofday () -. t0 in
+  let edit_cold =
+    time (fun () ->
+        Sched.Problem.prefetch_all (Sched.Problem.of_context edit_ctx))
+  in
+  if plan_of session <> plan_of (Sched.Problem.of_context edit_ctx) then begin
+    Printf.eprintf
+      "FAIL: invalidated session plan differs from cold rebuild over the \
+       edited context (%s)\n"
+      topology;
+    exit 1
+  end;
+  Printf.printf "%-34s %10.3f ms\n%-34s %10.3f ms\n"
+    "edit: cold rebuild + prefetch" (edit_cold *. 1e3)
+    "edit: invalidate + re-prefetch" (edit_warm *. 1e3);
+  (* batch vs per-row fill over the same marginals and slab *)
+  let windows = Reftrace.Trace.windows trace in
+  let cols = Pim.Mesh.cols kmesh
+  and rows = Pim.Mesh.rows kmesh
+  and wrap = Pim.Mesh.wraps kmesh
+  and size = Pim.Mesh.size kmesh in
+  let batches =
+    List.map
+      (fun w ->
+        List.map
+          (fun data -> Reftrace.Window.marginals w ~data ~cols ~rows)
+          (Reftrace.Window.referenced_data w))
+      windows
+  in
+  let n_rows = List.fold_left (fun a b -> a + List.length b) 0 batches in
+  let slab =
+    Bigarray.Array1.create Bigarray.Int Bigarray.C_layout (n_rows * size)
+  in
+  let per_row () =
+    let off = ref 0 in
+    List.iter
+      (List.iter (fun m ->
+           Sched.Cost.fill_slab_of_marginals ~wrap ~cols ~rows m ~dst:slab
+             ~off:!off;
+           off := !off + size))
+      batches
+  in
+  let batched () =
+    let off = ref 0 in
+    List.iter
+      (fun ms ->
+        let items =
+          List.map
+            (fun m ->
+              let o = !off in
+              off := o + size;
+              (m, (slab, o)))
+            ms
+        in
+        Sched.Cost.fill_window_batch ~wrap ~cols ~rows items)
+      batches
+  in
+  let row_t = ref (time per_row) and batch_t = ref (time batched) in
+  let fill_attempts = ref 1 in
+  while !batch_t > !row_t && !fill_attempts < 8 do
+    incr fill_attempts;
+    row_t := Float.min !row_t (time per_row);
+    batch_t := Float.min !batch_t (time batched)
+  done;
+  Printf.printf
+    "%-34s %10.3f ms\n%-34s %10.3f ms\n%-34s %9.2fx  (%d rows, best of %d \
+     attempt(s))\n"
+    "fill, per-row" (!row_t *. 1e3) "fill, window batch" (!batch_t *. 1e3)
+    "batch speedup" (!row_t /. !batch_t) n_rows !fill_attempts;
+  if !batch_t > !row_t then begin
+    Printf.eprintf
+      "FAIL: window-batched fill slower than per-row fill on LU 16x16 %s \
+       (%.3f ms vs %.3f ms)\n"
+      topology (!batch_t *. 1e3) (!row_t *. 1e3);
+    exit 1
+  end;
+  Obs.Json.Obj
+    [
+      ("workload", Obs.Json.String "lu-16x16");
+      ("mesh", Obs.Json.String "16x16");
+      ("topology", Obs.Json.String topology);
+      ("cold_ms", Obs.Json.Float (!cold_t *. 1e3));
+      ("warm_ms", Obs.Json.Float (!warm_t *. 1e3));
+      ("warm_speedup", Obs.Json.Float (!cold_t /. !warm_t));
+      ("edit_cold_ms", Obs.Json.Float (edit_cold *. 1e3));
+      ("edit_warm_ms", Obs.Json.Float (edit_warm *. 1e3));
+      ("fill_rows", Obs.Json.Int n_rows);
+      ("fill_per_row_ms", Obs.Json.Float (!row_t *. 1e3));
+      ("fill_batch_ms", Obs.Json.Float (!batch_t *. 1e3));
+      ("fill_batch_speedup", Obs.Json.Float (!row_t /. !batch_t));
+    ]
+
+let incremental_bench () =
+  (* bind in order: list elements evaluate right-to-left in OCaml *)
+  let mesh_row = incremental_bench_on ~topology:"mesh" (Pim.Mesh.square 16) in
+  let torus_row =
+    incremental_bench_on ~topology:"torus" (Pim.Mesh.square ~wrap:true 16)
+  in
+  Obs.Json.List [ mesh_row; torus_row ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (BENCH_<rev>.json)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1052,7 +1280,7 @@ let git_rev () =
         | _ -> "local"
       with _ -> "local")
 
-let json_snapshot ~kernel ~serve ~multi () =
+let json_snapshot ~kernel ~serve ~multi ~engine ~incremental () =
   section "Machine-readable snapshot";
   let n = if quick then 8 else 16 in
   let reps = if quick then 1 else 3 in
@@ -1148,6 +1376,8 @@ let json_snapshot ~kernel ~serve ~multi () =
          ("kernel_bench", kernel);
          ("serve_bench", serve);
          ("multi_bench", multi);
+         ("engine_scaling", engine);
+         ("incremental_bench", incremental);
          ("entries", Obs.Json.List (List.rev !entries));
        ]);
   Printf.printf "wrote %d entries to %s\n" (List.length !entries) path
@@ -1158,10 +1388,12 @@ let () =
      Data Scheduling on Processor-In-Memory Arrays\" (IPPS 1998)";
   if quick then begin
     figure1 ();
+    let engine = engine_scaling () in
     let kernel = kernel_bench () in
     let serve = serve_bench () in
     let multi = multi_bench () in
-    json_snapshot ~kernel ~serve ~multi ();
+    let incremental = incremental_bench () in
+    json_snapshot ~kernel ~serve ~multi ~engine ~incremental ();
     print_endline "\nQuick benches complete."
   end
   else begin
@@ -1180,10 +1412,11 @@ let () =
     ablation_partition ();
     congestion ();
     timing ();
-    engine_scaling ();
+    let engine = engine_scaling () in
     let kernel = kernel_bench () in
     let serve = serve_bench () in
     let multi = multi_bench () in
-    json_snapshot ~kernel ~serve ~multi ();
+    let incremental = incremental_bench () in
+    json_snapshot ~kernel ~serve ~multi ~engine ~incremental ();
     print_endline "\nAll benches complete."
   end

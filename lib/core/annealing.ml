@@ -45,6 +45,16 @@ let anneal ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial problem =
   (* every move probes two arena entries: fill the whole arena on the pool
      once, then the search loop only reads *)
   Problem.prefetch_all problem;
+  (* window-major slab views over the freshly filled arena: the delta
+     evaluator's two reads per probe become direct bigarray loads with no
+     per-probe fill check or arena dispatch *)
+  let views =
+    Array.init n_windows (fun w -> Problem.window_rows problem ~window:w)
+  in
+  let entry w d rank =
+    let slabs, offs = views.(w) in
+    slabs.(d).{offs.(d) + rank}
+  in
   let volume = Array.init n_data (Reftrace.Data_space.volume_of space) in
   let loads = Array.make_matrix n_windows m 0 in
   for w = 0 to n_windows - 1 do
@@ -59,10 +69,7 @@ let anneal ?(seed = 0xBEEF) ?(iterations = 50_000) ?initial problem =
      reference-cost diffs are two arena reads ([Problem.cost_entry]
      equals [Cost.reference_cost] entry-for-entry) *)
   let delta w d r r' =
-    let refs =
-      Problem.cost_entry problem ~window:w ~data:d r'
-      - Problem.cost_entry problem ~window:w ~data:d r
-    in
+    let refs = entry w d r' - entry w d r in
     let edge w' =
       let other = Schedule.center sched ~window:w' ~data:d in
       dist r' other - dist r other

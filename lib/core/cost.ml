@@ -80,22 +80,21 @@ let axis_dist ~wrap ~extent a b =
 
 (* Linear axis: cost(0) = Σ j·m(j); stepping the center right by one adds
    one hop for every unit of weight at or left of the old center and
-   removes one for every unit strictly right of it. *)
-let axis_cost_line m =
+   removes one for every unit strictly right of it. Writes every entry of
+   [dst] (length = extent), so callers may hand it stale scratch. *)
+let axis_cost_line_into m ~dst =
   let e = Array.length m in
-  let cost = Array.make e 0 in
   let total = ref 0 and c0 = ref 0 in
   for j = 0 to e - 1 do
     total := !total + m.(j);
     c0 := !c0 + (j * m.(j))
   done;
-  cost.(0) <- !c0;
+  dst.(0) <- !c0;
   let left = ref 0 in
   for c = 0 to e - 2 do
     left := !left + m.(c);
-    cost.(c + 1) <- cost.(c) + (2 * !left) - !total
-  done;
-  cost
+    dst.(c + 1) <- dst.(c) + (2 * !left) - !total
+  done
 
 (* Circular axis: every point sits either on the forward arc (offsets
    1 .. ⌊E/2⌋ from the center) or the backward arc (offsets
@@ -103,20 +102,20 @@ let axis_cost_line m =
    the forward side, matching min(o, E-o). Prefix sums over the doubled
    ring make both arc sums O(1) per center:
      forward(c)  = Σ_{i=c+1..c+hf} (i-c)·m(i mod E)
-     backward(c) = Σ_{i=c+E-hb..c+E-1} (c+E-i)·m(i mod E) *)
-let axis_cost_circle m =
+     backward(c) = Σ_{i=c+E-hb..c+E-1} (c+E-i)·m(i mod E)
+   [p] and [q] are prefix-sum scratch of length ≥ 2·extent + 1 whose
+   index 0 must be 0 — the loop rewrites entries 1 .. 2·extent and never
+   touches index 0, so zero-initialized scratch stays reusable. *)
+let axis_cost_circle_into m ~p ~q ~dst =
   let e = Array.length m in
-  if e = 1 then [| 0 |]
+  if e = 1 then dst.(0) <- 0
   else begin
     let hf = e / 2 and hb = (e - 1) / 2 in
-    let p = Array.make ((2 * e) + 1) 0 in
-    let q = Array.make ((2 * e) + 1) 0 in
     for i = 0 to (2 * e) - 1 do
       let w = m.(if i < e then i else i - e) in
       p.(i + 1) <- p.(i) + w;
       q.(i + 1) <- q.(i) + (i * w)
     done;
-    let cost = Array.make e 0 in
     for c = 0 to e - 1 do
       let fwd =
         q.(c + hf + 1) - q.(c + 1) - (c * (p.(c + hf + 1) - p.(c + 1)))
@@ -125,10 +124,21 @@ let axis_cost_circle m =
         ((c + e) * (p.(c + e) - p.(c + e - hb)))
         - (q.(c + e) - q.(c + e - hb))
       in
-      cost.(c) <- fwd + bwd
-    done;
-    cost
+      dst.(c) <- fwd + bwd
+    done
   end
+
+let axis_cost_circle m =
+  let e = Array.length m in
+  let dst = Array.make e 0 in
+  let p = Array.make ((2 * e) + 1) 0 and q = Array.make ((2 * e) + 1) 0 in
+  axis_cost_circle_into m ~p ~q ~dst;
+  dst
+
+let axis_cost_line m =
+  let dst = Array.make (Array.length m) 0 in
+  axis_cost_line_into m ~dst;
+  dst
 
 let axis_cost ~wrap m = if wrap then axis_cost_circle m else axis_cost_line m
 
@@ -157,6 +167,46 @@ let fill_slab_of_marginals ~wrap ~cols ~rows (mx, my)
       dst.{r + x} <- base + cx.(x)
     done
   done
+
+(* One marginals pass per window: every (marginals, slab row) pair of the
+   batch is assembled through the same axis-cost and prefix-sum scratch,
+   so a window's worth of rows costs one set of allocations instead of
+   four short-lived arrays per row. Counts one [`Separable] build per row
+   — the per-row accounting is what the pinned counter tests and the
+   marginals cache both key on — plus one [cost.batch_fills] per
+   non-empty batch. *)
+let fill_window_batch ~wrap ~cols ~rows items =
+  match items with
+  | [] -> ()
+  | _ :: _ ->
+      if !Obs.enabled then Obs.Metrics.incr "cost.batch_fills";
+      let cx = Array.make cols 0 and cy = Array.make rows 0 in
+      let px, qx, py, qy =
+        if wrap then
+          ( Array.make ((2 * cols) + 1) 0,
+            Array.make ((2 * cols) + 1) 0,
+            Array.make ((2 * rows) + 1) 0,
+            Array.make ((2 * rows) + 1) 0 )
+        else ([||], [||], [||], [||])
+      in
+      List.iter
+        (fun ((mx, my), ((dst : Pathgraph.Layered.buffer), off)) ->
+          count_build `Separable;
+          if wrap then begin
+            axis_cost_circle_into mx ~p:px ~q:qx ~dst:cx;
+            axis_cost_circle_into my ~p:py ~q:qy ~dst:cy
+          end
+          else begin
+            axis_cost_line_into mx ~dst:cx;
+            axis_cost_line_into my ~dst:cy
+          end;
+          for y = 0 to rows - 1 do
+            let base = cy.(y) and r = off + (y * cols) in
+            for x = 0 to cols - 1 do
+              dst.{r + x} <- base + cx.(x)
+            done
+          done)
+        items
 
 let vector_of_marginals ~wrap ~cols ~rows m =
   let v = Array.make (cols * rows) 0 in

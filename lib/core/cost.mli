@@ -82,6 +82,20 @@ val fill_slab_of_marginals :
   off:int ->
   unit
 
+(** [fill_window_batch ~wrap ~cols ~rows items] assembles one slab row per
+    [(marginals, (slab, offset))] pair, sharing the axis-cost and
+    prefix-sum scratch across the whole batch — the per-window fill
+    {!Sched.Problem.prefetch_all} batches all of a window's referenced
+    data through. Counts one separable build per row (same accounting as
+    {!fill_slab_of_marginals}) and one [cost.batch_fills] metric per
+    non-empty batch. *)
+val fill_window_batch :
+  wrap:bool ->
+  cols:int ->
+  rows:int ->
+  ((int array * int array) * (Pathgraph.Layered.buffer * int)) list ->
+  unit
+
 (** [argmin_of_marginals ~wrap ~cols ~rows m] is the vector-free fast path
     of Definition 4: the minimum-cost center and its cost, computed
     directly from the axis marginals in O(cols + rows) without assembling

@@ -8,18 +8,26 @@ let default_jobs () = Domain.recommended_domain_count ()
    spawn, so fanning many small batches out — the cache-fill pattern of
    [Problem] — stays cheap.
 
-   A job is a shared index counter: the submitting domain and up to
-   [jobs - 1] helpers race to claim indices, so the submitter alone makes
-   progress even if every helper is busy or the machine has one core.
-   [slots] bounds helper participation to the job's own [jobs] budget no
-   matter how large the pool has grown. Body exceptions are recorded
-   (first one wins) and re-raised by the submitter once every index has
-   completed, so no work is left in flight when [run_pool] returns. *)
+   A job is a shared chunk counter: the submitting domain and up to
+   [jobs - 1] helpers race to claim chunks of consecutive indices, so the
+   submitter alone makes progress even if every helper is busy or the
+   machine has one core. Claiming by chunk instead of by single index
+   amortizes the atomic round-trip (and its cache-line bounce) over
+   [chunk] bodies — at fine grains (a 16×16 window-row fill is a few µs)
+   per-index claiming made jobs=4 no faster than jobs=1. The chunk size
+   targets ~8 chunks per worker so tail imbalance stays bounded while
+   claim traffic drops by the chunk factor. [slots] bounds helper
+   participation to the job's own [jobs] budget no matter how large the
+   pool has grown. Body exceptions are recorded (first one wins, the
+   remaining indices still run) and re-raised by the submitter once every
+   index has completed, so no work is left in flight when [run_pool]
+   returns. *)
 
 type job = {
   n : int;
+  chunk : int; (* indices per claim *)
   body : int -> unit;
-  next : int Atomic.t; (* next index to claim *)
+  next : int Atomic.t; (* next chunk to claim *)
   completed : int Atomic.t; (* indices whose body has returned *)
   slots : int Atomic.t; (* remaining helper seats *)
   failed : exn option Atomic.t;
@@ -44,16 +52,19 @@ let run_job job =
   let claimed = ref 0 in
   let t_begin = if instrument then Obs.now_us () else 0. in
   let rec go () =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.n then begin
-      incr claimed;
-      let t0 = if instrument then Obs.now_us () else 0. in
-      (try job.body i
-       with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
-      if instrument then
-        Obs.Metrics.observe "engine.task_us"
-          (int_of_float (Obs.now_us () -. t0));
-      Atomic.incr job.completed;
+    let lo = Atomic.fetch_and_add job.next 1 * job.chunk in
+    if lo < job.n then begin
+      let hi = min job.n (lo + job.chunk) in
+      claimed := !claimed + (hi - lo);
+      for i = lo to hi - 1 do
+        let t0 = if instrument then Obs.now_us () else 0. in
+        (try job.body i
+         with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+        if instrument then
+          Obs.Metrics.observe "engine.task_us"
+            (int_of_float (Obs.now_us () -. t0))
+      done;
+      ignore (Atomic.fetch_and_add job.completed (hi - lo));
       go ()
     end
   in
@@ -114,13 +125,19 @@ let run_pool ~jobs n body =
       body i
     done
   else begin
+    (* ~8 chunks per worker: coarse enough to amortize the claim, fine
+       enough that a straggler chunk costs at most ~1/8 of a worker's
+       share *)
+    let chunk = max 1 (n / (k * 8)) in
     if !Obs.enabled then begin
       Obs.Metrics.incr "engine.batches";
-      Obs.Metrics.add "engine.tasks" n
+      Obs.Metrics.add "engine.tasks" n;
+      Obs.Metrics.observe "engine.chunk_size" chunk
     end;
     let job =
       {
         n;
+        chunk;
         body;
         next = Atomic.make 0;
         completed = Atomic.make 0;

@@ -10,10 +10,13 @@
     interleaving, and callers that merge results serially (capacity
     allocation, tie-breaking ranks) see exactly the serial order.
 
-    Work is distributed by an atomic counter, so uneven per-index cost
-    (data referenced in many vs few windows) balances automatically.
-    Helper domains are spawned once and reused across calls (the pool
-    lives until process exit), so fanning out many small batches — the
+    Work is distributed by an atomic counter claiming {e chunks} of
+    consecutive indices (sized for ~8 chunks per worker), so uneven
+    per-index cost (data referenced in many vs few windows) balances
+    automatically while fine-grained bodies — a single window-row fill is
+    a few µs at 16×16 — do not drown in per-index claim traffic. Helper
+    domains are spawned once and reused across calls (the pool lives
+    until process exit), so fanning out many small batches — the
     {!Problem} cache-fill pattern — does not pay a spawn per call.
 
     [f] must not mutate state shared between indices. Writing to

@@ -367,6 +367,14 @@ let desired_trajectory ~n_windows groups =
 let run_with_partitions problem ~partition_of =
   let n_data = Problem.n_data problem in
   let n_windows = Problem.n_windows problem in
+  (* The vector-pricing paths (degraded context, [`Naive] kernel) read
+     whole arena rows per datum; fill them window-major on the pool up
+     front so the per-datum partition tasks below only read. The healthy
+     separable path prices from marginals alone and never fills a row. *)
+  if
+    (not (Pim.Fault.is_none (Problem.fault problem)))
+    || Problem.kernel problem = `Naive
+  then Problem.prefetch_all problem;
   (* parallel phase: each datum's partition (and the cost vectors it pulls
      in) is independent of every other datum's *)
   let desired =
@@ -432,6 +440,8 @@ let schedule ?(centers = `Local) problem =
       groups problem ~data ~centers)
 
 let optimal_schedule problem =
+  (* the exact DP prices from full cost vectors under every kernel *)
+  Problem.prefetch_all problem;
   run_with_partitions problem ~partition_of:(fun ~data ->
       optimal_groups problem ~data)
 

@@ -40,6 +40,11 @@ let schedule ?(theta = 2.) ?initial problem =
   for w = 0 to n_windows - 1 do
     let window = Problem.window problem w in
     if w > 0 then begin
+      (* window-major view: the stay/go probes for every datum of this
+         window read one batched row set instead of paying a cost_entry
+         dispatch (arena lookup + fill check) per probe *)
+      let slabs, offs = Problem.window_rows problem ~window:w in
+      let entry data rank = slabs.(data).{offs.(data) + rank} in
       (* one fresh memory per window, pre-filled with the carried data *)
       let memory = Problem.fresh_memory problem in
       Array.iter
@@ -50,7 +55,7 @@ let schedule ?(theta = 2.) ?initial problem =
       List.iter
         (fun data ->
           let here = current.(data) in
-          let stay = Problem.cost_entry problem ~window:w ~data here in
+          let stay = entry data here in
           Pim.Memory.release memory here;
           let best =
             if unbounded then
@@ -64,7 +69,7 @@ let schedule ?(theta = 2.) ?initial problem =
               | Some rank -> rank
               | None -> here
           in
-          let go = Problem.cost_entry problem ~window:w ~data best in
+          let go = entry data best in
           let move = Problem.distance problem here best in
           let chosen =
             if

@@ -45,7 +45,23 @@ type t = {
      hold valid entries. *)
   arena : Pathgraph.Layered.buffer option array; (* arena.(data) *)
   row_off : int array array; (* row_off.(data).(window), 0 = zero row *)
+  (* Per-row fill state, one byte per window:
+       '\000'  clean, never filled
+       '\001'  filled, valid
+       '\002'  dirty (invalidated), never filled under the old model
+       '\003'  dirty (invalidated), holds stale bytes from the old model
+     Dirty states only appear through [invalidate] / [with_fault_patch];
+     [fill_row] collapses any state back to '\001'. The two dirty states
+     are distinguished so a copy-on-write session knows whether a fill is
+     a first fill or a refill ([problem.rows_refilled]) — and, crucially,
+     so it privatizes a shared slab before writing values the base
+     session would disagree with (see [privatize]). *)
   filled : Bytes.t array; (* filled.(data), one byte per window *)
+  (* shared.(data): the slab behind [arena.(data)] is aliased from a base
+     session ([with_fault_patch]); it may be read freely and written only
+     with values the base would also produce (clean rows). Writing a
+     dirty row first copies the slab ([privatize]). *)
+  shared : bool array;
   (* Cached per-axis optimal centers; -1 = not computed yet. *)
   opts : int array array; (* opts.(data).(window) *)
   merged_opts : int array;
@@ -55,6 +71,19 @@ type t = {
   near : int list option array; (* near.(target): serial phases only *)
   mutable order : int list option; (* serial phases only *)
 }
+
+let build_fault_dist mesh size fault =
+  if not (Pim.Fault.has_link_faults fault) then None
+  else begin
+    if !Obs.enabled then Obs.Metrics.incr "cost.fault_tables";
+    let oracle = Pim.Fault.Oracle.create mesh fault in
+    Some
+      (Array.init size (fun src ->
+           Array.init size (fun dst ->
+               match Pim.Fault.Oracle.distance oracle ~src ~dst with
+               | Some d -> d
+               | None -> unreachable_cost)))
+  end
 
 let of_context ?policy ?jobs ?(fault = Pim.Fault.none) ctx =
   let policy = match policy with Some p -> p | None -> ctx.Context.policy in
@@ -72,19 +101,7 @@ let of_context ?policy ?jobs ?(fault = Pim.Fault.none) ctx =
   let n_alive = Pim.Fault.alive_count fault mesh in
   if n_alive = 0 then
     invalid_arg "Problem.create: every processor is dead";
-  let fault_dist =
-    if not (Pim.Fault.has_link_faults fault) then None
-    else begin
-      if !Obs.enabled then Obs.Metrics.incr "cost.fault_tables";
-      let oracle = Pim.Fault.Oracle.create mesh fault in
-      Some
-        (Array.init size (fun src ->
-             Array.init size (fun dst ->
-                 match Pim.Fault.Oracle.distance oracle ~src ~dst with
-                 | Some d -> d
-                 | None -> unreachable_cost)))
-    end
-  in
+  let fault_dist = build_fault_dist mesh size fault in
   let n_data = Context.n_data ctx in
   let n_windows = Array.length ctx.Context.windows in
   {
@@ -100,6 +117,7 @@ let of_context ?policy ?jobs ?(fault = Pim.Fault.none) ctx =
     arena = Array.make n_data None;
     row_off = Array.make n_data [||];
     filled = Array.init n_data (fun _ -> Bytes.make n_windows '\000');
+    shared = Array.make n_data false;
     opts = Array.init n_data (fun _ -> Array.make n_windows (-1));
     merged_opts = Array.make n_data (-1);
     cands = Array.init n_data (fun _ -> Array.make n_windows None);
@@ -278,7 +296,38 @@ let fill_separable t ~window ~data ~dst ~off =
     (marginals t ~window ~data)
     ~dst ~off
 
+(* Copy-on-write: a patched session aliases its base's slabs until it has
+   to write a row whose bytes the base would disagree with (any dirty
+   state, even never-filled — the base may later fill that row with
+   old-model values, which must not leak into this session, nor the
+   reverse). Clean rows may be filled in place even while shared: both
+   sessions would write identical bytes there. *)
+let privatize t ~data =
+  (match t.arena.(data) with
+  | None -> ()
+  | Some a ->
+      let len = Bigarray.Array1.dim a in
+      let copy = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout len in
+      Bigarray.Array1.blit a copy;
+      t.arena.(data) <- Some copy;
+      if !Obs.enabled then Obs.Metrics.add "problem.arena_bytes" (8 * len));
+  t.shared.(data) <- false
+
+let datum_has_dirty t ~data =
+  let b = t.filled.(data) in
+  let n = Bytes.length b in
+  let found = ref false in
+  for w = 0 to n - 1 do
+    if Bytes.get b w >= '\002' then found := true
+  done;
+  !found
+
 let fill_row t ~window ~data =
+  (match Bytes.get t.filled.(data) window with
+  | '\000' | '\001' -> ()
+  | st ->
+      if st = '\003' then hit "problem.rows_refilled";
+      if t.shared.(data) then privatize t ~data);
   let a = ensure_arena t ~data in
   (* zero-reference rows resolve to the shared zero slot — both kernels
      produce the all-zero vector for them, so no build is charged *)
@@ -298,7 +347,7 @@ let fill_row t ~window ~data =
   a
 
 let arena_row t ~window ~data =
-  if Bytes.get t.filled.(data) window = '\000' then begin
+  if Bytes.get t.filled.(data) window <> '\001' then begin
     hit "problem.vector_miss";
     let a = fill_row t ~window ~data in
     (a, t.row_off.(data).(window))
@@ -454,11 +503,41 @@ let candidates t ~window ~data =
       l
   | None ->
       hit "problem.candidates_miss";
-      let a, off = arena_row t ~window ~data in
+      let size = t.ctx.Context.size in
       let l =
-        alive_only t
-          (Processor_list.of_costs ~n:t.ctx.Context.size (fun i ->
-               a.{off + i}))
+        if Bytes.get t.filled.(data) window = '\001' then begin
+          (* row already materialized: sort straight off the slab *)
+          let a, off = arena_row t ~window ~data in
+          alive_only t
+            (Processor_list.of_costs ~n:size (fun i -> a.{off + i}))
+        end
+        else if t.fault_dist = None && t.ctx.Context.kernel = `Separable
+        then
+          (* fill-skip: the candidate order is a pure function of the axis
+             costs, so bounded schedulers that only consume lists
+             ([Scds]/[Lomcds]) never force a slab row. Same values, hence
+             the same (cost, rank) order, as the materialized row. *)
+          if
+            Reftrace.Window.references t.ctx.Context.windows.(window) data
+            = 0
+          then alive_only t (Processor_list.of_costs ~n:size (fun _ -> 0))
+          else begin
+            hit "cost.separable_builds";
+            let mesh = t.ctx.Context.mesh in
+            let wrap = Pim.Mesh.wraps mesh in
+            let cols = Pim.Mesh.cols mesh in
+            let mx, my = marginals t ~window ~data in
+            let cx = Cost.axis_cost ~wrap mx
+            and cy = Cost.axis_cost ~wrap my in
+            alive_only t
+              (Processor_list.of_costs ~n:size (fun i ->
+                   cx.(i mod cols) + cy.(i / cols)))
+          end
+        else begin
+          let a, off = arena_row t ~window ~data in
+          alive_only t
+            (Processor_list.of_costs ~n:size (fun i -> a.{off + i}))
+        end
       in
       t.cands.(data).(window) <- Some l;
       l
@@ -548,9 +627,279 @@ let layer_slab t ~data =
   prefetch_data t ~data;
   (ensure_arena t ~data, t.row_off.(data))
 
+(* One window's worth of rows, batched: every referencing datum whose row
+   is not yet valid goes through one [Cost.fill_window_batch] pass on the
+   healthy separable path (axis and prefix-sum scratch shared across the
+   whole window), and through the per-row table fills otherwise.
+   Zero-reference rows flip straight to valid. When run from the parallel
+   fan-out in [prefetch_all], the serial pre-pass there has already
+   created every arena and privatized every shared slab holding dirty
+   rows, so this task only writes its own window's column (slab row,
+   filled byte, margs cell per datum) — one writer per cell. *)
+let fill_window_rows t ~window =
+  let nd = n_data t in
+  let mesh = t.ctx.Context.mesh in
+  let batch = ref [] in
+  for data = nd - 1 downto 0 do
+    let st = Bytes.get t.filled.(data) window in
+    if st = '\001' then hit "problem.vector_hit"
+    else begin
+      hit "problem.vector_miss";
+      if st = '\003' then hit "problem.rows_refilled";
+      if st >= '\002' && t.shared.(data) then privatize t ~data;
+      let a = ensure_arena t ~data in
+      let off = t.row_off.(data).(window) in
+      if off = 0 then Bytes.set t.filled.(data) window '\001'
+      else if t.fault_dist <> None then begin
+        fault_entries t t.ctx.Context.windows.(window) ~data
+          ~set:(fun center v -> a.{off + center} <- v);
+        Bytes.set t.filled.(data) window '\001'
+      end
+      else
+        match t.ctx.Context.kernel with
+        | `Naive ->
+            naive_entries t t.ctx.Context.windows.(window) ~data
+              ~set:(fun center v -> a.{off + center} <- v);
+            Bytes.set t.filled.(data) window '\001'
+        | `Separable ->
+            batch := (data, (marginals t ~window ~data, (a, off))) :: !batch
+    end
+  done;
+  match !batch with
+  | [] -> ()
+  | rows ->
+      Cost.fill_window_batch
+        ~wrap:(Pim.Mesh.wraps mesh)
+        ~cols:(Pim.Mesh.cols mesh)
+        ~rows:(Pim.Mesh.rows mesh)
+        (List.map snd rows);
+      List.iter
+        (fun (data, _) -> Bytes.set t.filled.(data) window '\001')
+        rows
+
 let prefetch_all t =
   Obs.Span.with_ ~name:"problem.prefetch_all" @@ fun () ->
-  Engine.iter ~jobs:t.jobs (n_data t) (fun data -> prefetch_data t ~data)
+  (* serial pre-pass: every arena exists and no shared slab still holds
+     dirty rows before the window tasks fan out — a task must never swap
+     a datum-level slab another task is writing into *)
+  let nd = n_data t in
+  for data = 0 to nd - 1 do
+    ignore (ensure_arena t ~data);
+    if t.shared.(data) && datum_has_dirty t ~data then privatize t ~data
+  done;
+  Engine.iter ~jobs:t.jobs (n_windows t) (fun w ->
+      fill_window_rows t ~window:w)
+
+(* Window-major view: the slab row of every datum for [window], forced
+   valid. [Online] and [Annealing] batch their per-probe delta reads
+   through this view instead of paying a [cost_entry] dispatch per probe:
+   the entry for (data, rank) is [slabs.(data).{offs.(data) + rank}]. *)
+let window_rows t ~window =
+  fill_window_rows t ~window;
+  let slabs =
+    Array.init (n_data t) (fun data ->
+        match t.arena.(data) with Some a -> a | None -> assert false)
+  in
+  let offs =
+    Array.init (n_data t) (fun data -> t.row_off.(data).(window))
+  in
+  (slabs, offs)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental invalidation and copy-on-write fault patching           *)
+(* ------------------------------------------------------------------ *)
+
+let invalidate t ~window =
+  let nw = n_windows t in
+  if window < 0 || window >= nw then
+    invalid_arg
+      (Printf.sprintf "Problem.invalidate: window %d out of range" window);
+  let w = t.ctx.Context.windows.(window) in
+  let nd = n_data t in
+  for data = 0 to nd - 1 do
+    (* [Reftrace.Window.add] only ever adds references, so a datum with
+       zero references now was untouched by the edit and keeps its whole
+       column *)
+    if Reftrace.Window.references w data > 0 then begin
+      if t.row_off.(data) <> [||] && t.row_off.(data).(window) = 0 then begin
+        (* the datum gained its first reference in this window after the
+           slab layout was fixed: drop the slab so [ensure_arena] re-maps
+           windows to rows (the other windows refill identically) *)
+        t.arena.(data) <- None;
+        t.row_off.(data) <- [||];
+        t.shared.(data) <- false;
+        Bytes.fill t.filled.(data) 0 nw '\000'
+      end;
+      t.margs.(data).(window) <- None;
+      t.opts.(data).(window) <- -1;
+      t.cands.(data).(window) <- None;
+      match Bytes.get t.filled.(data) window with
+      | '\000' ->
+          Bytes.set t.filled.(data) window '\002';
+          hit "problem.rows_invalidated"
+      | '\001' ->
+          Bytes.set t.filled.(data) window '\003';
+          hit "problem.rows_invalidated"
+      | _ -> ()
+    end
+  done
+
+(* monotone growth: every element of ascending [a] appears in ascending
+   [b] — the condition under which cached argmins and candidate orders
+   survive a fault change (dead ranks only accumulate). *)
+let rec subset_asc a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+      if x = y then subset_asc a' b'
+      else if y < x then subset_asc a b'
+      else false
+
+(* [dead_nodes]/[dead_links] are canonical (ascending), so structural
+   equality decides fault equality. *)
+let same_fault a b =
+  Pim.Fault.dead_nodes a = Pim.Fault.dead_nodes b
+  && Pim.Fault.dead_links a = Pim.Fault.dead_links b
+
+let with_fault_patch t fault =
+  if same_fault fault t.fault then t
+  else begin
+    let mesh = t.ctx.Context.mesh in
+    Pim.Fault.validate fault mesh;
+    let size = t.ctx.Context.size in
+    let alive = Array.make size true in
+    List.iter (fun r -> alive.(r) <- false) (Pim.Fault.dead_nodes fault);
+    let n_alive = Pim.Fault.alive_count fault mesh in
+    if n_alive = 0 then
+      invalid_arg "Problem.with_fault_patch: every processor is dead";
+    let fault_dist =
+      if Pim.Fault.dead_links fault = Pim.Fault.dead_links t.fault then
+        t.fault_dist (* same dead-link set: identical BFS distances *)
+      else build_fault_dist mesh size fault
+    in
+    (* Dirty processors: ranks whose distance column changed between the
+       two models. Node faults keep routers, so when the dead-link set is
+       unchanged the tables are physically shared and nothing is dirty —
+       a pure node-fault patch reuses every slab row. *)
+    let dirty =
+      if fault_dist == t.fault_dist then None
+      else begin
+        let old_d =
+          match t.fault_dist with
+          | Some d -> fun c p -> d.(c).(p)
+          | None -> fun c p -> Context.distance t.ctx c p
+        in
+        let new_d =
+          match fault_dist with
+          | Some d -> fun c p -> d.(c).(p)
+          | None -> fun c p -> Context.distance t.ctx c p
+        in
+        let d = Array.make size false in
+        let any = ref false in
+        for p = 0 to size - 1 do
+          let c = ref 0 in
+          while !c < size && not d.(p) do
+            if old_d !c p <> new_d !c p then begin
+              d.(p) <- true;
+              any := true
+            end;
+            incr c
+          done
+        done;
+        if !any then Some d else None
+      end
+    in
+    (* a row is dirty iff the window's profile of the datum touches a
+       dirty rank — only those rows' cost entries can differ *)
+    let row_dirty w data =
+      match dirty with
+      | None -> false
+      | Some d ->
+          let f = ref false in
+          Reftrace.Window.iter_profile w data (fun ~proc ~count:_ ->
+              if d.(proc) then f := true);
+          !f
+    in
+    let monotone =
+      subset_asc (Pim.Fault.dead_nodes t.fault) (Pim.Fault.dead_nodes fault)
+    in
+    let filter_alive l =
+      if Pim.Fault.has_node_faults fault then
+        List.filter (fun r -> alive.(r)) l
+      else l
+    in
+    let nd = n_data t in
+    let windows = t.ctx.Context.windows in
+    let nw = Array.length windows in
+    let filled = Array.init nd (fun d -> Bytes.copy t.filled.(d)) in
+    let opts = Array.init nd (fun d -> Array.copy t.opts.(d)) in
+    let cands = Array.init nd (fun _ -> Array.make nw None) in
+    for data = 0 to nd - 1 do
+      for w = 0 to nw - 1 do
+        if row_dirty windows.(w) data then begin
+          (match Bytes.get filled.(data) w with
+          | '\000' ->
+              Bytes.set filled.(data) w '\002';
+              hit "problem.rows_invalidated"
+          | '\001' ->
+              Bytes.set filled.(data) w '\003';
+              hit "problem.rows_invalidated"
+          | _ -> ());
+          opts.(data).(w) <- -1
+        end
+        else begin
+          (* clean row: the cached argmin survives iff dead ranks only
+             grew (subset argmin, lowest-rank ties preserved) and the
+             center itself is still alive; a candidate order survives a
+             monotone fault filtered down to the new alive set *)
+          let o = opts.(data).(w) in
+          if o >= 0 && not (monotone && alive.(o)) then
+            opts.(data).(w) <- -1;
+          if monotone then
+            cands.(data).(w) <-
+              (match t.cands.(data).(w) with
+              | Some l -> Some (filter_alive l)
+              | None -> None)
+        end
+      done
+    done;
+    let merged = t.ctx.Context.merged in
+    let merged_vectors = Array.make nd None in
+    let merged_opts = Array.make nd (-1) in
+    let merged_cands = Array.make nd None in
+    for data = 0 to nd - 1 do
+      if not (row_dirty merged data) then begin
+        merged_vectors.(data) <- t.merged_vectors.(data);
+        let o = t.merged_opts.(data) in
+        if o >= 0 && monotone && alive.(o) then merged_opts.(data) <- o;
+        if monotone then
+          merged_cands.(data) <-
+            (match t.merged_cands.(data) with
+            | Some l -> Some (filter_alive l)
+            | None -> None)
+      end
+    done;
+    let arena = Array.copy t.arena in
+    let shared = Array.map (function Some _ -> true | None -> false) arena in
+    {
+      t with
+      fault;
+      alive;
+      n_alive;
+      fault_dist;
+      arena;
+      row_off = Array.copy t.row_off;
+      filled;
+      shared;
+      opts;
+      cands;
+      merged_vectors;
+      merged_opts;
+      merged_cands;
+      near = Array.make size None;
+    }
+  end
 
 let prefetch_referenced t =
   Obs.Span.with_ ~name:"problem.prefetch_referenced" @@ fun () ->

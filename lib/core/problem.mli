@@ -27,11 +27,16 @@
     loop still runs serially in the algorithm's documented order — a
     [Problem.t] at [jobs = 8] yields byte-identical schedules to [jobs = 1].
 
-    Thread-safety contract for the caches: a cache row belongs to one datum
-    — the arena buffer and its filled flags, the marginal/center/candidate
-    rows. Parallel phases must partition data across domains (as
-    {!Engine.map} does) so each row has a single writer. Everything else in
-    [t] is immutable after {!create}. *)
+    Thread-safety contract for the caches: every cache cell is owned by a
+    single (datum, window) pair — an arena row and its filled byte, a
+    marginal/center/candidate cell. Parallel phases must partition the
+    cells across domains so each has one writer; both partitions in use
+    are safe: per-datum tasks ({!prefetch_referenced}, {!prefetch_centers}
+    — a task owns a datum's whole row of cells) and per-window tasks
+    ({!prefetch_all}'s batched window-major fill — a task owns one
+    window's column, after a serial pre-pass has created every arena so
+    no task swaps a datum-level slab). Everything else in [t] is immutable
+    after {!create}. *)
 
 (** How much data each processor's local memory holds. [Unbounded] models
     infinite memories; [Bounded c] gives every processor [c] slots (the
@@ -146,8 +151,50 @@ val with_kernel : t -> kernel -> t
     depend on the fault — over the {e same} shared {!Context.t}, so the
     axis tables and trace preprocessing carry over untouched. [t] itself
     when both the old and new fault are {!Pim.Fault.none}. How the
-    reschedule-on-failure path degrades a problem mid-run. *)
+    reschedule-on-failure path degrades a problem mid-run — see
+    {!with_fault_patch} for the incremental variant that carries clean
+    cache rows over. *)
 val with_fault : t -> Pim.Fault.t -> t
+
+(** [with_fault_patch t fault] is {!with_fault} with {e dirty-row
+    invalidation} instead of a cold start: the new session shares [t]'s
+    marginal caches and aliases its arena slabs copy-on-write, and only
+    the rows whose cost entries can actually differ under the new fault
+    are marked dirty (counter [problem.rows_invalidated]) for refill on
+    next touch (counter [problem.rows_refilled]).
+
+    Node faults keep routers, so a pure node-fault change dirties {e no}
+    row — every slab byte carries over; only the alive mask, argmins and
+    candidate orders adjust (cached argmins survive when the dead set only
+    grew and the cached center is still alive; candidate lists survive a
+    monotone change filtered to the new alive set). A link-fault change
+    rebuilds the BFS distance table (reusing [t]'s when the dead-link set
+    is unchanged) and dirties exactly the rows whose window profile
+    touches a rank with a changed distance column.
+
+    [t] is never written through: a dirty row is refilled only after the
+    datum's slab has been privatized, so [t] and the patched session stay
+    independently correct — answers from the patched session are
+    byte-identical to a fresh [of_context ~fault] session (pinned by
+    [test/test_incremental.ml]). Returns [t] itself when [fault] equals
+    [t]'s fault.
+    @raise Invalid_argument under the same conditions as {!with_fault}. *)
+val with_fault_patch : t -> Pim.Fault.t -> t
+
+(** [invalidate t ~window] tells the session that the contents of window
+    [window] were edited in place (references {e added} via
+    {!Reftrace.Window.add} after the context was built): every cached
+    value derived from that window — marginals, arena row, argmin,
+    candidate list — is dropped or marked dirty for every datum the
+    window now references, so subsequent reads refill from the edited
+    profile and agree byte-for-byte with a freshly built session over the
+    same context. A datum whose first reference in [window] appeared
+    after its slab layout was fixed has its whole arena dropped so the
+    window→row map is recomputed. The memoized {e merged} window is not
+    recomputed (it is fixed at {!Context.create} time for every session,
+    cold or warm, so all sessions stay consistent).
+    @raise Invalid_argument when [window] is out of range. *)
+val invalidate : t -> window:int -> unit
 
 val space : t -> Reftrace.Data_space.t
 val n_data : t -> int
@@ -209,7 +256,11 @@ val merged_optimal_center : t -> data:int -> int
 
 (** [candidates t ~window ~data] is the paper's processor list for the
     pair: ranks sorted by cost entry, ties by rank
-    ({!Processor_list.of_costs} over the arena row), cached. *)
+    ({!Processor_list.of_costs}), cached. On the healthy separable path
+    the order is computed straight from the axis costs without forcing
+    the arena row ({e fill-skip}) — bounded [Scds]/[Lomcds] runs that
+    only consume candidate lists never materialize a slab. The order is
+    identical either way (same cost values). *)
 val candidates : t -> window:int -> data:int -> int list
 
 (** [merged_candidates t ~data] is the processor list against {!merged}. *)
@@ -282,9 +333,25 @@ val solve_datum :
 val prefetch_data : t -> data:int -> unit
 
 (** [prefetch_all t] fills every (datum, window) arena row on the domain
-    pool. Bounded-memory algorithms call this so their serial allocation
-    loop only reads. *)
+    pool, window-major: after a serial pre-pass that creates every arena
+    (and privatizes shared slabs still holding dirty rows), each pool
+    task fills one window's rows across all data in a single batched
+    marginals pass ({!Cost.fill_window_batch} — one axis/prefix-sum
+    scratch set per window). Bounded-memory algorithms and window-major
+    sweeps ({!Refine}, {!Grouping}) call this so their serial loops only
+    read. *)
 val prefetch_all : t -> unit
+
+(** [window_rows t ~window] forces every datum's arena row for [window]
+    (batched, as one {!prefetch_all} task would) and returns
+    [(slabs, offs)] with the entry for (data, rank) at
+    [slabs.(data).{offs.(data) + rank}] — the window-major view
+    {!Online}'s walk and {!Annealing}'s delta evaluator batch their
+    probes through instead of a {!cost_entry} dispatch per probe. Treat
+    both arrays as read-only; they stay valid until the row is
+    invalidated ({!invalidate} / {!with_fault_patch}). *)
+val window_rows :
+  t -> window:int -> Pathgraph.Layered.buffer array * int array
 
 (** [prefetch_referenced t] fills, in parallel, arena rows {e and}
     candidate lists for every (datum, window) pair where the window

@@ -129,7 +129,11 @@ let run ?(reschedule = true) ?(events = []) problem algorithm =
     if arrived <> [] then begin
       let f = List.fold_left Pim.Fault.union !cur_fault arrived in
       cur_fault := f;
-      cur_problem := Problem.with_fault problem f;
+      (* patch the running session instead of opening a cold one: faults
+         only accumulate here, so only rows the new fault actually
+         repriced are refilled — a pure node-fault event reuses every
+         slab row of the previous session *)
+      cur_problem := Problem.with_fault_patch !cur_problem f;
       oracle :=
         (if Pim.Fault.is_none f then None
          else Some (Pim.Fault.Oracle.create mesh f));

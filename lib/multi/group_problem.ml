@@ -134,7 +134,11 @@ let with_fault t fault =
         let mf =
           if Pim.Fault.alive_count mf mesh = 0 then Pim.Fault.none else mf
         in
-        Sched.Problem.with_fault t.subs.(m) mf)
+        (* patch, not rebuild: member sessions keep every slab row the
+           member's fault change did not reprice (a fully-dead member
+           substitutes Fault.none, a non-monotone change — the patch's
+           carry rules gate on monotonicity, so that stays correct) *)
+        Sched.Problem.with_fault_patch t.subs.(m) mf)
   in
   { t with fault; subs; assignment = None }
 

@@ -22,11 +22,20 @@ type t = {
      Solves are pure functions of the request, so a repeat costs one
      Hashtbl probe. *)
   memo_tbl : (string, string) Hashtbl.t;
+  (* warm sessions: context key -> last solved Problem session. A repeat
+     instance (possibly under a different fault) is answered by patching
+     the checked-out session ([Problem.with_fault_patch]) instead of
+     opening a cold one, so only slab rows the fault change repriced are
+     refilled. Checkout happens in the serial prepare pass and check-in
+     after the wave, so the table has a single writer and no session is
+     ever shared by two in-flight solves. *)
+  warm : (string, Sched.Problem.t) Hashtbl.t;
   mutable requests : int;
   mutable errors : int;
   mutable rejected : int;
   mutable batches : int;
   mutable memo_hits : int;
+  mutable warm_sessions : int;
   mutable stopping : bool;
 }
 
@@ -38,11 +47,13 @@ let create ?config () =
     config;
     contexts = Hashtbl.create 16;
     memo_tbl = Hashtbl.create 64;
+    warm = Hashtbl.create 16;
     requests = 0;
     errors = 0;
     rejected = 0;
     batches = 0;
     memo_hits = 0;
+    warm_sessions = 0;
     stopping = false;
   }
 
@@ -274,19 +285,24 @@ let admit_bytes t need =
 
 let admit t ctx = admit_bytes t ctx.Sched.Context.max_arena_bytes
 
-let solve t id (instance : Protocol.instance) algorithm fault_spec =
+let solve id ctx ~key ~base algorithm fault_spec =
   let algorithm =
     match Sched.Scheduler.of_name algorithm with
     | a -> a
     | exception Invalid_argument m -> Protocol.reject m
   in
-  let ctx = find_context t instance in
-  admit t ctx;
   let fault = build_fault ctx.Sched.Context.mesh fault_spec in
-  (* request-scoped session: private arenas and caches over the shared
-     context, torn down when this response is built *)
+  (* request-scoped session over the shared context: either a warm
+     session checked out of the pool and patched to this request's fault
+     (only repriced slab rows refill), or a cold one. Either way the
+     session is private to this solve and checked back in after the
+     wave, so answers stay byte-identical to a cold rebuild. *)
   let problem =
-    match Sched.Problem.of_context ~fault ctx with
+    match
+      match base with
+      | Some p -> Sched.Problem.with_fault_patch p fault
+      | None -> Sched.Problem.of_context ~fault ctx
+    with
     | p -> p
     | exception Invalid_argument m -> Protocol.reject m
   in
@@ -294,15 +310,16 @@ let solve t id (instance : Protocol.instance) algorithm fault_spec =
   | schedule ->
       let trace = ctx.Sched.Context.trace in
       let breakdown = Sched.Schedule.cost schedule trace in
-      Protocol.ok_response id
-        [
-          ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
-          ("total", Obs.Json.Int breakdown.Sched.Schedule.total);
-          ("reference", Obs.Json.Int breakdown.Sched.Schedule.reference);
-          ("movement", Obs.Json.Int breakdown.Sched.Schedule.movement);
-          ("moves", Obs.Json.Int (Sched.Schedule.moves schedule));
-          ("plan", Obs.Json.String (Sched.Schedule_serial.to_string schedule));
-        ]
+      ( Protocol.ok_response id
+          [
+            ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+            ("total", Obs.Json.Int breakdown.Sched.Schedule.total);
+            ("reference", Obs.Json.Int breakdown.Sched.Schedule.reference);
+            ("movement", Obs.Json.Int breakdown.Sched.Schedule.movement);
+            ("moves", Obs.Json.Int (Sched.Schedule.moves schedule));
+            ("plan", Obs.Json.String (Sched.Schedule_serial.to_string schedule));
+          ],
+        Some (key, problem) )
   | exception Invalid_argument m ->
       raise
         (Protocol.Reject
@@ -318,6 +335,8 @@ let stats_fields t =
     ("contexts", Obs.Json.Int (Hashtbl.length t.contexts));
     ("memo_entries", Obs.Json.Int (Hashtbl.length t.memo_tbl));
     ("memo_hits", Obs.Json.Int t.memo_hits);
+    ("warm_entries", Obs.Json.Int (Hashtbl.length t.warm));
+    ("warm_sessions", Obs.Json.Int t.warm_sessions);
     ("jobs", Obs.Json.Int t.config.jobs);
   ]
 
@@ -334,7 +353,9 @@ type prepared =
   | Todo of {
       line : string;
       id : Obs.Json.t;
-      work : unit -> string;  (** the pure per-request solve *)
+      work : unit -> string * (string * Sched.Problem.t) option;
+          (** the pure per-request solve; also yields the session to
+              check back into the warm pool (solo solves only) *)
     }
 
 let prepare t line =
@@ -374,10 +395,24 @@ let prepare t line =
                     let gp = build_group_problem t instance arrays fault in
                     admit_bytes t (Multi.Group_problem.max_arena_bytes gp);
                     hit "serve.group_requests";
-                    fun () -> solve_group id gp algorithm
+                    fun () -> (solve_group id gp algorithm, None)
                 | None ->
-                    admit t (find_context t instance);
-                    fun () -> solve t id instance algorithm fault
+                    let ctx = find_context t instance in
+                    admit t ctx;
+                    (* warm checkout: the serial prepare pass owns the
+                       table, so two same-key requests in one wave race
+                       on nothing — the second simply opens cold *)
+                    let key = context_key instance in
+                    let base =
+                      match Hashtbl.find_opt t.warm key with
+                      | Some p ->
+                          Hashtbl.remove t.warm key;
+                          t.warm_sessions <- t.warm_sessions + 1;
+                          hit "serve.warm_sessions";
+                          Some p
+                      | None -> None
+                    in
+                    fun () -> solve id ctx ~key ~base algorithm fault
               with
               | work -> Todo { line; id; work }
               | exception Protocol.Reject e ->
@@ -393,14 +428,17 @@ let prepare t line =
 
 let now () = Unix.gettimeofday ()
 
-type outcome = Passthrough | Solved of string | Failed
+type outcome =
+  | Passthrough
+  | Solved of string * (string * Sched.Problem.t) option
+  | Failed
 
 let run_prepared _t = function
   | Done response -> (response, 0., Passthrough)
   | Todo { line; id; work } -> (
       let t0 = now () in
       match work () with
-      | response -> (response, now () -. t0, Solved line)
+      | response, session -> (response, now () -. t0, Solved (line, session))
       | exception Protocol.Reject e ->
           (Protocol.error_response id e, now () -. t0, Failed))
 
@@ -418,14 +456,21 @@ let process_batch t lines =
     Sched.Engine.map ~jobs:t.config.jobs (Array.length prepared) (fun i ->
         run_prepared t prepared.(i))
   in
-  (* memo inserts and failure accounting back on the single writer *)
+  (* memo inserts, warm check-ins and failure accounting back on the
+     single writer *)
   Array.iter
     (fun (response, dt, outcome) ->
       match outcome with
       | Passthrough -> ()
-      | Solved line ->
+      | Solved (line, session) ->
           if !Obs.enabled then Obs.Metrics.observe "serve.solve_us" (int_of_float (dt *. 1e6));
-          if t.config.memo then Hashtbl.replace t.memo_tbl line response
+          if t.config.memo then Hashtbl.replace t.memo_tbl line response;
+          (match session with
+          | Some (key, problem) ->
+              (* first same-key solve of the wave wins the slot; later
+                 sessions are dropped rather than replacing it *)
+              if not (Hashtbl.mem t.warm key) then Hashtbl.add t.warm key problem
+          | None -> ())
       | Failed ->
           if !Obs.enabled then Obs.Metrics.observe "serve.solve_us" (int_of_float (dt *. 1e6));
           t.errors <- t.errors + 1;

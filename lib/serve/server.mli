@@ -2,13 +2,18 @@
 
     One server owns a cache of shared immutable {!Sched.Context.t}s keyed
     by instance (mesh, trace source, capacity policy, kernel) and answers
-    {!Protocol} requests. Each solve opens a private request-scoped
-    session ({!Sched.Problem.of_context}) over the cached context, so
-    thousands of requests on one instance reuse the axis tables and trace
-    preprocessing while never sharing a mutable slab. Request waves fan
-    out across the {!Sched.Engine} domain pool; responses depend only on
-    the request — never on batching, wave boundaries or [jobs] — so a
-    served answer is byte-identical to the one-shot CLI solve.
+    {!Protocol} requests. Each solve runs a private request-scoped
+    session over the cached context, so thousands of requests on one
+    instance reuse the axis tables and trace preprocessing while never
+    sharing a mutable slab. The last session solved per context is kept
+    warm: a repeat instance — even under a different fault — checks it
+    out and patches it ({!Sched.Problem.with_fault_patch}), refilling
+    only the slab rows the fault change repriced, instead of opening a
+    cold {!Sched.Problem.of_context} session. Request waves fan out
+    across the {!Sched.Engine} domain pool; responses depend only on the
+    request — never on batching, wave boundaries, warm-session reuse or
+    [jobs] — so a served answer is byte-identical to the one-shot CLI
+    solve.
 
     Admission control is by arena footprint: a request whose context
     would need more than [max_arena_bytes] cost-arena bytes if fully
@@ -17,8 +22,8 @@
 
     Obs metrics (when {!Obs.enabled}): [serve.requests], [serve.errors],
     [serve.rejected], [serve.batches], [serve.context_hits],
-    [serve.context_misses], [serve.memo_hits], histogram
-    [serve.solve_us]. *)
+    [serve.context_misses], [serve.memo_hits], [serve.warm_sessions],
+    histogram [serve.solve_us]. *)
 
 type config = {
   jobs : int;  (** domain pool size for waves and within sessions *)
