@@ -1260,6 +1260,191 @@ let incremental_bench () =
   Obs.Json.List [ mesh_row; torus_row ]
 
 (* ------------------------------------------------------------------ *)
+(* Timed backend (cycle-honest simulator)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two facts about the parameterized timed backend, both gated:
+
+   - degenerate honesty: under the degenerate model (unit bandwidth,
+     store-and-forward, unbounded queues, zero compute) the live engine
+     must reproduce the pinned pre-model [Timed_simulator.Reference]
+     report field-for-field, and must not cost wall time for it —
+     gate: live <= 1.05x Reference, best-of reps with the serve_bench
+     retry loop to damp timer noise. The identity check runs first,
+     because a timing gate on a different answer proves nothing.
+   - ranking honesty: across the benchmark zoo at n=16 on the paper's
+     4x4 mesh, at least one workload must rank some scheduler
+     differently by simulated cycles than by the hop-volume scalar.
+     That disagreement is the reason the timed backend exists; if every
+     ranking agrees, the cycle model has collapsed into hop-volume and
+     the gate fails. *)
+let timed_bench () =
+  section "Timed backend (cycle-honest vs hop-volume)";
+  let reps = if quick then 3 else 5 in
+  let kmesh = Pim.Mesh.square 16 in
+  let trace = Workloads.Lu.trace ~n:16 kmesh in
+  let capacity =
+    Pim.Memory.capacity_for
+      ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+      ~mesh:kmesh ~headroom:2
+  in
+  let problem =
+    Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) kmesh trace
+  in
+  let schedule = Sched.Scheduler.solve problem Sched.Scheduler.Gomcds in
+  let rounds = Sched.Schedule.to_rounds schedule trace in
+  let reference = Pim.Timed_simulator.Reference.run kmesh rounds in
+  let live = Pim.Timed_simulator.run kmesh rounds in
+  let identical =
+    reference.Pim.Timed_simulator.Reference.total_cycles
+      = live.Pim.Timed_simulator.total_cycles
+    && reference.Pim.Timed_simulator.Reference.total_volume_hops
+       = live.Pim.Timed_simulator.total_volume_hops
+    && List.length reference.Pim.Timed_simulator.Reference.rounds
+       = List.length live.Pim.Timed_simulator.rounds
+    && List.for_all2
+         (fun (a : Pim.Timed_simulator.Reference.round_report)
+              (b : Pim.Timed_simulator.round_report) ->
+           a.Pim.Timed_simulator.Reference.cycles
+             = b.Pim.Timed_simulator.cycles
+           && a.Pim.Timed_simulator.Reference.messages
+              = b.Pim.Timed_simulator.messages
+           && a.Pim.Timed_simulator.Reference.volume_hops
+              = b.Pim.Timed_simulator.volume_hops
+           && Float.equal a.Pim.Timed_simulator.Reference.utilization
+                b.Pim.Timed_simulator.utilization)
+         reference.Pim.Timed_simulator.Reference.rounds
+         live.Pim.Timed_simulator.rounds
+  in
+  if not identical then begin
+    Printf.eprintf
+      "FAIL: degenerate timed engine diverges from the pinned Reference \
+       report on LU 16x16 (%d vs %d cycles)\n"
+      live.Pim.Timed_simulator.total_cycles
+      reference.Pim.Timed_simulator.Reference.total_cycles;
+    exit 1
+  end;
+  let wall run =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      run ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let measure_ref () =
+    wall (fun () -> ignore (Pim.Timed_simulator.Reference.run kmesh rounds))
+  in
+  let measure_live () =
+    wall (fun () -> ignore (Pim.Timed_simulator.run kmesh rounds))
+  in
+  let best_ref = ref (measure_ref ()) and best_live = ref (measure_live ()) in
+  let attempts = ref 1 in
+  while !best_live > 1.05 *. !best_ref && !attempts < 8 do
+    incr attempts;
+    best_ref := Float.min !best_ref (measure_ref ());
+    best_live := Float.min !best_live (measure_live ())
+  done;
+  let overhead = !best_live /. !best_ref in
+  Printf.printf
+    "%-34s %10.3f ms\n%-34s %10.3f ms\n%-34s %9.2fx  (gate <= 1.05x, best \
+     of %d attempt(s))\n"
+    "degenerate replay, Reference" (!best_ref *. 1e3)
+    "degenerate replay, live engine" (!best_live *. 1e3)
+    "live/Reference wall" overhead !attempts;
+  Printf.printf "%-34s %10s\n" "degenerate report identity" "ok";
+  if overhead > 1.05 then begin
+    Printf.eprintf
+      "FAIL: degenerate timed engine over 1.05x the Reference wall on LU \
+       16x16 (%.3f ms vs %.3f ms, %.2fx)\n"
+      (!best_live *. 1e3) (!best_ref *. 1e3) overhead;
+    exit 1
+  end;
+  (* ranking sweep: hop-volume rank vs cycle rank, degenerate model *)
+  let ranks values =
+    List.map
+      (fun v -> 1 + List.length (List.filter (fun w -> w < v) values))
+      values
+  in
+  let zoo =
+    List.map
+      (fun b ->
+        ( "b" ^ Workloads.Benchmarks.label b,
+          Workloads.Benchmarks.trace b ~n:16 mesh ))
+      Workloads.Benchmarks.all
+    @ [ ("code-16x16", Workloads.Code_kernel.trace ~n:16 mesh) ]
+  in
+  let sweep =
+    List.map
+      (fun (wl, trace) ->
+        let capacity =
+          Pim.Memory.capacity_for
+            ~data_count:
+              (Reftrace.Data_space.size (Reftrace.Trace.space trace))
+            ~mesh ~headroom:2
+        in
+        let problem =
+          Sched.Problem.create ~policy:(Sched.Problem.Bounded capacity) mesh
+            trace
+        in
+        let measured =
+          List.map
+            (fun algo ->
+              let s = Sched.Scheduler.solve problem algo in
+              ( Sched.Schedule.total_cost s trace,
+                (Pim.Timed_simulator.run mesh (Sched.Schedule.to_rounds s trace))
+                  .Pim.Timed_simulator.total_cycles ))
+            Sched.Scheduler.all
+        in
+        let hop_ranks = ranks (List.map fst measured) in
+        let cycle_ranks = ranks (List.map snd measured) in
+        let disagreements =
+          List.fold_left2
+            (fun acc h c -> if h <> c then acc + 1 else acc)
+            0 hop_ranks cycle_ranks
+        in
+        Printf.printf
+          "%-12s %2d/%d schedulers ranked differently by cycles\n" wl
+          disagreements (List.length measured);
+        (wl, disagreements, List.length measured))
+      zoo
+  in
+  let total = List.fold_left (fun acc (_, d, _) -> acc + d) 0 sweep in
+  if total = 0 then begin
+    Printf.eprintf
+      "FAIL: no scheduler ranked differently by cycles than by hop-volume \
+       on any zoo workload -- the timed model is not adding information\n";
+    exit 1
+  end;
+  Obs.Json.Obj
+    [
+      ( "degenerate",
+        Obs.Json.Obj
+          [
+            ("workload", Obs.Json.String "lu-16x16");
+            ("mesh", Obs.Json.String "16x16");
+            ("identical", Obs.Json.Bool identical);
+            ("reference_ms", Obs.Json.Float (!best_ref *. 1e3));
+            ("live_ms", Obs.Json.Float (!best_live *. 1e3));
+            ("overhead", Obs.Json.Float overhead);
+            ("attempts", Obs.Json.Int !attempts);
+          ] );
+      ( "ranking",
+        Obs.Json.List
+          (List.map
+             (fun (wl, d, n) ->
+               Obs.Json.Obj
+                 [
+                   ("workload", Obs.Json.String wl);
+                   ("disagreements", Obs.Json.Int d);
+                   ("schedulers", Obs.Json.Int n);
+                 ])
+             sweep) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable snapshot (BENCH_<rev>.json)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1280,7 +1465,7 @@ let git_rev () =
         | _ -> "local"
       with _ -> "local")
 
-let json_snapshot ~kernel ~serve ~multi ~engine ~incremental () =
+let json_snapshot ~kernel ~serve ~multi ~engine ~incremental ~timed () =
   section "Machine-readable snapshot";
   let n = if quick then 8 else 16 in
   let reps = if quick then 1 else 3 in
@@ -1378,6 +1563,7 @@ let json_snapshot ~kernel ~serve ~multi ~engine ~incremental () =
          ("multi_bench", multi);
          ("engine_scaling", engine);
          ("incremental_bench", incremental);
+         ("timed_bench", timed);
          ("entries", Obs.Json.List (List.rev !entries));
        ]);
   Printf.printf "wrote %d entries to %s\n" (List.length !entries) path
@@ -1393,7 +1579,8 @@ let () =
     let serve = serve_bench () in
     let multi = multi_bench () in
     let incremental = incremental_bench () in
-    json_snapshot ~kernel ~serve ~multi ~engine ~incremental ();
+    let timed = timed_bench () in
+    json_snapshot ~kernel ~serve ~multi ~engine ~incremental ~timed ();
     print_endline "\nQuick benches complete."
   end
   else begin
@@ -1417,6 +1604,7 @@ let () =
     let serve = serve_bench () in
     let multi = multi_bench () in
     let incremental = incremental_bench () in
-    json_snapshot ~kernel ~serve ~multi ~engine ~incremental ();
+    let timed = timed_bench () in
+    json_snapshot ~kernel ~serve ~multi ~engine ~incremental ~timed ();
     print_endline "\nAll benches complete."
   end

@@ -461,11 +461,88 @@ let run_compare_group spec inter_cost workload size torus partition unbounded
         "lower-bound" bound
   | None -> ()
 
+(* ---------------------------------------------------------------- *)
+(* Cycle-honest ranking: hop·volume rank vs simulated-cycle rank     *)
+(* ---------------------------------------------------------------- *)
+
+(* Competition ranking: 1 + number of strictly better values, so ties
+   share a rank and the comparison is insensitive to within-tie order. *)
+let competition_ranks values =
+  List.map
+    (fun v -> 1 + List.length (List.filter (fun w -> w < v) values))
+    values
+
+(* Run every portfolio algorithm on [problem], price it both ways — the
+   paper's hop·volume scalar and the timed backend's cycles under
+   [model] — and flag every algorithm whose rank differs between the two
+   metrics. Returns the JSON rows plus the disagreement count. *)
+let cycles_table ?(model = Pim.Link_model.degenerate) problem mesh trace =
+  let measured =
+    List.map
+      (fun algorithm ->
+        let schedule = Sched.Scheduler.solve problem algorithm in
+        let hopvol = Sched.Schedule.total_cost schedule trace in
+        let report =
+          Pim.Timed_simulator.run ~model mesh
+            (Sched.Schedule.to_rounds schedule trace)
+        in
+        (algorithm, hopvol, report))
+      Sched.Scheduler.all
+  in
+  let hop_ranks = competition_ranks (List.map (fun (_, h, _) -> h) measured) in
+  let cycle_ranks =
+    competition_ranks
+      (List.map
+         (fun (_, _, r) -> r.Pim.Timed_simulator.total_cycles)
+         measured)
+  in
+  Format.printf "link model: %a@." Pim.Link_model.pp model;
+  Printf.printf "%-16s %9s %4s %9s %4s %6s %7s %9s\n" "algorithm" "hop-vol"
+    "rank" "cycles" "rank" "util" "stalls" "energy";
+  let disagreements = ref 0 in
+  let rows =
+    List.map2
+      (fun ((algorithm, hopvol, report), hop_rank) cycle_rank ->
+        let disagree = hop_rank <> cycle_rank in
+        if disagree then incr disagreements;
+        Printf.printf "%-16s %9d %4d %9d %4d %6.2f %7d %9.0f%s\n"
+          (Sched.Scheduler.name algorithm)
+          hopvol hop_rank report.Pim.Timed_simulator.total_cycles cycle_rank
+          report.Pim.Timed_simulator.link_utilization
+          report.Pim.Timed_simulator.queue_stall_cycles
+          report.Pim.Timed_simulator.energy
+          (if disagree then "  *" else "");
+        Obs.Json.Obj
+          [
+            ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+            ("hop_volume", Obs.Json.Int hopvol);
+            ("hop_rank", Obs.Json.Int hop_rank);
+            ("cycles", Obs.Json.Int report.Pim.Timed_simulator.total_cycles);
+            ("cycle_rank", Obs.Json.Int cycle_rank);
+            ("disagree", Obs.Json.Bool disagree);
+            ( "link_utilization",
+              Obs.Json.Float report.Pim.Timed_simulator.link_utilization );
+            ( "queue_stall_cycles",
+              Obs.Json.Int report.Pim.Timed_simulator.queue_stall_cycles );
+            ( "compute_idle",
+              Obs.Json.Int report.Pim.Timed_simulator.compute_idle );
+            ("energy", Obs.Json.Float report.Pim.Timed_simulator.energy);
+          ])
+      (List.combine measured hop_ranks)
+      cycle_ranks
+  in
+  Printf.printf
+    "%d/%d schedulers ranked differently by cycles than by hop-volume (*)\n"
+    !disagreements (List.length measured);
+  (rows, !disagreements)
+
 let run_compare workload size mesh_shape torus partition unbounded trace_file
-    jobs kernel metrics_json arrays inter_cost =
+    jobs kernel timed metrics_json arrays inter_cost =
   obs_begin metrics_json;
   (match arrays with
   | Some spec ->
+      if timed then
+        failwith "--timed is not supported with --arrays (no group simulator)";
       run_compare_group spec inter_cost workload size torus partition
         unbounded trace_file jobs kernel
   | None ->
@@ -495,8 +572,44 @@ let run_compare workload size mesh_shape torus partition unbounded trace_file
             (Sched.Bounds.gap ~bound ~cost:total))
         Sched.Scheduler.all;
       Printf.printf "%-16s total=%6d  (sum of per-datum optima)\n"
-        "lower-bound" bound);
+        "lower-bound" bound;
+      if timed then ignore (cycles_table problem mesh trace));
   obs_finish ~command:"compare" ~jobs metrics_json
+
+let run_cycles workload size mesh_shape torus partition unbounded trace_file
+    jobs kernel bandwidth flit wormhole queue_depth compute_cycles json_out
+    metrics_json =
+  obs_begin metrics_json;
+  let model =
+    try
+      Pim.Link_model.create ~bandwidth ~flit ~wormhole ?queue_depth
+        ~compute_cycles ()
+    with Invalid_argument m -> failwith m
+  in
+  let mesh = build_mesh mesh_shape torus in
+  let trace = build_trace workload size partition mesh trace_file in
+  let capacity = capacity_of trace mesh unbounded in
+  describe_instance ?trace_file workload mesh trace capacity;
+  let problem = Sched.Problem.of_capacity ?capacity ~jobs ~kernel mesh trace in
+  let rows, disagreements = cycles_table ~model problem mesh trace in
+  (match json_out with
+  | Some path ->
+      Obs.Json.write_file path
+        (Obs.Json.Obj
+           [
+             ("schema", Obs.Json.String "pim-sched-cycles/1");
+             ("workload", Obs.Json.String (workload_to_string workload));
+             ( "mesh",
+               Obs.Json.String (Format.asprintf "%a" Pim.Mesh.pp mesh) );
+             ( "model",
+               Obs.Json.String
+                 (Format.asprintf "%a" Pim.Link_model.pp model) );
+             ("disagreements", Obs.Json.Int disagreements);
+             ("rows", Obs.Json.List rows);
+           ]);
+      Printf.printf "cycle table written to %s\n" path
+  | None -> ());
+  obs_finish ~command:"cycles" ~jobs metrics_json
 
 let run_table which mesh_shape sizes jobs =
   let mesh = build_mesh mesh_shape false in
@@ -862,13 +975,91 @@ let schedule_cmd =
       $ jobs_arg $ kernel_arg $ simulate_arg $ plan_out_arg
       $ metrics_json_arg $ arrays_arg $ inter_cost_arg)
 
+let timed_arg =
+  Arg.(
+    value & flag
+    & info [ "timed" ]
+        ~doc:
+          "Also re-run the comparison on the cycle-honest simulator \
+           (degenerate link model) and flag schedulers whose cycle rank \
+           disagrees with their hop-volume rank.")
+
 let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every algorithm on one instance")
     Term.(
       const run_compare $ workload_arg $ size_arg $ mesh_arg $ torus_arg
       $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg
-      $ kernel_arg $ metrics_json_arg $ arrays_arg $ inter_cost_arg)
+      $ kernel_arg $ timed_arg $ metrics_json_arg $ arrays_arg
+      $ inter_cost_arg)
+
+let cycles_cmd =
+  let pos_int_conv =
+    let parse s =
+      match Cmdliner.Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "expected N >= 1, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Cmdliner.Arg.conv_printer Arg.int)
+  in
+  let bandwidth_arg =
+    Arg.(
+      value & opt pos_int_conv 1
+      & info [ "bandwidth" ] ~docv:"N"
+          ~doc:"Volume units per link per cycle.")
+  in
+  let flit_arg =
+    Arg.(
+      value & opt pos_int_conv 1
+      & info [ "flit" ] ~docv:"N"
+          ~doc:"Fragment size for wormhole pipelining (with --wormhole).")
+  in
+  let wormhole_arg =
+    Arg.(
+      value & flag
+      & info [ "wormhole" ]
+          ~doc:
+            "Pipeline messages as flit-sized fragments instead of \
+             store-and-forward whole packets.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bound router input queues at N waiting packets; a full \
+             downstream queue stalls the upstream link (default: \
+             unbounded).")
+  in
+  let compute_cycles_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "compute-cycles" ] ~docv:"N"
+          ~doc:
+            "Node occupancy per reference volume unit executed: a busy rank \
+             cannot inject until done (default 0, compute is free).")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:"Write the ranking table as JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "cycles"
+       ~doc:
+         "Re-run the scheduler comparison on simulated cycles: hop-volume \
+          rank vs cycle rank under a configurable link model, disagreements \
+          flagged")
+    Term.(
+      const run_cycles $ workload_arg $ size_arg $ mesh_arg $ torus_arg
+      $ partition_arg $ unbounded_arg $ trace_file_arg $ jobs_arg
+      $ kernel_arg $ bandwidth_arg $ flit_arg $ wormhole_arg
+      $ queue_depth_arg $ compute_cycles_arg $ json_out_arg
+      $ metrics_json_arg)
 
 let profile_cmd =
   let algorithm_pos_arg =
@@ -1170,6 +1361,7 @@ let main =
     [
       schedule_cmd;
       compare_cmd;
+      cycles_cmd;
       profile_cmd;
       table_cmd;
       example_cmd;

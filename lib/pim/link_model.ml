@@ -1,0 +1,62 @@
+type energy = { per_hop : float; leak : float }
+
+type t = {
+  bandwidth : int;
+  flit : int;
+  wormhole : bool;
+  queue_depth : int option;
+  compute_cycles : int;
+  energy : energy;
+}
+
+(* Kept numerically identical to Energy.default; Energy depends on
+   Timed_simulator (which depends on this module), so the constants live
+   here and a test pins the two in sync. *)
+let default_energy = { per_hop = 10.; leak = 0.05 }
+
+let degenerate =
+  {
+    bandwidth = 1;
+    flit = 1;
+    wormhole = false;
+    queue_depth = None;
+    compute_cycles = 0;
+    energy = default_energy;
+  }
+
+let create ?(bandwidth = 1) ?(flit = 1) ?(wormhole = false) ?queue_depth
+    ?(compute_cycles = 0) ?(energy = default_energy) () =
+  if bandwidth < 1 then invalid_arg "Link_model.create: bandwidth < 1";
+  if flit < 1 then invalid_arg "Link_model.create: flit < 1";
+  (match queue_depth with
+  | Some d when d < 1 -> invalid_arg "Link_model.create: queue_depth < 1"
+  | _ -> ());
+  if compute_cycles < 0 then
+    invalid_arg "Link_model.create: compute_cycles < 0";
+  { bandwidth; flit; wormhole; queue_depth; compute_cycles; energy }
+
+let is_degenerate t =
+  t.bandwidth = 1 && (not t.wormhole) && t.queue_depth = None
+  && t.compute_cycles = 0
+
+let fragments t ~volume =
+  if volume < 0 then invalid_arg "Link_model.fragments: volume < 0";
+  if volume = 0 then []
+  else if not t.wormhole then [ volume ]
+  else begin
+    let full = volume / t.flit and rest = volume mod t.flit in
+    let tail = if rest = 0 then [] else [ rest ] in
+    let rec fills n acc = if n = 0 then acc else fills (n - 1) (t.flit :: acc) in
+    fills full tail
+  end
+
+let hop_cycles t units = (units + t.bandwidth - 1) / t.bandwidth
+
+let pp ppf t =
+  Format.fprintf ppf "bw=%d %s%s queue=%s compute=%d" t.bandwidth
+    (if t.wormhole then "wormhole" else "store-and-forward")
+    (if t.wormhole then Printf.sprintf "(flit=%d)" t.flit else "")
+    (match t.queue_depth with
+    | None -> "unbounded"
+    | Some d -> string_of_int d)
+    t.compute_cycles

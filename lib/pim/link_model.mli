@@ -1,0 +1,91 @@
+(** Parameterized link/router/compute model for the cycle-honest backend.
+
+    {!Timed_simulator}'s original engine hard-coded the 1998 abstraction:
+    store-and-forward switching, one volume unit per link per cycle,
+    unbounded router queues and instantaneous compute. A [Link_model.t]
+    names each of those assumptions so the timed backend can be swept away
+    from them one axis at a time:
+
+    - [bandwidth]: volume units a link moves per cycle — a hop of [v]
+      units holds its link for [ceil (v / bandwidth)] cycles;
+    - [flit] + [wormhole]: with [wormhole] on, a message is cut into
+      flit-sized fragments that pipeline hop by hop (virtual cut-through
+      at flit granularity) instead of storing-and-forwarding the whole
+      packet at every hop;
+    - [queue_depth]: bounded router input queues with backpressure — a
+      packet that finishes its hop but finds the downstream queue full
+      {e blocks in place}, holding its current link, which stalls the
+      traffic behind it (and so on upstream);
+    - [compute_cycles]: per-volume-unit occupancy of the executing node —
+      a rank sinking [v] reference units computes for
+      [compute_cycles * v] cycles at round start and cannot {e inject}
+      its own packets until done;
+    - [energy]: the two-level tally ({!Energy}'s transport + leakage
+      regime) the simulator prices its report with.
+
+    {!degenerate} pins every axis to the original engine's values; the
+    differential suite ([test_timed_model.ml]) keeps
+    [run ~model:degenerate] byte-identical to the pre-model reports. *)
+
+type energy = {
+  per_hop : float;  (** energy of one volume unit crossing one link *)
+  leak : float;  (** static energy of one processor for one cycle *)
+}
+
+type t = {
+  bandwidth : int;  (** volume units per link per cycle, [>= 1] *)
+  flit : int;  (** fragment size for wormhole pipelining, [>= 1] *)
+  wormhole : bool;
+      (** [true]: messages pipeline as flit-sized fragments; [false]:
+          store-and-forward whole packets (the paper's model) *)
+  queue_depth : int option;
+      (** waiting packets a link's input queue holds ([>= 1]) — the packet
+          currently transmitting is not counted; [None] = unbounded *)
+  compute_cycles : int;
+      (** cycles of node occupancy per reference volume unit executed;
+          [0] = compute is free (the paper's model) *)
+  energy : energy;
+}
+
+(** Matches {!Energy.default}: transport dominates leakage, the PIM-era
+    regime. *)
+val default_energy : energy
+
+(** The pre-model engine's exact configuration: [bandwidth = 1],
+    store-and-forward, unbounded queues, free compute, default energy.
+    [run ~model:degenerate] is pinned byte-identical to the legacy
+    reports. *)
+val degenerate : t
+
+(** [create ()] is {!degenerate}; each argument overrides one axis.
+    @raise Invalid_argument if [bandwidth], [flit] or a [queue_depth] is
+    [< 1], or [compute_cycles < 0]. *)
+val create :
+  ?bandwidth:int ->
+  ?flit:int ->
+  ?wormhole:bool ->
+  ?queue_depth:int ->
+  ?compute_cycles:int ->
+  ?energy:energy ->
+  unit ->
+  t
+
+(** [is_degenerate t] — [true] iff [t] times exactly like the legacy
+    engine (energy parameters are priced after the fact and do not
+    count). *)
+val is_degenerate : t -> bool
+
+(** [fragments t ~volume] is the list of packet sizes a message of
+    [volume] units is injected as: [[volume]] under store-and-forward,
+    flit-sized fragments (last one short) under wormhole. Invariants the
+    suite pins: the fragments sum to [volume], every fragment is
+    [>= 1] and [<= max flit volume], and order is
+    full-flits-then-remainder.
+    @raise Invalid_argument if [volume < 0]. *)
+val fragments : t -> volume:int -> int list
+
+(** [hop_cycles t units] is [ceil (units / bandwidth)] — cycles one hop
+    of [units] volume holds its link. *)
+val hop_cycles : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -32,6 +32,7 @@ type op =
       instance : instance;
       algorithm : string;
       fault : fault_spec option;
+      timed : Pim.Link_model.t option;
     }
   | Ping
   | Stats
@@ -152,6 +153,30 @@ let decode_fault fields =
                dead_links = get_pair_list f "dead_links";
              })
 
+let decode_link_model fields =
+  if not (get_bool fields "timed" ~default:false) then None
+  else
+    let m =
+      match get_obj fields "link_model" with None -> [] | Some o -> o
+    in
+    let queue_depth =
+      match field m "queue_depth" with
+      | None | Some Obs.Json.Null -> None
+      | Some (Obs.Json.Int i) -> Some i
+      | Some _ -> reject "field \"queue_depth\" must be an integer"
+    in
+    match
+      Pim.Link_model.create
+        ~bandwidth:(get_int m "bandwidth" ~default:1)
+        ~flit:(get_int m "flit" ~default:1)
+        ~wormhole:(get_bool m "wormhole" ~default:false)
+        ?queue_depth
+        ~compute_cycles:(get_int m "compute_cycles" ~default:0)
+        ()
+    with
+    | model -> Some model
+    | exception Invalid_argument m -> reject m
+
 let decode_instance fields =
   let trace_text = get_opt_string fields "trace" in
   let workload = get_string fields "workload" ~default:"1" in
@@ -193,6 +218,7 @@ let decode line =
                 instance = decode_instance fields;
                 algorithm = get_string fields "algorithm" ~default:"gomcds";
                 fault = decode_fault fields;
+                timed = decode_link_model fields;
               }
         | "ping" -> Ping
         | "stats" -> Stats

@@ -18,7 +18,15 @@
       fabric hop (default 10), inline traces reference {e global} ranks,
       generated workloads are laid out on the group's virtual mesh, and
       the [dead_arrays]/[array_rate] fault fields come alive (they are
-      rejected on single-mesh instances).
+      rejected on single-mesh instances). Setting ["timed":true] replays
+      the solved schedule through {!Pim.Timed_simulator} and adds a
+      [timed] object to the result (cycles, volume_hops,
+      link_utilization, bandwidth_idle, queue_stall_cycles, compute_idle,
+      energy); an optional [link_model] object ([{"bandwidth":b,
+      "flit":f, "wormhole":bool, "queue_depth":d?, "compute_cycles":c}],
+      every field defaulted to the degenerate unit-bandwidth
+      store-and-forward model) parameterizes the replay. Timed replay is
+      single-mesh only — it is rejected on [arrays] group instances.
     - ["ping"] — liveness probe, returns the protocol version.
     - ["stats"] — server counters.
     - ["shutdown"] — acknowledge and stop the daemon after this batch.
@@ -66,6 +74,10 @@ type op =
       instance : instance;
       algorithm : string;
       fault : fault_spec option;
+      timed : Pim.Link_model.t option;
+          (** [Some model] replays the schedule through
+              {!Pim.Timed_simulator.run} with that link model and adds a
+              [timed] result object; single-mesh instances only *)
     }
   | Ping
   | Stats

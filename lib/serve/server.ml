@@ -285,7 +285,50 @@ let admit_bytes t need =
 
 let admit t ctx = admit_bytes t ctx.Sched.Context.max_arena_bytes
 
-let solve id ctx ~key ~base algorithm fault_spec =
+(* The timed replay is request-scoped and pure: it re-runs the solved
+   schedule through the cycle-honest simulator with the request's link
+   model and the same fault set the solver saw. A deadlock (possible
+   only with bounded queues) is a property of the requested model, not a
+   server failure, so it comes back as a solve-error. *)
+let timed_fields ctx fault model schedule =
+  let mesh = ctx.Sched.Context.mesh in
+  let trace = ctx.Sched.Context.trace in
+  match
+    Pim.Timed_simulator.run ~fault ~model mesh
+      (Sched.Schedule.to_rounds schedule trace)
+  with
+  | r ->
+      [
+        ( "timed",
+          Obs.Json.Obj
+            [
+              ("cycles", Obs.Json.Int r.Pim.Timed_simulator.total_cycles);
+              ( "volume_hops",
+                Obs.Json.Int r.Pim.Timed_simulator.total_volume_hops );
+              ( "link_utilization",
+                Obs.Json.Float r.Pim.Timed_simulator.link_utilization );
+              ( "bandwidth_idle",
+                Obs.Json.Int r.Pim.Timed_simulator.bandwidth_idle );
+              ( "queue_stall_cycles",
+                Obs.Json.Int r.Pim.Timed_simulator.queue_stall_cycles );
+              ("compute_idle", Obs.Json.Int r.Pim.Timed_simulator.compute_idle);
+              ("energy", Obs.Json.Float r.Pim.Timed_simulator.energy);
+            ] );
+      ]
+  | exception Pim.Timed_simulator.Deadlock { cycle; in_flight } ->
+      raise
+        (Protocol.Reject
+           {
+             code = "solve-error";
+             message =
+               Printf.sprintf
+                 "timed replay deadlocked at cycle %d with %d packets in \
+                  flight (queue_depth too small)"
+                 cycle in_flight;
+             offset = None;
+           })
+
+let solve id ctx ~key ~base algorithm fault_spec timed =
   let algorithm =
     match Sched.Scheduler.of_name algorithm with
     | a -> a
@@ -310,15 +353,22 @@ let solve id ctx ~key ~base algorithm fault_spec =
   | schedule ->
       let trace = ctx.Sched.Context.trace in
       let breakdown = Sched.Schedule.cost schedule trace in
+      let timed_part =
+        match timed with
+        | None -> []
+        | Some model -> timed_fields ctx fault model schedule
+      in
       ( Protocol.ok_response id
-          [
-            ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
-            ("total", Obs.Json.Int breakdown.Sched.Schedule.total);
-            ("reference", Obs.Json.Int breakdown.Sched.Schedule.reference);
-            ("movement", Obs.Json.Int breakdown.Sched.Schedule.movement);
-            ("moves", Obs.Json.Int (Sched.Schedule.moves schedule));
-            ("plan", Obs.Json.String (Sched.Schedule_serial.to_string schedule));
-          ],
+          ([
+             ("algorithm", Obs.Json.String (Sched.Scheduler.name algorithm));
+             ("total", Obs.Json.Int breakdown.Sched.Schedule.total);
+             ("reference", Obs.Json.Int breakdown.Sched.Schedule.reference);
+             ("movement", Obs.Json.Int breakdown.Sched.Schedule.movement);
+             ("moves", Obs.Json.Int (Sched.Schedule.moves schedule));
+             ( "plan",
+               Obs.Json.String (Sched.Schedule_serial.to_string schedule) );
+           ]
+          @ timed_part),
         Some (key, problem) )
   | exception Invalid_argument m ->
       raise
@@ -376,7 +426,7 @@ let prepare t line =
       | Shutdown ->
           t.stopping <- true;
           Done (Protocol.ok_response id [ ("stopping", Obs.Json.Bool true) ])
-      | Solve { instance; algorithm; fault } -> (
+      | Solve { instance; algorithm; fault; timed } -> (
           match
             if t.config.memo then Hashtbl.find_opt t.memo_tbl line else None
           with
@@ -392,6 +442,10 @@ let prepare t line =
               match
                 match instance.Protocol.arrays with
                 | Some arrays ->
+                    if timed <> None then
+                      Protocol.reject
+                        "\"timed\" replay is single-mesh only (no group \
+                         simulator); drop the \"arrays\" field";
                     let gp = build_group_problem t instance arrays fault in
                     admit_bytes t (Multi.Group_problem.max_arena_bytes gp);
                     hit "serve.group_requests";
@@ -412,7 +466,7 @@ let prepare t line =
                           Some p
                       | None -> None
                     in
-                    fun () -> solve id ctx ~key ~base algorithm fault
+                    fun () -> solve id ctx ~key ~base algorithm fault timed
               with
               | work -> Todo { line; id; work }
               | exception Protocol.Reject e ->

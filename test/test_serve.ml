@@ -217,6 +217,104 @@ let test_inline_trace () =
     "inline plan = generated plan" true
     (result_field r "plan" = result_field generated "plan")
 
+(* ---- timed replay ---- *)
+
+(* A "timed":true solve must carry a timed object whose figures equal a
+   direct in-process replay of the same schedule through the
+   cycle-honest simulator, and the link_model knobs must reach it. *)
+let test_timed_solve () =
+  let mesh = Pim.Mesh.create ~rows:4 ~cols:4 in
+  let trace =
+    Workloads.Benchmarks.trace
+      ~partition:Workloads.Iteration_space.Block_2d Workloads.Benchmarks.B1
+      ~n:8 mesh
+  in
+  let policy =
+    Sched.Problem.Bounded
+      (Pim.Memory.capacity_for
+         ~data_count:(Reftrace.Data_space.size (Reftrace.Trace.space trace))
+         ~mesh ~headroom:2)
+  in
+  let schedule =
+    Sched.Scheduler.solve
+      (Sched.Problem.create ~policy mesh trace)
+      Sched.Scheduler.Gomcds
+  in
+  let rounds = Sched.Schedule.to_rounds schedule trace in
+  let timed_field r k =
+    match result_field r k with
+    | Some (Obs.Json.Obj timed) -> timed
+    | _ -> Alcotest.failf "result has no timed object: %s" r
+  in
+  (* degenerate model: "timed":true with no link_model object *)
+  let r =
+    Server.handle_line (fresh ())
+      {|{"id":1,"workload":"1","size":8,"algorithm":"gomcds","timed":true}|}
+  in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  let direct = Pim.Timed_simulator.run mesh rounds in
+  let timed = timed_field r "timed" in
+  Alcotest.(check bool)
+    "cycles match direct replay" true
+    (List.assoc_opt "cycles" timed
+    = Some (Obs.Json.Int direct.Pim.Timed_simulator.total_cycles));
+  Alcotest.(check bool)
+    "volume_hops match direct replay" true
+    (List.assoc_opt "volume_hops" timed
+    = Some (Obs.Json.Int direct.Pim.Timed_simulator.total_volume_hops));
+  Alcotest.(check bool)
+    "energy match direct replay" true
+    (List.assoc_opt "energy" timed
+    = Some (Obs.Json.Float direct.Pim.Timed_simulator.energy));
+  (* parameterized model: the knobs must reach the simulator *)
+  let r2 =
+    Server.handle_line (fresh ())
+      {|{"id":2,"workload":"1","size":8,"algorithm":"gomcds","timed":true,"link_model":{"bandwidth":2,"queue_depth":1}}|}
+  in
+  Alcotest.(check bool) "parameterized ok" true (is_ok r2);
+  let model = Pim.Link_model.create ~bandwidth:2 ~queue_depth:1 () in
+  let direct2 = Pim.Timed_simulator.run ~model mesh rounds in
+  let timed2 = timed_field r2 "timed" in
+  Alcotest.(check bool)
+    "parameterized cycles match" true
+    (List.assoc_opt "cycles" timed2
+    = Some (Obs.Json.Int direct2.Pim.Timed_simulator.total_cycles));
+  Alcotest.(check bool)
+    "parameterized stalls match" true
+    (List.assoc_opt "queue_stall_cycles" timed2
+    = Some (Obs.Json.Int direct2.Pim.Timed_simulator.queue_stall_cycles));
+  (* an untimed solve must not carry the object *)
+  let r3 =
+    Server.handle_line (fresh ())
+      {|{"id":3,"workload":"1","size":8,"algorithm":"gomcds"}|}
+  in
+  Alcotest.(check bool)
+    "no timed object without the flag" true
+    (result_field r3 "timed" = None)
+
+let test_timed_rejections () =
+  let t = fresh () in
+  let check_code name line expected =
+    let r = Server.handle_line t line in
+    Alcotest.(check bool) (name ^ ": not ok") false (is_ok r);
+    Alcotest.(check string) name expected (error_code r)
+  in
+  check_code "invalid link model"
+    {|{"id":1,"workload":"1","timed":true,"link_model":{"bandwidth":0}}|}
+    "bad-request";
+  check_code "wormhole needs a flit width"
+    {|{"id":2,"workload":"1","timed":true,"link_model":{"wormhole":true,"flit":0}}|}
+    "bad-request";
+  check_code "timed is single-mesh only"
+    {|{"id":3,"workload":"1","size":8,"arrays":"2x2of4x4","timed":true}|}
+    "bad-request";
+  (* "timed":false is the same as absent, even with a link_model object *)
+  Alcotest.(check bool)
+    "timed:false ignored" true
+    (is_ok
+       (Server.handle_line t
+          {|{"id":4,"workload":"1","size":8,"timed":false,"link_model":{"bandwidth":0}}|}))
+
 (* ---- admission control ---- *)
 
 let test_admission () =
@@ -324,6 +422,8 @@ let suite =
     Gen.case "differential vs one-shot (kernels x faults x jobs)"
       test_differential;
     Gen.case "inline trace matches generated" test_inline_trace;
+    Gen.case "timed replay matches direct simulation" test_timed_solve;
+    Gen.case "timed replay rejections" test_timed_rejections;
     Gen.case "admission control" test_admission;
     Gen.case "batch order and identity" test_batch_order_and_identity;
     Gen.case "memo and context reuse" test_memo_and_context_reuse;

@@ -33,6 +33,53 @@ let test_fifo_determinism () =
   in
   check_int "stable result" (makespan msgs) (makespan msgs)
 
+(* The hash-set rewrite of the active-link bookkeeping must not perturb
+   grant order: two runs of a contended batch agree on the entire report
+   (every stat, including the floats), not just the makespan. *)
+let test_repeat_run_reports_identical () =
+  let rounds =
+    [
+      {
+        Pim.Simulator.migrations = [ msg ~src:0 ~dst:15 ~volume:3 ];
+        references =
+          [
+            msg ~src:5 ~dst:6 ~volume:2;
+            msg ~src:1 ~dst:13 ~volume:1;
+            msg ~src:12 ~dst:3 ~volume:2;
+            msg ~src:2 ~dst:14 ~volume:1;
+          ];
+      };
+      {
+        Pim.Simulator.migrations = [];
+        references = [ msg ~src:4 ~dst:7 ~volume:2; msg ~src:7 ~dst:4 ~volume:2 ];
+      };
+    ]
+  in
+  let model = Pim.Link_model.create ~bandwidth:2 ~queue_depth:1 () in
+  check_bool "degenerate reports identical" true
+    (Pim.Timed_simulator.run mesh rounds = Pim.Timed_simulator.run mesh rounds);
+  check_bool "bounded-queue reports identical" true
+    (Pim.Timed_simulator.run ~model mesh rounds
+    = Pim.Timed_simulator.run ~model mesh rounds)
+
+(* The legacy utilization field divides volume-hops by links ever active
+   times the makespan (documented in the .mli): a lone single-hop message
+   scores exactly 1.0, and a lone h-hop message scores 1/h because every
+   link of the route is charged for the full makespan. The honest
+   per-cycle figure, link_utilization, is 1.0 for any lone message. *)
+let test_utilization_definition () =
+  let check_util = Alcotest.(check (float 1e-12)) in
+  let single_hop = Pim.Timed_simulator.round_stats mesh [ msg ~src:0 ~dst:1 ~volume:3 ] in
+  check_util "single message, single hop: utilization = 1.0" 1.0
+    single_hop.Pim.Timed_simulator.utilization;
+  check_util "lone single-hop message: link_utilization = 1.0" 1.0
+    single_hop.Pim.Timed_simulator.link_utilization;
+  let six_hops = Pim.Timed_simulator.round_stats mesh [ msg ~src:0 ~dst:15 ~volume:3 ] in
+  check_util "lone 6-hop message: legacy utilization = 1/6" (1. /. 6.)
+    six_hops.Pim.Timed_simulator.utilization;
+  check_util "lone 6-hop message: link_utilization = 1.0" 1.0
+    six_hops.Pim.Timed_simulator.link_utilization
+
 let test_pipeline_overlap () =
   (* two unit packets over the same 2-hop route: the second starts on link 1
      while the first is on link 2 -> 3 cycles, not 4 *)
@@ -134,6 +181,8 @@ let suite =
     Gen.case "contention serializes" test_contention_serializes;
     Gen.case "disjoint parallel" test_disjoint_messages_parallel;
     Gen.case "fifo determinism" test_fifo_determinism;
+    Gen.case "repeat-run reports identical" test_repeat_run_reports_identical;
+    Gen.case "utilization definition" test_utilization_definition;
     Gen.case "pipeline overlap" test_pipeline_overlap;
     Gen.case "run aggregates rounds" test_run_aggregates_rounds;
     Gen.case "volume-hops match analytic" test_volume_hops_match_analytic;
