@@ -1309,18 +1309,49 @@ let sweep_cmd =
       const run_sweep $ sizes_arg $ mesh_arg $ torus_arg $ output_arg
       $ headroom_arg $ jobs_arg $ metrics_json_arg)
 
-let run_serve jobs batch max_arena_mb no_memo metrics_json =
+(* The --failpoints flag wins over the PIMSCHED_FAILPOINTS environment
+   variable; either arms the registry before the daemon starts. *)
+let arm_failpoints spec_flag =
+  let spec =
+    match spec_flag with
+    | Some s -> Some s
+    | None -> Sys.getenv_opt "PIMSCHED_FAILPOINTS"
+  in
+  match spec with
+  | None -> ()
+  | Some s -> (
+      match Obs.Failpoint.configure s with
+      | () -> ()
+      | exception Invalid_argument m ->
+          prerr_endline ("pimsched: " ^ m);
+          exit 2)
+
+let run_serve jobs batch max_arena_mb no_memo max_cache_mb max_line_bytes
+    max_queue write_timeout_ms failpoints metrics_json =
   obs_begin metrics_json;
+  arm_failpoints failpoints;
+  let default = Serve.Server.default_config () in
   let config =
     {
       Serve.Server.jobs;
       batch;
       max_arena_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_arena_mb;
       memo = not no_memo;
+      max_cache_bytes =
+        (match max_cache_mb with
+        | None -> default.Serve.Server.max_cache_bytes
+        | Some mb -> mb * 1024 * 1024);
+      max_line_bytes =
+        Option.value max_line_bytes
+          ~default:default.Serve.Server.max_line_bytes;
+      max_queue = Option.value max_queue ~default:default.Serve.Server.max_queue;
+      write_timeout_ms =
+        Option.value write_timeout_ms
+          ~default:default.Serve.Server.write_timeout_ms;
     }
   in
   let server = Serve.Server.create ~config () in
-  Serve.Server.run server ~input:Unix.stdin stdout;
+  Serve.Server.run server ~input:Unix.stdin ~output:Unix.stdout;
   obs_finish ~to_stderr:true ~command:"serve" ~jobs metrics_json
 
 let serve_cmd =
@@ -1345,6 +1376,52 @@ let serve_cmd =
       & info [ "no-memo" ]
           ~doc:"Disable the response memo keyed by raw request line.")
   in
+  let max_cache_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Byte budget shared by the context, memo and warm-session \
+             caches (default 256); 0 disables caching.")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-line-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Reject request lines longer than this with a typed \
+             parse-error (default 4 MiB).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Shed buffered backlog beyond N request lines with typed \
+             overloaded responses (default 1024).")
+  in
+  let write_timeout_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "write-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-response write budget before a slow-reading client is \
+             dropped (default 5000).")
+  in
+  let failpoints_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic failpoints, e.g. \
+             'serve.solve=raise,n=1;serve.read=short_read'. Overrides \
+             \\$(b,PIMSCHED_FAILPOINTS).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1352,7 +1429,113 @@ let serve_cmd =
           (line-delimited JSON, protocol pim-sched-serve/1)")
     Term.(
       const run_serve $ jobs_arg $ batch_arg $ max_arena_mb_arg $ no_memo_arg
-      $ metrics_json_arg)
+      $ max_cache_mb_arg $ max_line_bytes_arg $ max_queue_arg
+      $ write_timeout_ms_arg $ failpoints_arg $ metrics_json_arg)
+
+let run_chaos seed jobs requests script_file json_out =
+  let script =
+    Option.map
+      (fun path ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (if String.trim line = "" then acc else line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go []))
+      script_file
+  in
+  let pass, report = Serve.Chaos.run ~seed ~jobs ~requests ?script () in
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string report);
+          output_char oc '\n'));
+  (match report with
+  | Obs.Json.Obj fields -> (
+      match List.assoc_opt "episodes" fields with
+      | Some (Obs.Json.List eps) ->
+          List.iter
+            (fun ep ->
+              match ep with
+              | Obs.Json.Obj f ->
+                  let str k =
+                    match List.assoc_opt k f with
+                    | Some (Obs.Json.String s) -> s
+                    | _ -> "?"
+                  in
+                  let int k =
+                    match List.assoc_opt k f with
+                    | Some (Obs.Json.Int i) -> i
+                    | _ -> 0
+                  in
+                  let ok =
+                    match List.assoc_opt "pass" f with
+                    | Some (Obs.Json.Bool true) -> "ok  "
+                    | _ -> "FAIL"
+                  in
+                  Printf.printf "%s %-13s %3d req  %3d ok\n" ok
+                    (str "episode") (int "requests") (int "ok");
+                  (match List.assoc_opt "failures" f with
+                  | Some (Obs.Json.List ms) ->
+                      List.iter
+                        (function
+                          | Obs.Json.String m ->
+                              Printf.printf "       - %s\n" m
+                          | _ -> ())
+                        ms
+                  | _ -> ())
+              | _ -> ())
+            eps
+      | _ -> ())
+  | _ -> ());
+  Printf.printf "chaos %s (seed %d)\n" (if pass then "PASS" else "FAIL") seed;
+  if not pass then exit 1
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for the probabilistic failpoint schedules.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Length of the generated default script.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"PATH"
+          ~doc:
+            "Replay this file of request lines (one JSON request per \
+             line) instead of the generated LU 16x16 script.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:"Write the chaos report (chaos.json) here.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay a request script through the serve daemon under a \
+          seeded failpoint schedule and check its hardening invariants")
+    Term.(
+      const run_chaos $ seed_arg $ jobs_arg $ requests_arg $ script_arg
+      $ json_out_arg)
 
 let main =
   Cmd.group
@@ -1372,6 +1555,7 @@ let main =
       sweep_cmd;
       stats_cmd;
       serve_cmd;
+      chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main)

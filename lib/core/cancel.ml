@@ -1,0 +1,24 @@
+exception Expired
+
+(* [deadline_us] on the Obs.Clock monotonic scale; [infinity] = never.
+   [aborted] is the explicit flag — an atomic so any domain can cancel a
+   solve running on another. The [none] token is a shared constant whose
+   flag must never be set (checked in [cancel]), so polling it costs one
+   float compare and one atomic load. *)
+type t = { deadline_us : float; aborted : bool Atomic.t }
+
+let none = { deadline_us = infinity; aborted = Atomic.make false }
+
+let after ~budget_ms =
+  { deadline_us = Obs.Clock.now_us () +. (budget_ms *. 1000.);
+    aborted = Atomic.make false }
+
+let cancel t =
+  if t == none then invalid_arg "Cancel.cancel: the none token";
+  Atomic.set t.aborted true
+
+let expired t =
+  Atomic.get t.aborted
+  || (t.deadline_us < infinity && Obs.Clock.now_us () > t.deadline_us)
+
+let check t = if expired t then raise Expired

@@ -1,0 +1,42 @@
+(** Cooperative cancellation for request-scoped solves.
+
+    A [Cancel.t] is a deadline on the monotonic clock plus an explicit
+    abort flag, threaded into a {!Problem} session
+    ({!Problem.set_cancel}) so the per-datum fill and solve loops can
+    poll it: an expired or cancelled token makes the next poll raise
+    {!Expired}, which unwinds the solve and frees the domain instead of
+    letting an abandoned request occupy it to completion. Polls are
+    cheap — a float compare against the {!none} token, one
+    monotonic-clock read (tens of nanoseconds) against an armed one —
+    and sit at per-datum granularity, so a solve overruns its deadline
+    by at most one datum's work.
+
+    A session whose solve raised {!Expired} has internally consistent
+    but partially filled caches; discard it (the serve path drops the
+    warm-pool entry) rather than reusing it under a fresh token. *)
+
+type t
+
+exception Expired
+(** Raised by {!check} once the deadline has passed or {!cancel} was
+    called. *)
+
+(** [none] never expires — the token every session starts with. *)
+val none : t
+
+(** [after ~budget_ms] is a token expiring [budget_ms] milliseconds
+    from now on the monotonic clock ({!Obs.Clock}); a non-positive
+    budget is already expired. *)
+val after : budget_ms:float -> t
+
+(** [cancel t] aborts [t] explicitly: every subsequent {!check} raises,
+    every {!expired} is [true]. [cancel none] is forbidden.
+    @raise Invalid_argument on [none]. *)
+val cancel : t -> unit
+
+(** [expired t] is [true] once the deadline passed or [cancel] ran. *)
+val expired : t -> bool
+
+(** [check t] raises {!Expired} iff [expired t]. The poll the solve
+    loops call. *)
+val check : t -> unit

@@ -1,5 +1,11 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Chaos hook at the task boundary: [Injected] surfaces exactly like a
+   body exception (recorded first-wins on the parallel path, immediate on
+   the serial one), exercising the submitter's re-raise plumbing without
+   touching any real body. Disabled it costs one ref read per index. *)
+let fp_task = Obs.Failpoint.site "engine.task"
+
 (* Persistent domain pool.
 
    Helper domains are spawned once, on first demand, and kept for the
@@ -58,7 +64,9 @@ let run_job job =
       claimed := !claimed + (hi - lo);
       for i = lo to hi - 1 do
         let t0 = if instrument then Obs.now_us () else 0. in
-        (try job.body i
+        (try
+           Obs.Failpoint.hit fp_task;
+           job.body i
          with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
         if instrument then
           Obs.Metrics.observe "engine.task_us"
@@ -122,6 +130,7 @@ let run_pool ~jobs n body =
   let k = min (min jobs n) (default_jobs ()) in
   if k <= 1 then
     for i = 0 to n - 1 do
+      Obs.Failpoint.hit fp_task;
       body i
     done
   else begin

@@ -70,6 +70,12 @@ type t = {
   merged_cands : int list option array;
   near : int list option array; (* near.(target): serial phases only *)
   mutable order : int list option; (* serial phases only *)
+  (* Cooperative cancellation: polled at the fill/solve funnels below.
+     [Cancel.none] (the default) makes every poll a pointer compare; an
+     armed token adds one monotonic-clock read per datum-or-row of work.
+     Written only from the serial admission path ([set_cancel]) before
+     the solve starts; parallel tasks just read it. *)
+  mutable cancel : Cancel.t;
 }
 
 let build_fault_dist mesh size fault =
@@ -125,6 +131,7 @@ let of_context ?policy ?jobs ?(fault = Pim.Fault.none) ctx =
     merged_cands = Array.make n_data None;
     near = Array.make size None;
     order = None;
+    cancel = Cancel.none;
   }
 
 let create ?(policy = Unbounded) ?(jobs = 1) ?(kernel = `Separable)
@@ -198,6 +205,15 @@ let distance t a b =
   | None -> Context.distance t.ctx a b
 
 let axis_tables t = (t.ctx.Context.xdist, t.ctx.Context.ydist)
+
+let set_cancel t c = t.cancel <- c
+let cancel_token t = t.cancel
+
+(* The cooperative poll: free against [Cancel.none] (one physical-equality
+   branch inside [Cancel.expired] short-circuits to the float compare),
+   one clock read against an armed token. Sits at the per-row / per-datum
+   funnels so an expired solve unwinds within one row's work. *)
+let poll t = Cancel.check t.cancel
 
 (* Cache accounting (merged-window lookups fold into the same names):
    totals are per-(datum, window) and each row has a single writer, so
@@ -323,6 +339,7 @@ let datum_has_dirty t ~data =
   !found
 
 let fill_row t ~window ~data =
+  poll t;
   (match Bytes.get t.filled.(data) window with
   | '\000' | '\001' -> ()
   | st ->
@@ -382,6 +399,7 @@ let merged_vector t ~data =
       v
   | None ->
       hit "problem.vector_miss";
+      poll t;
       let size = t.ctx.Context.size in
       let v =
         if Reftrace.Window.references t.ctx.Context.merged data = 0 then
@@ -427,6 +445,7 @@ let optimal_center t ~window ~data =
   let cached = t.opts.(data).(window) in
   if cached >= 0 then cached
   else begin
+    poll t;
     let mesh = t.ctx.Context.mesh in
     let c =
       if faulty t then begin
@@ -503,6 +522,7 @@ let candidates t ~window ~data =
       l
   | None ->
       hit "problem.candidates_miss";
+      poll t;
       let size = t.ctx.Context.size in
       let l =
         if Bytes.get t.filled.(data) window = '\001' then begin
@@ -637,6 +657,7 @@ let layer_slab t ~data =
    rows, so this task only writes its own window's column (slab row,
    filled byte, margs cell per datum) — one writer per cell. *)
 let fill_window_rows t ~window =
+  poll t;
   let nd = n_data t in
   let mesh = t.ctx.Context.mesh in
   let batch = ref [] in
@@ -982,6 +1003,7 @@ let layered t ~data =
   }
 
 let solve_datum ?allowed t ~data =
+  poll t;
   (* Compose the caller's filter with the alive mask; no closure is built
      on the healthy unfiltered path. *)
   let combined =

@@ -125,6 +125,25 @@ val kernel : t -> kernel
     ({!Pim.Fault.none} for a healthy array). *)
 val fault : t -> Pim.Fault.t
 
+(** [set_cancel t c] arms cooperative cancellation for the session:
+    every fill/solve funnel — {!solve_datum}, the arena row fills behind
+    {!cost_entry}/{!layer_slab}/{!prefetch_all}, the {!candidates} and
+    {!optimal_center} miss paths — polls [c] and raises
+    {!Cancel.Expired} once it expires (deadline passed on the monotonic
+    clock, or {!Cancel.cancel} called from any domain). Polls sit at
+    per-row / per-datum granularity, so a solve overruns its budget by
+    at most one row's work; against the default {!Cancel.none} a poll
+    costs a pointer compare. Call from the serial admission path before
+    the solve starts — parallel phases only read the token. A session
+    whose solve raised [Expired] has internally consistent but partial
+    caches; re-arm it with a fresh token (or {!Cancel.none}) before
+    reusing it, or discard it. *)
+val set_cancel : t -> Cancel.t -> unit
+
+(** [cancel_token t] is the token the session polls ({!Cancel.none}
+    until {!set_cancel}). *)
+val cancel_token : t -> Cancel.t
+
 (** [rank_alive t rank] is [false] iff the fault killed [rank]'s
     compute/memory (O(1) mask read — safe in parallel phases). *)
 val rank_alive : t -> int -> bool

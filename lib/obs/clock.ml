@@ -1,0 +1,4 @@
+external monotonic_s : unit -> float = "pimsched_monotonic_s"
+
+let now_s = monotonic_s
+let now_us () = monotonic_s () *. 1e6

@@ -1,0 +1,15 @@
+(** Monotonic time, the one clock every latency measurement goes through.
+
+    [Unix.gettimeofday] steps when NTP adjusts the system clock, so a
+    daemon timing requests against it misreports latency (negative
+    durations across a backwards step, inflated ones across a forward
+    step) and a deadline armed against it can expire early or never.
+    These helpers read [CLOCK_MONOTONIC] via a tiny C primitive; the
+    origin is arbitrary (boot time on Linux), so only differences are
+    meaningful — never compare against wall-clock timestamps. *)
+
+(** [now_s ()] is the monotonic clock in seconds. *)
+val now_s : unit -> float
+
+(** [now_us ()] is the monotonic clock in microseconds. *)
+val now_us : unit -> float

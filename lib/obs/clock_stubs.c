@@ -1,0 +1,41 @@
+/* Monotonic clock primitive for Obs.Clock.
+
+   The OCaml Unix library only exposes gettimeofday, which steps under
+   NTP adjustment and breaks latency measurement in a long-lived daemon;
+   CLOCK_MONOTONIC is immune. Returned as a double of seconds since an
+   arbitrary epoch — only differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value pimsched_monotonic_s(value unit)
+{
+  static double freq = 0.0;
+  LARGE_INTEGER t;
+  if (freq == 0.0) {
+    LARGE_INTEGER f;
+    QueryPerformanceFrequency(&f);
+    freq = (double)f.QuadPart;
+  }
+  QueryPerformanceCounter(&t);
+  return caml_copy_double((double)t.QuadPart / freq);
+}
+
+#else
+#include <time.h>
+
+CAMLprim value pimsched_monotonic_s(value unit)
+{
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}
+
+#endif

@@ -1,0 +1,241 @@
+type action =
+  | Off
+  | Raise
+  | Delay of float
+  | Short_read
+  | Partial_write
+
+(* One site: the policy fields are written only under [registry_mutex]
+   (configure/set/clear are control-plane calls), read without it on the
+   hot path — a torn read across fields can at worst misfire during the
+   reconfiguration instant, which no caller depends on. [remaining] is
+   the at-most-[n] countdown and must be exact even under parallel hits,
+   hence atomic. The PRNG is a splitmix64 walk guarded by its own mutex:
+   probability draws are only deterministic on serial paths anyway, and
+   the mutex just keeps the state from tearing. *)
+type site = {
+  sname : string;
+  mutable action : action;
+  mutable prob : float;
+  remaining : int Atomic.t; (* max_int = unlimited, never decremented *)
+  mutable rng : int64;
+  rng_mutex : Mutex.t;
+  hits : int Atomic.t;
+  nfired : int Atomic.t;
+}
+
+exception Injected of string
+
+let enabled = ref false
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let site name =
+  Mutex.lock registry_mutex;
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            sname = name;
+            action = Off;
+            prob = 1.;
+            remaining = Atomic.make max_int;
+            rng = 0L;
+            rng_mutex = Mutex.create ();
+            hits = Atomic.make 0;
+            nfired = Atomic.make 0;
+          }
+        in
+        Hashtbl.add registry name s;
+        s
+  in
+  Mutex.unlock registry_mutex;
+  s
+
+let name s = s.sname
+
+let all () =
+  Mutex.lock registry_mutex;
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort String.compare names
+
+(* splitmix64 step: full 64-bit period, every seed (including 0) walks a
+   distinct deterministic sequence. *)
+let splitmix x =
+  let x = Int64.add x 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let draw s =
+  if s.prob >= 1. then true
+  else begin
+    Mutex.lock s.rng_mutex;
+    s.rng <- splitmix s.rng;
+    let u =
+      Int64.to_float (Int64.shift_right_logical s.rng 11) /. 9007199254740992.
+    in
+    Mutex.unlock s.rng_mutex;
+    u < s.prob
+  end
+
+(* Claim one firing slot; the [max_int] sentinel (unlimited) is never
+   decremented, so an exhausted countdown wobbling around zero can never
+   be mistaken for it. *)
+let take s =
+  if Atomic.get s.remaining = max_int then true
+  else if Atomic.fetch_and_add s.remaining (-1) > 0 then true
+  else begin
+    (* exhausted (or lost the race): undo the decrement so the counter
+       does not wander ever further negative under heavy hitting *)
+    ignore (Atomic.fetch_and_add s.remaining 1);
+    false
+  end
+
+let record_fire s =
+  Atomic.incr s.nfired;
+  if !Switch.enabled then Metrics.incr "failpoint.fired"
+
+let hit s =
+  if !enabled then begin
+    Atomic.incr s.hits;
+    if !Switch.enabled then Metrics.incr "failpoint.hits";
+    match s.action with
+    | Off | Short_read | Partial_write -> ()
+    | Raise ->
+        if draw s && take s then begin
+          record_fire s;
+          raise (Injected s.sname)
+        end
+    | Delay ms ->
+        if draw s && take s then begin
+          record_fire s;
+          Unix.sleepf (ms /. 1000.)
+        end
+  end
+
+let clamp s n =
+  if (not !enabled) || n <= 1 then n
+  else begin
+    Atomic.incr s.hits;
+    if !Switch.enabled then Metrics.incr "failpoint.hits";
+    match s.action with
+    | Short_read when draw s && take s ->
+        record_fire s;
+        1
+    | Partial_write when draw s && take s ->
+        record_fire s;
+        max 1 (n / 2)
+    | Off | Raise | Delay _ | Short_read | Partial_write -> n
+  end
+
+let set nm ?(p = 1.) ?n ?(seed = 0) action =
+  if p < 0. || p > 1. then
+    invalid_arg "Failpoint.set: p must be within 0..1";
+  (match n with
+  | Some n when n < 0 -> invalid_arg "Failpoint.set: n must be >= 0"
+  | _ -> ());
+  let s = site nm in
+  Mutex.lock registry_mutex;
+  s.action <- action;
+  s.prob <- p;
+  Atomic.set s.remaining (match n with None -> max_int | Some n -> n);
+  s.rng <- Int64.of_int seed;
+  Mutex.unlock registry_mutex;
+  enabled := true
+
+let clear () =
+  enabled := false;
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ s ->
+      s.action <- Off;
+      s.prob <- 1.;
+      Atomic.set s.remaining max_int;
+      s.rng <- 0L;
+      Atomic.set s.hits 0;
+      Atomic.set s.nfired 0)
+    registry;
+  Mutex.unlock registry_mutex
+
+let fired s = Atomic.get s.nfired
+
+let stats () =
+  Mutex.lock registry_mutex;
+  let rows =
+    Hashtbl.fold
+      (fun k s acc -> (k, Atomic.get s.hits, Atomic.get s.nfired) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows
+
+(* ---- spec parsing ---- *)
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let parse_action spec = function
+  | "off" -> Off
+  | "raise" -> Raise
+  | "short_read" -> Short_read
+  | "partial_write" -> Partial_write
+  | a when String.length a > 6 && String.sub a 0 6 = "delay:" -> (
+      let ms = String.sub a 6 (String.length a - 6) in
+      match float_of_string_opt ms with
+      | Some ms when ms >= 0. -> Delay ms
+      | _ -> fail "Failpoint.configure: bad delay %S in %S" ms spec)
+  | a -> fail "Failpoint.configure: unknown action %S in %S" a spec
+
+let configure spec =
+  let entries =
+    List.filter (fun s -> String.trim s <> "") (String.split_on_char ';' spec)
+  in
+  let parsed =
+    List.map
+      (fun entry ->
+        let entry = String.trim entry in
+        match String.index_opt entry '=' with
+        | None -> fail "Failpoint.configure: missing '=' in %S" entry
+        | Some i ->
+            let nm = String.trim (String.sub entry 0 i) in
+            if nm = "" then fail "Failpoint.configure: empty site in %S" entry;
+            let rhs =
+              String.sub entry (i + 1) (String.length entry - i - 1)
+            in
+            (match String.split_on_char ',' rhs with
+            | [] -> fail "Failpoint.configure: empty action in %S" entry
+            | action :: opts ->
+                let action = parse_action entry (String.trim action) in
+                let p = ref 1. and n = ref None and seed = ref 0 in
+                List.iter
+                  (fun opt ->
+                    let opt = String.trim opt in
+                    match String.index_opt opt '=' with
+                    | None ->
+                        fail "Failpoint.configure: bad option %S in %S" opt
+                          entry
+                    | Some j -> (
+                        let k = String.sub opt 0 j in
+                        let v =
+                          String.sub opt (j + 1) (String.length opt - j - 1)
+                        in
+                        match (k, float_of_string_opt v) with
+                        | "p", Some f -> p := f
+                        | "n", Some f -> n := Some (int_of_float f)
+                        | "seed", Some f -> seed := int_of_float f
+                        | _ ->
+                            fail "Failpoint.configure: bad option %S in %S"
+                              opt entry))
+                  opts;
+                (nm, action, !p, !n, !seed)))
+      entries
+  in
+  (* arm only after the whole spec parsed, so a malformed tail does not
+     leave a half-configured schedule behind *)
+  List.iter (fun (nm, action, p, n, seed) -> set nm ~p ?n ~seed action) parsed;
+  enabled := true

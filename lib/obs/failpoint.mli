@@ -1,0 +1,104 @@
+(** Deterministic failure injection at named sites.
+
+    A {e failpoint} is a named place in the code — [serve.read],
+    [engine.task] — where a test or a chaos run can inject a failure
+    that production code never sees: with the global switch off (the
+    default) every [hit] is one [ref] read and a branch, so failpoints
+    stay compiled into release binaries at no measurable cost (gated by
+    [bench]'s serve section).
+
+    Sites are registered once, at module-initialization time, by the
+    code that owns them ({!site} is idempotent); the catalog lives in
+    DESIGN.md §15. Each site carries a policy:
+
+    - [Off] — never fires.
+    - [Raise] — [hit] raises {!Injected}.
+    - [Delay ms] — [hit] sleeps [ms] milliseconds.
+    - [Short_read] — {!clamp} truncates a byte count to 1 (exercises
+      read-loop reassembly).
+    - [Partial_write] — {!clamp} halves a byte count (exercises
+      write-all loops).
+
+    A policy optionally fires with probability [p] (drawn from a
+    per-site PRNG seeded by [seed], so a fixed seed yields a fixed
+    firing schedule on a serial path) and at most [n] times (an atomic
+    countdown — the way a test arranges "fail once, then succeed", and
+    the only mode whose schedule is exact under parallel hits).
+
+    Policies come from {!set} or from {!configure}'s spec string, the
+    grammar the [PIMSCHED_FAILPOINTS] environment variable and the
+    serve [--failpoints] flag share:
+
+    {v site=action[,key=value...][;site=action...] v}
+
+    where [action] is [off], [raise], [delay:<ms>], [short_read] or
+    [partial_write], and the keys are [p=<float>], [n=<int>],
+    [seed=<int>]. Example:
+
+    {v serve.solve=raise,n=1;serve.read=short_read,p=0.5,seed=7 v} *)
+
+type action =
+  | Off
+  | Raise
+  | Delay of float  (** milliseconds *)
+  | Short_read
+  | Partial_write
+
+type site
+
+exception Injected of string
+(** Raised by [hit] on a site whose policy fired [Raise]; the payload is
+    the site name. *)
+
+(** Global switch. [false] (the default) makes {!hit} and {!clamp}
+    no-ops; {!configure} and {!set} flip it on, {!clear} flips it off. *)
+val enabled : bool ref
+
+(** [site name] registers (or looks up) the failpoint named [name].
+    Call it once at module-initialization time and keep the handle —
+    lookups by name on a hot path would defeat the no-op guarantee. *)
+val site : string -> site
+
+val name : site -> string
+
+(** [all ()] is every registered site name, sorted. *)
+val all : unit -> string list
+
+(** [hit s] evaluates [s]'s policy: no-op when disabled or [Off];
+    raises {!Injected} under [Raise]; sleeps under [Delay]. The
+    byte-count policies do nothing here — pair the site with {!clamp}.
+    Counters [failpoint.hits] / [failpoint.fired] record activity when
+    {!Obs.enabled} is also on. *)
+val hit : site -> unit
+
+(** [clamp s n] bounds an I/O byte count: [1] under a firing
+    [Short_read], [max 1 (n / 2)] under a firing [Partial_write], [n]
+    otherwise (including when disabled, [n <= 1], or the policy is not
+    a byte-count action). *)
+val clamp : site -> int -> int
+
+(** [set name ?p ?n ?seed action] arms one site (registering it if
+    needed — specs may name sites whose module has not initialized yet)
+    and sets [enabled]. [p] defaults to [1.] (always fire), [n] to
+    unlimited, [seed] to [0].
+    @raise Invalid_argument on [p] outside [0..1] or [n < 0]. *)
+val set : string -> ?p:float -> ?n:int -> ?seed:int -> action -> unit
+
+(** [configure spec] parses the grammar above and arms every listed
+    site; sets [enabled] (even for an all-[off] spec, which is how the
+    bench measures the armed-but-idle overhead). The empty string is
+    accepted and only sets [enabled].
+    @raise Invalid_argument on a malformed spec. *)
+val configure : string -> unit
+
+(** [clear ()] resets every site to [Off] with fresh counters and
+    clears [enabled]. *)
+val clear : unit -> unit
+
+(** [fired s] is how many times [s]'s policy has fired since the last
+    {!clear}. *)
+val fired : site -> int
+
+(** [stats ()] is [(name, hits, fired)] per registered site, sorted by
+    name — the chaos report's failpoint section. *)
+val stats : unit -> (string * int * int) list

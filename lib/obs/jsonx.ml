@@ -249,7 +249,17 @@ let parse_number st =
     | None -> Float (float_of_string text) (* out of int range *)
   else Float (float_of_string text)
 
-let rec parse_value st =
+(* Containers deeper than this fail with a typed error instead of
+   exhausting the OCaml stack: the recursive-descent parser recurses
+   once per nesting level, and a hostile line of "[[[[…" would
+   otherwise turn into [Stack_overflow] — an untyped crash — inside
+   whatever daemon called [parse]. 512 is far beyond any legitimate
+   request or metrics document. *)
+let max_depth = 512
+
+let rec parse_value depth st =
+  if depth > max_depth then
+    fail st.pos (Printf.sprintf "nesting deeper than %d" max_depth);
   skip_ws st;
   match peek st with
   | None -> fail st.pos "expected value"
@@ -266,7 +276,7 @@ let rec parse_value st =
           let k = parse_string st in
           skip_ws st;
           expect st ':';
-          let v = parse_value st in
+          let v = parse_value (depth + 1) st in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -288,7 +298,7 @@ let rec parse_value st =
       end
       else begin
         let rec items acc =
-          let v = parse_value st in
+          let v = parse_value (depth + 1) st in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -311,7 +321,7 @@ let rec parse_value st =
 let parse s =
   let st = { src = s; pos = 0 } in
   match
-    let v = parse_value st in
+    let v = parse_value 0 st in
     skip_ws st;
     if st.pos <> String.length s then fail st.pos "trailing garbage";
     v

@@ -28,6 +28,9 @@ type error = { offset : int; message : string }
     the value. Numbers without fraction or exponent that fit in [int]
     become [Int]; all others become [Float]. String escapes, including
     [\uXXXX] (and surrogate pairs, re-encoded as UTF-8), are decoded.
+    Containers nested deeper than 512 levels fail with a typed error —
+    the recursive-descent parser recurses per level, and a hostile
+    ["[[[["… line must come back as [Error], never [Stack_overflow].
     The serve protocol's request decoder — errors carry the byte offset
     so clients can point at the offending span. *)
 val parse : string -> (t, error) result

@@ -6,6 +6,8 @@ module Json = Jsonx
 module Metrics = Metrics
 module Span = Span
 module Export = Export
+module Clock = Clock
+module Failpoint = Failpoint
 
 let enabled = Switch.enabled
 let now_us = Span.now_us

@@ -8,6 +8,8 @@ module Json = Jsonx
 module Metrics = Metrics
 module Span = Span
 module Export = Export
+module Clock = Clock
+module Failpoint = Failpoint
 
 (** Global switch. Default [false]: every recording call is a no-op. *)
 val enabled : bool ref

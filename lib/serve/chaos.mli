@@ -1,0 +1,51 @@
+(** Deterministic chaos testing for the {!Server} daemon.
+
+    A chaos run drives the full daemon loop — {!Server.run} in a spawned
+    domain over real Unix pipes — through a fixed set of {e episodes},
+    each replaying the same request script under a seeded
+    {!Obs.Failpoint} schedule or an adversarial client behavior:
+
+    - [clean] — no injection; the daemon must answer the whole script.
+    - [solver-raise] — [serve.solve=raise,n=2]: two solves crash and
+      must come back as typed [internal-error]s, isolated to their
+      requests.
+    - [decode-raise] — [serve.decode=raise,n=1]: a crash in admission.
+    - [engine-raise] — [engine.task=raise,n=1]: a poisoned batch wave;
+      the server retries it serially.
+    - [io-chaos] — seeded short reads, partial writes and solve delays;
+      answers must be byte-identical anyway.
+    - [deadline] — every fourth request carries [deadline_ms:0] (must be
+      typed [deadline-exceeded]); the rest carry a generous budget and
+      must answer identically to the clean run.
+    - [oversize] — a line beyond [max_line_bytes] lands mid-script and
+      must be the only [parse-error].
+    - [overload] — a tiny [batch]/[max_queue] against a pre-buffered
+      flood; every request is answered, some with typed [overloaded].
+    - [disconnect] — the client hangs up mid-stream; the daemon must
+      return cleanly (no crash, no hung write).
+    - [pressure] — a small [max_cache_bytes] against a
+      context-churning script; caches must stay within budget while
+      evicting.
+
+    Invariants, checked per episode: the daemon never crashes; every
+    request is answered (or, after a hang-up, a prefix is); every
+    response is valid JSON, either [ok] or a typed error; every [ok]
+    response is byte-identical to the one-shot baseline solve of the
+    same request; caches stay within [max_cache_bytes]; armed failpoints
+    actually fired. *)
+
+(** [default_script ~n] is [n] solve requests cycling the five
+    schedulers over LU ([workload "1"]) 16x16 on a 16x16 mesh — the
+    serve bench's workload. *)
+val default_script : n:int -> string list
+
+(** [run ~seed ~jobs ~requests ?script ()] executes every episode and
+    returns [(pass, report)]: [pass] is the conjunction of all episode
+    verdicts and [report] is the [chaos.json] document (per-episode
+    request/response counts, error-code histogram, failpoint
+    fire counts, cache stats and failure messages). [seed] drives the
+    probabilistic failpoint schedules; [script] replaces the default
+    [requests]-line script (episodes derive their variants from it). *)
+val run :
+  ?seed:int -> ?jobs:int -> ?requests:int -> ?script:string list -> unit ->
+  bool * Obs.Json.t

@@ -1,0 +1,100 @@
+(* Hashtbl for lookup, intrusive doubly-linked list for recency order
+   (head = most recent). Option links keep the node type total — no
+   sentinel value of type ['a] has to be conjured. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  nbytes : int;
+  mutable prev : 'a node option; (* towards the head (more recent) *)
+  mutable next : 'a node option; (* towards the tail (less recent) *)
+}
+
+type 'a t = {
+  tbl : (string, 'a node) Hashtbl.t;
+  budget : int;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable used : int;
+  mutable evicted : int;
+}
+
+let create ~budget =
+  { tbl = Hashtbl.create 64; budget; head = None; tail = None;
+    used = 0; evicted = 0 }
+
+let budget t = t.budget
+let used_bytes t = t.used
+let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let peek t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n -> Some n.value
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.used <- t.used - n.nbytes
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some n -> drop t n
+
+let add t key v ~bytes =
+  if bytes < 0 then invalid_arg "Lru.add: negative byte weight";
+  remove t key;
+  if bytes > t.budget then []
+  else begin
+    let n = { key; value = v; nbytes = bytes; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    t.used <- t.used + bytes;
+    let rec evict acc =
+      if t.used <= t.budget then List.rev acc
+      else
+        match t.tail with
+        | None -> List.rev acc (* unreachable: used > budget implies entries *)
+        | Some victim ->
+            drop t victim;
+            t.evicted <- t.evicted + 1;
+            evict ((victim.key, victim.value) :: acc)
+    in
+    evict []
+  end
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.key n.value;
+        go n.next
+  in
+  go t.head

@@ -33,15 +33,25 @@ type op =
       algorithm : string;
       fault : fault_spec option;
       timed : Pim.Link_model.t option;
+      deadline_ms : int option;
     }
   | Ping
   | Stats
   | Shutdown
 
 type request = { id : Obs.Json.t; op : op }
-type error = { code : string; message : string; offset : int option }
 
-let bad ?offset message = { code = "bad-request"; message; offset }
+type error = {
+  code : string;
+  message : string;
+  offset : int option;
+  extra : (string * Obs.Json.t) list;
+}
+
+let make_error ?offset ?(extra = []) code message =
+  { code; message; offset; extra }
+
+let bad ?offset message = make_error ?offset "bad-request" message
 
 exception Reject of error
 
@@ -196,16 +206,21 @@ let decode_instance fields =
     kernel = decode_kernel fields;
   }
 
+let decode_deadline fields =
+  match field fields "deadline_ms" with
+  | None | Some Obs.Json.Null -> None
+  | Some (Obs.Json.Int ms) ->
+      if ms < 0 then reject "field \"deadline_ms\" must be >= 0";
+      Some ms
+  | Some _ -> reject "field \"deadline_ms\" must be an integer"
+
 let decode line =
   match Obs.Json.parse line with
   | Error e ->
       Error
         ( Obs.Json.Null,
-          {
-            code = "parse-error";
-            message = e.Obs.Json.message;
-            offset = Some e.Obs.Json.offset;
-          } )
+          make_error ~offset:e.Obs.Json.offset "parse-error"
+            e.Obs.Json.message )
   | Ok (Obs.Json.Obj fields) -> (
       let id =
         match field fields "id" with Some v -> v | None -> Obs.Json.Null
@@ -219,6 +234,7 @@ let decode line =
                 algorithm = get_string fields "algorithm" ~default:"gomcds";
                 fault = decode_fault fields;
                 timed = decode_link_model fields;
+                deadline_ms = decode_deadline fields;
               }
         | "ping" -> Ping
         | "stats" -> Stats
@@ -239,15 +255,22 @@ let ok_response id result =
          ("id", id); ("ok", Obs.Json.Bool true); ("result", Obs.Json.Obj result);
        ])
 
+let request_id line =
+  match Obs.Json.parse line with
+  | Ok (Obs.Json.Obj fields) -> (
+      match field fields "id" with Some v -> v | None -> Obs.Json.Null)
+  | Ok _ | Error _ -> Obs.Json.Null
+
 let error_response id (e : error) =
   let fields =
     [
       ("code", Obs.Json.String e.code);
       ("message", Obs.Json.String e.message);
     ]
-    @ match e.offset with
+    @ (match e.offset with
       | None -> []
-      | Some o -> [ ("offset", Obs.Json.Int o) ]
+      | Some o -> [ ("offset", Obs.Json.Int o) ])
+    @ e.extra
   in
   Obs.Json.to_string
     (Obs.Json.Obj

@@ -37,8 +37,19 @@
     one-shot CLI writes with [--plan-out]. Group solves add [arrays]
     (member count) and [array_moves], and their [plan] is the
     {!Multi.Group_serial} group-plan text. Failures come back as
-    [{"id":..,"ok":false,"error":{"code","message","offset"?}}] with
-    codes [parse-error], [bad-request], [over-budget] or [solve-error]. *)
+    [{"id":..,"ok":false,"error":{"code","message","offset"?,...}}] with
+    codes [parse-error], [bad-request], [over-budget], [solve-error],
+    [deadline-exceeded] (the request's [deadline_ms] budget ran out — at
+    admission or at a cooperative poll inside the solve),
+    [overloaded] (admission shed the request; the error carries a
+    [retry_after_ms] hint) or [internal-error] (a crash inside one solve
+    task, isolated to that request; the error carries a [backtrace]).
+
+    A solve request may carry ["deadline_ms": B]: the server arms a
+    monotonic-clock budget of [B] milliseconds, checked at admission, at
+    batch-wave start and at per-datum poll points inside the solve
+    ({!Sched.Cancel}). [0] expires immediately — the cheap way to probe
+    the typed rejection. *)
 
 val version : string
 
@@ -78,6 +89,8 @@ type op =
           (** [Some model] replays the schedule through
               {!Pim.Timed_simulator.run} with that link model and adds a
               [timed] result object; single-mesh instances only *)
+      deadline_ms : int option;
+          (** latency budget from request arrival, monotonic clock *)
     }
   | Ping
   | Stats
@@ -85,7 +98,19 @@ type op =
 
 type request = { id : Obs.Json.t; op : op }
 
-type error = { code : string; message : string; offset : int option }
+type error = {
+  code : string;
+  message : string;
+  offset : int option;
+  extra : (string * Obs.Json.t) list;
+      (** code-specific payload fields appended to the error object
+          (e.g. [retry_after_ms] on [overloaded], [backtrace] on
+          [internal-error]) *)
+}
+
+val make_error :
+  ?offset:int -> ?extra:(string * Obs.Json.t) list -> string -> string -> error
+(** [make_error code message] is an error with any code. *)
 
 val bad : ?offset:int -> string -> error
 (** [bad message] is a [bad-request] error. *)
@@ -101,6 +126,12 @@ val reject : ?offset:int -> string -> 'a
     whatever could be recovered from the line ([Null] if none) so the
     error response can still be correlated. *)
 val decode : string -> (request, Obs.Json.t * error) result
+
+(** [request_id line] is the best-effort [id] of a raw request line
+    ([Null] when the line does not parse to an object with one) —
+    what admission control uses to correlate a typed rejection without
+    paying a full decode. *)
+val request_id : string -> Obs.Json.t
 
 (** [ok_response id result] / [error_response id e] render one response
     line (no trailing newline). Field order is fixed, so responses are

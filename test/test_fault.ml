@@ -361,8 +361,19 @@ let prop_reschedule_never_loses =
         Sched.Resilience.run ~reschedule:false ~events problem
           Sched.Scheduler.Gomcds
       in
-      re.Sched.Resilience.paid_cost <= keep.Sched.Resilience.paid_cost
-      && re.Sched.Resilience.planned_cost = keep.Sched.Resilience.planned_cost)
+      (* "Never loses" is a theorem about the merge's pricing metric,
+         which charges unreachable traffic [Problem.unreachable_cost];
+         [paid_cost] charges undeliverable messages nothing, and a
+         stranded datum stays put in execution while pricing assumes it
+         moved. When neither run strands anything the two walks coincide
+         and the executed costs inherit the per-datum merge guarantee;
+         when traffic is stranded the paid costs are not comparable (a
+         re-solve that delivers strictly more pays for those extra
+         deliveries), so only the shared plan is asserted. *)
+      re.Sched.Resilience.planned_cost = keep.Sched.Resilience.planned_cost
+      && (re.Sched.Resilience.undeliverable > 0
+         || keep.Sched.Resilience.undeliverable > 0
+         || re.Sched.Resilience.paid_cost <= keep.Sched.Resilience.paid_cost))
 
 let test_resilience_eviction_charged () =
   (* datum 0 lives at its sole referencer, rank 5; killing 5 after window

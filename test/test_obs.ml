@@ -179,9 +179,98 @@ let test_metrics_json_shape () =
       Alcotest.(check bool) "extra spliced" true (contains s {|"note":"t"|});
       Alcotest.(check bool) "counter present" true (contains s {|"x":3|}))
 
+(* ---- monotonic clock ---- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now_s ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_s () in
+    Alcotest.(check bool) "never steps back" true (t >= !prev);
+    prev := t
+  done;
+  (* the microsecond view is the same clock, scaled *)
+  let s = Obs.Clock.now_s () in
+  let us = Obs.Clock.now_us () in
+  Alcotest.(check bool) "us within a second of s * 1e6" true
+    (Float.abs (us -. (s *. 1e6)) < 1e6)
+
+(* ---- failpoints ---- *)
+
+let test_failpoint_disabled_noop () =
+  Obs.Failpoint.clear ();
+  let s = Obs.Failpoint.site "test.fp.noop" in
+  Obs.Failpoint.hit s;
+  Alcotest.(check int) "clamp passes through" 4096 (Obs.Failpoint.clamp s 4096);
+  Alcotest.(check int) "nothing fired" 0 (Obs.Failpoint.fired s)
+
+let test_failpoint_countdown () =
+  Obs.Failpoint.clear ();
+  Fun.protect ~finally:Obs.Failpoint.clear @@ fun () ->
+  Obs.Failpoint.configure "test.fp.count=raise,n=2";
+  let s = Obs.Failpoint.site "test.fp.count" in
+  let raised = ref 0 in
+  for _ = 1 to 5 do
+    match Obs.Failpoint.hit s with
+    | () -> ()
+    | exception Obs.Failpoint.Injected name ->
+        Alcotest.(check string) "payload is the site name" "test.fp.count" name;
+        incr raised
+  done;
+  Alcotest.(check int) "n=2 fires exactly twice" 2 !raised;
+  Alcotest.(check int) "fired counter" 2 (Obs.Failpoint.fired s)
+
+let test_failpoint_clamp_actions () =
+  Obs.Failpoint.clear ();
+  Fun.protect ~finally:Obs.Failpoint.clear @@ fun () ->
+  Obs.Failpoint.configure "test.fp.sr=short_read;test.fp.pw=partial_write";
+  let sr = Obs.Failpoint.site "test.fp.sr" in
+  let pw = Obs.Failpoint.site "test.fp.pw" in
+  Alcotest.(check int) "short read truncates to 1" 1
+    (Obs.Failpoint.clamp sr 4096);
+  Alcotest.(check int) "partial write halves" 2048
+    (Obs.Failpoint.clamp pw 4096);
+  Alcotest.(check int) "halving never reaches zero" 1
+    (Obs.Failpoint.clamp pw 1)
+
+let test_failpoint_seeded_schedule () =
+  (* a fixed seed yields a fixed firing schedule on a serial path *)
+  let schedule () =
+    Obs.Failpoint.clear ();
+    Fun.protect ~finally:Obs.Failpoint.clear @@ fun () ->
+    Obs.Failpoint.configure "test.fp.seeded=raise,p=0.5,seed=9";
+    let s = Obs.Failpoint.site "test.fp.seeded" in
+    List.init 64 (fun _ ->
+        match Obs.Failpoint.hit s with
+        | () -> false
+        | exception Obs.Failpoint.Injected _ -> true)
+  in
+  let a = schedule () and b = schedule () in
+  Alcotest.(check (list bool)) "replayable" a b;
+  Alcotest.(check bool) "probabilistic: some fire, some don't" true
+    (List.mem true a && List.mem false a)
+
+let test_failpoint_bad_spec () =
+  Obs.Failpoint.clear ();
+  List.iter
+    (fun spec ->
+      match Obs.Failpoint.configure spec with
+      | () -> Alcotest.failf "spec %S should be rejected" spec
+      | exception Invalid_argument _ ->
+          (* a rejected spec must not half-arm the registry *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%S leaves failpoints dark" spec)
+            false !Obs.Failpoint.enabled)
+    [ "x=explode"; "x=raise,p=2.0"; "x=raise,n=-1"; "noequals"; "=raise" ]
+
 let suite =
   [
     Gen.case "disabled is a no-op" test_disabled_is_noop;
+    Gen.case "monotonic clock" test_clock_monotonic;
+    Gen.case "failpoint: disabled no-op" test_failpoint_disabled_noop;
+    Gen.case "failpoint: n-countdown" test_failpoint_countdown;
+    Gen.case "failpoint: clamp actions" test_failpoint_clamp_actions;
+    Gen.case "failpoint: seeded schedule replays" test_failpoint_seeded_schedule;
+    Gen.case "failpoint: bad specs rejected atomically" test_failpoint_bad_spec;
     Gen.case "with_enabled restores on raise" test_with_enabled_restores;
     Gen.case "counters accumulate" test_counter_accumulates;
     Gen.case "gauge keeps last write" test_gauge_last_write_wins_in_shard;

@@ -3,9 +3,22 @@
 
 open Serve
 
-let fresh ?(jobs = 1) ?(batch = 16) ?max_arena_bytes ?(memo = true) () =
+let fresh ?(jobs = 1) ?(batch = 16) ?max_arena_bytes ?(memo = true)
+    ?max_cache_bytes ?max_queue () =
+  let d = Server.default_config () in
   Server.create
-    ~config:{ Server.jobs; batch; max_arena_bytes; memo }
+    ~config:
+      {
+        Server.jobs;
+        batch;
+        max_arena_bytes;
+        memo;
+        max_cache_bytes =
+          Option.value max_cache_bytes ~default:d.Server.max_cache_bytes;
+        max_line_bytes = d.Server.max_line_bytes;
+        max_queue = Option.value max_queue ~default:d.Server.max_queue;
+        write_timeout_ms = d.Server.write_timeout_ms;
+      }
     ()
 
 (* Pull a field out of a response line. *)
@@ -412,6 +425,398 @@ let test_no_memo () =
         (List.assoc_opt "memo_hits" fields = Some (Obs.Json.Int 0))
   | _ -> Alcotest.fail "stats is not an object"
 
+(* ---- LRU ---- *)
+
+let kv = Alcotest.(list (pair string int))
+
+let test_lru () =
+  let l = Lru.create ~budget:10 in
+  Alcotest.(check int) "budget" 10 (Lru.budget l);
+  Alcotest.check kv "no evictions" [] (Lru.add l "a" 1 ~bytes:4);
+  ignore (Lru.add l "b" 2 ~bytes:4);
+  Alcotest.(check int) "byte accounting" 8 (Lru.used_bytes l);
+  (* touch a so b becomes the LRU victim *)
+  Alcotest.(check (option int)) "find" (Some 1) (Lru.find l "a");
+  Alcotest.check kv "b evicted" [ ("b", 2) ] (Lru.add l "c" 3 ~bytes:4);
+  Alcotest.(check bool) "a survives" true (Lru.mem l "a");
+  Alcotest.(check int) "eviction counted" 1 (Lru.evictions l);
+  (* replacement re-weighs and is not an eviction *)
+  ignore (Lru.add l "a" 9 ~bytes:2);
+  Alcotest.(check int) "used after replace" 6 (Lru.used_bytes l);
+  Alcotest.(check int) "replace not counted" 1 (Lru.evictions l);
+  (* an entry heavier than the whole budget is not cached *)
+  Alcotest.check kv "oversized not cached" [] (Lru.add l "huge" 0 ~bytes:11);
+  Alcotest.(check bool) "huge absent" false (Lru.mem l "huge");
+  Alcotest.(check int) "used unchanged" 6 (Lru.used_bytes l);
+  Lru.remove l "c";
+  Alcotest.(check int) "remove drops bytes" 2 (Lru.used_bytes l);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Lru.add: negative byte weight") (fun () ->
+      ignore (Lru.add l "x" 0 ~bytes:(-1)));
+  (* multi-eviction comes back least-recently-used first *)
+  let l2 = Lru.create ~budget:10 in
+  ignore (Lru.add l2 "x" 1 ~bytes:3);
+  ignore (Lru.add l2 "y" 2 ~bytes:3);
+  ignore (Lru.add l2 "z" 3 ~bytes:3);
+  Alcotest.check kv "LRU-first order"
+    [ ("x", 1); ("y", 2) ]
+    (Lru.add l2 "w" 4 ~bytes:7)
+
+(* ---- cancellation tokens ---- *)
+
+let test_cancel_token () =
+  Alcotest.(check bool)
+    "none never expires" false
+    (Sched.Cancel.expired Sched.Cancel.none);
+  Alcotest.(check bool)
+    "zero budget is born expired" true
+    (Sched.Cancel.expired (Sched.Cancel.after ~budget_ms:0.));
+  let c = Sched.Cancel.after ~budget_ms:600_000. in
+  Alcotest.(check bool) "generous budget lives" false (Sched.Cancel.expired c);
+  Sched.Cancel.cancel c;
+  Alcotest.(check bool) "manual abort expires" true (Sched.Cancel.expired c);
+  Alcotest.check_raises "check raises" Sched.Cancel.Expired (fun () ->
+      Sched.Cancel.check c);
+  Alcotest.check_raises "the none token cannot be cancelled"
+    (Invalid_argument "Cancel.cancel: the none token") (fun () ->
+      Sched.Cancel.cancel Sched.Cancel.none)
+
+(* ---- deadlines ---- *)
+
+let test_deadline () =
+  let t = fresh () in
+  (* a zero budget expires at admission, deterministically *)
+  let r =
+    Server.handle_line t {|{"id":1,"workload":"1","size":8,"deadline_ms":0}|}
+  in
+  Alcotest.(check bool) "not ok" false (is_ok r);
+  Alcotest.(check string) "typed" "deadline-exceeded" (error_code r);
+  (* a generous budget answers byte-identically to no deadline at all *)
+  let plain =
+    Server.handle_line (fresh ()) {|{"id":2,"workload":"1","size":8}|}
+  in
+  let budgeted =
+    Server.handle_line (fresh ())
+      {|{"id":2,"workload":"1","size":8,"deadline_ms":600000}|}
+  in
+  Alcotest.(check string) "deadline-blind answer" plain budgeted;
+  (* expiry is counted, and the server keeps serving *)
+  (match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "counter" true
+        (List.assoc_opt "deadline_exceeded" fields = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "stats is not an object");
+  Alcotest.(check bool)
+    "still serving" true
+    (is_ok (Server.handle_line t {|{"id":3,"workload":"1","size":8}|}));
+  (* malformed budgets are rejected as bad requests *)
+  Alcotest.(check string)
+    "negative" "bad-request"
+    (error_code
+       (Server.handle_line t {|{"id":4,"workload":"1","deadline_ms":-5}|}));
+  (* group instances honor deadlines too *)
+  Alcotest.(check string)
+    "group deadline" "deadline-exceeded"
+    (error_code
+       (Server.handle_line t
+          {|{"id":5,"workload":"1","size":8,"arrays":"2x2of4x4","deadline_ms":0}|}))
+
+let test_deadline_mid_solve () =
+  let t = fresh () in
+  (* warm the context so admission is instant, then burn the budget with
+     an injected pre-solve delay: expiry fires at a poll point inside
+     the solve, and the daemon survives it *)
+  ignore (Server.handle_line t {|{"id":0,"workload":"1","size":8}|});
+  Obs.Failpoint.clear ();
+  Obs.Failpoint.configure "serve.solve=delay:30";
+  (Fun.protect ~finally:Obs.Failpoint.clear @@ fun () ->
+   let r =
+     Server.handle_line t
+       {|{"id":1,"workload":"1","size":8,"deadline_ms":5}|}
+   in
+   Alcotest.(check string) "expired in flight" "deadline-exceeded"
+     (error_code r));
+  (* the discarded session did not poison the warm pool *)
+  let r =
+    Server.handle_line t
+      {|{"id":2,"workload":"1","size":8,"algorithm":"scds"}|}
+  in
+  Alcotest.(check bool) "solves after expiry" true (is_ok r)
+
+(* ---- fuzzing: hostile bytes must never crash the daemon ---- *)
+
+let typed_codes =
+  [
+    "parse-error";
+    "bad-request";
+    "over-budget";
+    "solve-error";
+    "deadline-exceeded";
+    "overloaded";
+    "internal-error";
+  ]
+
+(* One long-lived server across the whole fuzz: survival means it keeps
+   answering after every piece of garbage. *)
+let fuzz_server = lazy (fresh ())
+
+let survives line =
+  let t = Lazy.force fuzz_server in
+  let r = Server.handle_line t line in
+  (match List.assoc_opt "ok" (parse_response r) with
+  | Some (Obs.Json.Bool true) -> ()
+  | Some (Obs.Json.Bool false) ->
+      let c = error_code r in
+      if not (List.mem c typed_codes) then
+        Alcotest.failf "untyped error code %S for %S" c line
+  | _ -> Alcotest.failf "response without ok field: %s" r);
+  (* and the next request still works *)
+  Server.handle_line t {|{"id":"probe","op":"ping"}|}
+  = {|{"id":"probe","ok":true,"result":{"protocol":"pim-sched-serve/1"}}|}
+
+let fuzz_garbage =
+  QCheck.Test.make ~count:300 ~name:"serve fuzz: random bytes"
+    (QCheck.string_gen_of_size QCheck.Gen.(int_range 0 160) QCheck.Gen.char)
+    survives
+
+let fuzz_truncation =
+  QCheck.Test.make ~count:80 ~name:"serve fuzz: truncated requests"
+    QCheck.(int_range 0 80)
+    (fun k ->
+      (* multi-byte characters make some cuts land mid-UTF-8-sequence *)
+      let line =
+        {|{"id":"héllo€","workload":"1","size":8,"algorithm":"gomcds"}|}
+      in
+      survives (String.sub line 0 (min k (String.length line))))
+
+let fuzz_nesting =
+  QCheck.Test.make ~count:20 ~name:"serve fuzz: pathological nesting"
+    QCheck.(int_range 1 4096)
+    (fun depth ->
+      survives (String.make depth '[')
+      && survives (String.make depth '{')
+      && survives ({|{"id":|} ^ String.make depth '[' ^ "1"))
+
+(* ---- failpoint matrix: every site x raise/delay ---- *)
+
+(* Under an n=1 injection the faulted request is answered (typed or
+   clean), the fault burns its budget, and a retry of the same request
+   answers byte-identically to a failpoint-free server. *)
+let test_failpoint_matrix () =
+  let line = {|{"id":1,"workload":"1","size":8,"algorithm":"gomcds"}|} in
+  Obs.Failpoint.clear ();
+  let expected = Server.handle_line (fresh ()) line in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun action ->
+          let label = Printf.sprintf "%s=%s" site action in
+          Obs.Failpoint.clear ();
+          Obs.Failpoint.configure (Printf.sprintf "%s=%s,n=1" site action);
+          Fun.protect ~finally:Obs.Failpoint.clear @@ fun () ->
+          let t = fresh () in
+          let first = Server.handle_line t line in
+          (if is_ok first then
+             Alcotest.(check string) (label ^ ": clean first") expected first
+           else
+             Alcotest.(check bool)
+               (label ^ ": typed first") true
+               (List.mem (error_code first) typed_codes));
+          let second = Server.handle_line t line in
+          Alcotest.(check string) (label ^ ": retry identical") expected second)
+        [ "raise"; "delay:1" ])
+    [ "serve.decode"; "serve.solve"; "engine.task" ]
+
+(* ---- crash isolation inside one wave ---- *)
+
+let test_crash_isolation_in_batch () =
+  let lines =
+    List.map
+      (fun a ->
+        Printf.sprintf {|{"id":"%s","workload":"1","size":8,"algorithm":"%s"}|}
+          a a)
+      [ "scds"; "lomcds"; "gomcds"; "lomcds-grouped" ]
+  in
+  Obs.Failpoint.clear ();
+  let expected = List.map (fun l -> Server.handle_line (fresh ()) l) lines in
+  Obs.Failpoint.configure "serve.solve=raise,n=1";
+  let t = fresh ~jobs:4 () in
+  let got =
+    Fun.protect ~finally:Obs.Failpoint.clear @@ fun () ->
+    List.map fst (Server.process_batch t lines)
+  in
+  let diffs =
+    List.filter (fun (g, e) -> g <> e) (List.combine got expected)
+  in
+  (* exactly one request absorbed the crash; its wave-mates are
+     byte-identical to their lone solves *)
+  Alcotest.(check int) "one casualty" 1 (List.length diffs);
+  List.iter
+    (fun (g, _) ->
+      Alcotest.(check string) "typed internal-error" "internal-error"
+        (error_code g))
+    diffs;
+  (match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "task_crashes counted" true
+        (List.assoc_opt "task_crashes" fields = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "stats is not an object");
+  (* the wave did not poison the server *)
+  Alcotest.(check bool)
+    "serves on" true
+    (is_ok (Server.handle_line t (List.hd lines)))
+
+(* ---- bounded caches ---- *)
+
+let test_cache_pressure () =
+  let budget = 32 * 1024 in
+  let t = fresh ~max_cache_bytes:budget () in
+  let lines =
+    List.init 12 (fun i ->
+        Printf.sprintf
+          {|{"id":%d,"workload":"1","size":%d,"algorithm":"scds"}|} i
+          (6 + (2 * (i mod 4))))
+  in
+  let expected = List.map (fun l -> Server.handle_line (fresh ()) l) lines in
+  let got = List.map (fun l -> Server.handle_line t l) lines in
+  List.iter2
+    (fun g e -> Alcotest.(check string) "identical under pressure" e g)
+    got expected;
+  match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      let geti k =
+        match List.assoc_opt k fields with
+        | Some (Obs.Json.Int i) -> i
+        | _ -> -1
+      in
+      Alcotest.(check bool)
+        "within budget" true
+        (geti "cache_bytes" <= budget);
+      Alcotest.(check bool) "evictions happened" true (geti "cache_evictions" > 0)
+  | _ -> Alcotest.fail "stats is not an object"
+
+let test_zero_cache_budget () =
+  let t = fresh ~max_cache_bytes:0 () in
+  let line = {|{"id":1,"workload":"1","size":8,"algorithm":"scds"}|} in
+  let r1 = Server.handle_line t line in
+  let r2 = Server.handle_line t line in
+  Alcotest.(check string) "cacheless is still deterministic" r1 r2;
+  Alcotest.(check string)
+    "and identical to a cached server" r1
+    (Server.handle_line (fresh ()) line);
+  match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "nothing cached" true
+        (List.assoc_opt "cache_bytes" fields = Some (Obs.Json.Int 0))
+  | _ -> Alcotest.fail "stats is not an object"
+
+(* ---- the daemon loop over real pipes: line cap and overload ---- *)
+
+let write_fd_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let test_run_line_cap_and_overload () =
+  let d = Server.default_config () in
+  let config =
+    { d with Server.jobs = 1; batch = 2; max_queue = 2; max_line_bytes = 512 }
+  in
+  let t = Server.create ~config () in
+  let solves =
+    List.init 10 (fun i ->
+        Printf.sprintf {|{"id":%d,"workload":"1","size":8,"algorithm":"scds"}|}
+          i)
+  in
+  let input =
+    String.concat ""
+      (List.map (fun l -> l ^ "\n") solves @ [ String.make 1024 'x' ^ "\n" ])
+  in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  (* pre-buffer the whole flood so the backlog the server sees — and so
+     the shedding schedule — is deterministic: wave {0,1}, shed {2..8},
+     wave {9, oversized} *)
+  write_fd_all req_w input;
+  Unix.close req_w;
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run t ~input:req_r ~output:resp_w;
+        Unix.close resp_w;
+        Unix.close req_r)
+  in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line ic :: !responses
+     done
+   with End_of_file -> ());
+  Domain.join srv;
+  Unix.close resp_r;
+  let responses = Array.of_list (List.rev !responses) in
+  Alcotest.(check int) "every request answered" 11 (Array.length responses);
+  Alcotest.(check bool) "first wave solved" true (is_ok responses.(0));
+  for i = 2 to 8 do
+    Alcotest.(check string)
+      (Printf.sprintf "backlog line %d shed" i)
+      "overloaded"
+      (error_code responses.(i));
+    (* shed responses still correlate ids and carry a retry hint *)
+    match List.assoc_opt "error" (parse_response responses.(i)) with
+    | Some (Obs.Json.Obj e) ->
+        Alcotest.(check bool)
+          "retry_after_ms" true
+          (match List.assoc_opt "retry_after_ms" e with
+          | Some (Obs.Json.Int ms) -> ms >= 1
+          | _ -> false);
+        Alcotest.(check bool)
+          "id echoed" true
+          (List.assoc_opt "id" (parse_response responses.(i))
+          = Some (Obs.Json.Int i))
+    | _ -> Alcotest.fail "no error object"
+  done;
+  Alcotest.(check bool) "tail of the queue solved" true (is_ok responses.(9));
+  Alcotest.(check string)
+    "oversized line typed" "parse-error"
+    (error_code responses.(10));
+  match Server.stats_json t with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool)
+        "line_overflows" true
+        (List.assoc_opt "line_overflows" fields = Some (Obs.Json.Int 1));
+      Alcotest.(check bool)
+        "overloaded count" true
+        (List.assoc_opt "overloaded" fields = Some (Obs.Json.Int 7))
+  | _ -> Alcotest.fail "stats is not an object"
+
+(* ---- chaos smoke (library-level, small instances) ---- *)
+
+let test_chaos_small () =
+  let script =
+    List.init 6 (fun i ->
+        Printf.sprintf {|{"id":%d,"workload":"1","size":8,"algorithm":"%s"}|} i
+          (List.nth [ "scds"; "gomcds"; "lomcds" ] (i mod 3)))
+  in
+  let pass, report = Chaos.run ~seed:11 ~jobs:2 ~requests:8 ~script () in
+  (if not pass then
+     match report with
+     | Obs.Json.Obj _ -> Alcotest.failf "chaos failed: %s" (Obs.Json.to_string report)
+     | _ -> Alcotest.fail "chaos failed");
+  match report with
+  | Obs.Json.Obj fields -> (
+      match List.assoc_opt "episodes" fields with
+      | Some (Obs.Json.List eps) ->
+          Alcotest.(check int) "all episodes ran" 10 (List.length eps)
+      | _ -> Alcotest.fail "report without episodes")
+  | _ -> Alcotest.fail "report is not an object"
+
 let suite =
   [
     Gen.case "ping golden" test_ping;
@@ -428,4 +833,18 @@ let suite =
     Gen.case "batch order and identity" test_batch_order_and_identity;
     Gen.case "memo and context reuse" test_memo_and_context_reuse;
     Gen.case "no-memo determinism" test_no_memo;
+    Gen.case "lru cache" test_lru;
+    Gen.case "cancellation tokens" test_cancel_token;
+    Gen.case "deadlines" test_deadline;
+    Gen.case "deadline expires mid-solve" test_deadline_mid_solve;
+    Gen.to_alcotest fuzz_garbage;
+    Gen.to_alcotest fuzz_truncation;
+    Gen.to_alcotest fuzz_nesting;
+    Gen.case "failpoint matrix (site x action)" test_failpoint_matrix;
+    Gen.case "crash isolation inside a wave" test_crash_isolation_in_batch;
+    Gen.case "bounded caches under pressure" test_cache_pressure;
+    Gen.case "zero cache budget" test_zero_cache_budget;
+    Gen.case "daemon loop: line cap and overload shedding"
+      test_run_line_cap_and_overload;
+    Gen.case "chaos episodes (small script)" test_chaos_small;
   ]
